@@ -1,0 +1,105 @@
+"""Extension benches: ablations of DeepOD's design choices (DESIGN.md §6).
+
+Not tables of the paper — these probe decisions the paper makes without
+ablating them:
+
+* initialisation method for Ws/Wt (node2vec vs DeepWalk vs LINE) —
+  Section 5 states node2vec won; we regenerate the comparison;
+* the Trajectory Encoder's sequence model (LSTM vs GRU vs order-blind
+  mean pooling) — Section 4.4 says "an RNN model (e.g., LSTM)";
+* the value of route knowledge: how much better a known-route (path TTE)
+  estimator does than the best OD-based method, quantifying the
+  information gap the OD problem statement imposes.
+"""
+
+import numpy as np
+
+from repro.baselines import DeepODEstimator
+from repro.datagen import strip_trajectories
+from repro.eval import mape
+from repro.pathtte import PerEdgePathEstimator, SubPathPathEstimator
+
+from .conftest import print_header, small_deepod_config
+
+
+def test_init_method_ablation(benchmark, chengdu, params):
+    """node2vec vs DeepWalk vs LINE initialisation of Ws/Wt."""
+    test = strip_trajectories(chengdu.split.test)
+    actual = np.array([t.travel_time for t in test])
+    sweep_epochs = max(params.epochs // 2, 3)
+
+    def sweep():
+        out = {}
+        for method in ("node2vec", "deepwalk", "line"):
+            cfg = small_deepod_config(
+                params, epochs=sweep_epochs,
+                init_road_embedding=method, init_slot_embedding=method)
+            est = DeepODEstimator(cfg, eval_every=0).fit(chengdu)
+            out[method] = mape(actual, est.predict(test))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — graph-embedding initialisation (Ws/Wt)")
+    for method, value in results.items():
+        print(f"  {method:10s} MAPE {100 * value:6.2f}%")
+    # The paper reports node2vec as the best initialisation; measured,
+    # the two walk-based methods are equivalent and LINE trails clearly.
+    assert results["node2vec"] <= min(results.values()) * 1.05
+    assert abs(results["node2vec"] - results["deepwalk"]) \
+        < results["node2vec"] * 0.25
+    assert all(np.isfinite(v) for v in results.values())
+
+
+def test_sequence_encoder_ablation(benchmark, chengdu, params):
+    """LSTM vs GRU vs order-blind mean pooling in the Trajectory Encoder."""
+    test = strip_trajectories(chengdu.split.test)
+    actual = np.array([t.travel_time for t in test])
+    sweep_epochs = max(params.epochs // 2, 3)
+
+    def sweep():
+        out = {}
+        for encoder in ("lstm", "gru", "mean"):
+            cfg = small_deepod_config(
+                params, epochs=sweep_epochs, sequence_encoder=encoder,
+                aux_weight=0.3)
+            est = DeepODEstimator(cfg, eval_every=0).fit(chengdu)
+            out[encoder] = mape(actual, est.predict(test))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Ablation — Trajectory Encoder sequence model")
+    for encoder, value in results.items():
+        print(f"  {encoder:6s} MAPE {100 * value:6.2f}%")
+    assert all(np.isfinite(v) for v in results.values())
+
+
+def test_route_knowledge_gap(benchmark, chengdu, chengdu_results):
+    """Known-route estimators vs the OD-based methods.
+
+    Path TTE with the true route should beat every OD method — the gap is
+    the price of not knowing the route, the core difficulty the paper's
+    problem statement highlights.
+    """
+    test = chengdu.split.test     # keep routes for the path estimators
+    actual = np.array([t.travel_time for t in test])
+
+    def run():
+        out = {}
+        for est in (PerEdgePathEstimator(), SubPathPathEstimator()):
+            est.fit(chengdu)
+            out[est.name] = mape(actual, est.predict(test))
+        return out
+
+    path_results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    print_header("Extension — the value of knowing the route")
+    best_od = min((res.metrics["mape"], name)
+                  for name, res in chengdu_results.items())
+    for name, value in path_results.items():
+        print(f"  {name:12s} (route known)  MAPE {100 * value:6.2f}%")
+    print(f"  best OD method: {best_od[1]} at {100 * best_od[0]:.2f}% "
+          f"(route unknown)")
+
+    # Shape: route knowledge helps — the best path estimator beats the
+    # best OD estimator.
+    assert min(path_results.values()) < best_od[0]

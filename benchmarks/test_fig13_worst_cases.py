@@ -1,0 +1,52 @@
+"""Figure 13: the 50 worst-performing test cases per method (by MAPE).
+
+Paper findings: worst cases cluster at short actual times with inflated
+estimates (the up-left corner); TEMP exhibits extreme worst cases
+(200-300% MAPE) because neighbour similarity is ill-defined; DeepOD's
+worst cases stay closest to the reference line.
+"""
+
+import numpy as np
+
+from repro.eval import worst_cases
+
+from .conftest import print_header
+
+
+def test_fig13_worst_cases(benchmark, chengdu_results, xian_results):
+    def collect():
+        out = {}
+        for city, results in (("mini-chengdu", chengdu_results),
+                              ("mini-xian", xian_results)):
+            out[city] = {
+                name: worst_cases(res, k=50)
+                for name, res in results.items()
+            }
+        return out
+
+    worst = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    for city, by_method in worst.items():
+        print_header(f"Figure 13 — 50 worst cases ({city})")
+        print(f"{'method':10s}{'mean MAPE(%)':>14}{'max MAPE(%)':>14}"
+              f"{'mean actual(s)':>16}")
+        for name, (actual, est) in by_method.items():
+            per_trip = np.abs(est - actual) / actual
+            print(f"{name:10s}{100 * per_trip.mean():14.1f}"
+                  f"{100 * per_trip.max():14.1f}{actual.mean():16.1f}")
+
+    for city, by_method in worst.items():
+        def mean_worst(name):
+            actual, est = by_method[name]
+            return float(np.mean(np.abs(est - actual) / actual))
+
+        # Shape: DeepOD's worst cases are milder than TEMP's and LR's.
+        assert mean_worst("DeepOD") < mean_worst("TEMP"), city
+        assert mean_worst("DeepOD") < mean_worst("LR"), city
+
+        # Worst cases skew to shorter-than-average trips (the up-left
+        # corner of the paper's scatter).
+        deepod_actual, _ = by_method["DeepOD"]
+        all_actual = chengdu_results["DeepOD"].actuals if \
+            city == "mini-chengdu" else xian_results["DeepOD"].actuals
+        assert deepod_actual.mean() < all_actual.mean(), city

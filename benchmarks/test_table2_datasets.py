@@ -1,0 +1,46 @@
+"""Table 2: taxi-order dataset statistics.
+
+Paper reports, per city (Chengdu / Xi'an / Beijing):
+  # of orders         5.8M / 3.4M / 56.7M
+  Avg # of points      180 /  205 /   23
+  Avg travel time(s)  500.65 / 757.07 / 1,180.87
+  Avg # of segments     17 /   25 /   48
+  Avg length(m)      3,477.85 / 4,143.17 / 5,580.32
+
+Shape targets at mini scale: Beijing has the most orders, the fewest GPS
+points relative to travel time (1-minute sampling), the longest trips and
+the most segments; Chengdu is shortest.
+"""
+
+import numpy as np
+
+from .conftest import print_header
+
+
+def test_table2_dataset_statistics(benchmark, chengdu, xian, beijing):
+    datasets = {"mini-chengdu": chengdu, "mini-xian": xian,
+                "mini-beijing": beijing}
+
+    def collect():
+        return {name: ds.statistics() for name, ds in datasets.items()}
+
+    stats = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    print_header("Table 2 — dataset statistics (scaled down)")
+    cols = ("num_orders", "avg_points", "avg_travel_time_s",
+            "avg_segments", "avg_length_m", "num_vertices", "num_edges")
+    print(f"{'statistic':22s}" + "".join(f"{n:>15}" for n in stats))
+    for col in cols:
+        row = "".join(f"{stats[n][col]:15.1f}" for n in stats)
+        print(f"{col:22s}{row}")
+
+    cd, xa, bj = (stats["mini-chengdu"], stats["mini-xian"],
+                  stats["mini-beijing"])
+    # Shape assertions mirroring Table 2's orderings.
+    assert bj["num_edges"] > xa["num_edges"] > cd["num_edges"]
+    assert bj["avg_travel_time_s"] > cd["avg_travel_time_s"]
+    assert bj["avg_length_m"] > xa["avg_length_m"] > cd["avg_length_m"]
+    assert bj["avg_segments"] > cd["avg_segments"]
+    # Beijing's sparse sampling: fewer points per second of travel.
+    assert (cd["avg_points"] / cd["avg_travel_time_s"]
+            > 5 * bj["avg_points"] / bj["avg_travel_time_s"])

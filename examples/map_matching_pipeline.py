@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The data pipeline under DeepOD: map matching raw GPS onto the network.
+
+The paper aligns raw taxi GPS points with road segments using the Valhalla
+matcher before any learning happens.  This example drives a vehicle along
+a known route, corrupts the emitted GPS fixes with noise, recovers the
+route with the HMM map matcher, and shows the spatio-temporal path
+(Definition 1) that feeds the Trajectory Encoder.
+
+Run:  python examples/map_matching_pipeline.py
+"""
+
+import numpy as np
+
+from repro.mapmatching import HMMConfig, HMMMapMatcher
+from repro.roadnet import dijkstra, grid_city
+from repro.trajectory import GPSPoint, RawTrajectory
+
+
+def synthesize_drive(net, edge_ids, speed=10.0, period=3.0, noise=10.0,
+                     seed=0):
+    """Drive a route at constant speed, emitting noisy GPS fixes."""
+    rng = np.random.default_rng(seed)
+    points, t, leftover = [], 0.0, 0.0
+    for eid in edge_ids:
+        a, b = net.edge_vector(eid)
+        length = net.edge(eid).length
+        pos = leftover
+        while pos < length:
+            xy = a + (pos / length) * (b - a)
+            points.append(GPSPoint(xy[0] + rng.normal(0, noise),
+                                   xy[1] + rng.normal(0, noise), t))
+            pos += speed * period
+            t += period
+        leftover = pos - length
+    end = net.edge_vector(edge_ids[-1])[1]
+    points.append(GPSPoint(end[0], end[1], t))
+    return RawTrajectory(points)
+
+
+def main() -> None:
+    print("Generating a 10x10 city with a river...")
+    net = grid_city(10, 10, river_row=4, bridge_cols=(2, 7), seed=5)
+    print(f"  {net}")
+
+    origin, destination = 3, 96
+    true_route, dist = dijkstra(net, origin, destination)
+    print(f"\nTrue route {origin} -> {destination}: "
+          f"{len(true_route)} segments, {dist:.0f} m")
+
+    traj = synthesize_drive(net, true_route, noise=12.0)
+    print(f"Emitted {len(traj)} GPS fixes over "
+          f"{traj.travel_time:.0f} seconds (σ = 12 m noise)")
+
+    matcher = HMMMapMatcher(net, config=HMMConfig(sigma=20.0, beta=40.0))
+    matched = matcher.match(traj)
+
+    recovered = set(matched.edge_ids) & set(true_route)
+    print(f"\nHMM matcher recovered {len(recovered)}/{len(true_route)} "
+          f"true segments")
+    print(f"Position ratios: r[1] = {matched.ratio_start:.3f}, "
+          f"r[-1] = {matched.ratio_end:.3f}")
+
+    print("\nSpatio-temporal path (first 8 elements):")
+    print(f"{'segment':>8}{'enter(s)':>10}{'exit(s)':>10}{'dur(s)':>8}")
+    for element in matched.path[:8]:
+        print(f"{element.edge_id:8d}{element.enter_time:10.1f}"
+              f"{element.exit_time:10.1f}{element.duration:8.1f}")
+    print(f"  ... {len(matched.path)} elements total, trip travel time "
+          f"{matched.travel_time:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

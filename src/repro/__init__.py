@@ -1,0 +1,29 @@
+"""repro — a full reproduction of *Effective Travel Time Estimation: When
+Historical Trajectories over Road Networks Matter* (DeepOD, SIGMOD 2020).
+
+Subpackages
+-----------
+``repro.nn``
+    From-scratch autograd/NN framework on numpy (PyTorch substitute).
+``repro.roadnet``
+    Road-network graphs, generators, shortest paths, spatial index,
+    line-graph conversion.
+``repro.temporal``
+    Time slots (Eq. 2-3) and the weekly temporal graph (Fig. 5b).
+``repro.trajectory``
+    Trajectory data model (Definition 1) and interval interpolation.
+``repro.mapmatching``
+    HMM map matcher (Valhalla substitute).
+``repro.embedding``
+    DeepWalk / node2vec / LINE graph embeddings in numpy.
+``repro.datagen``
+    Synthetic taxi-city simulator producing Table 2-style datasets.
+``repro.core``
+    The DeepOD model, trainer (Algorithm 1) and ablation variants.
+``repro.baselines``
+    TEMP, LR, GBM, STNN and MURAT comparison methods.
+``repro.eval``
+    Metrics, the experiment harness, and analysis utilities.
+"""
+
+__version__ = "1.0.0"

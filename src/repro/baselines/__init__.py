@@ -1,0 +1,16 @@
+"""The five comparison methods of Section 6.1 plus the DeepOD adapter:
+TEMP [39], LR, GBM [10], STNN [23] and MURAT [27]."""
+
+from .base import TravelTimeEstimator, od_feature_matrix, target_vector
+from .temp import TEMPEstimator
+from .linreg import LinearRegressionEstimator
+from .gbm import GBMEstimator
+from .stnn import STNNEstimator
+from .murat import MURATEstimator
+from .deepod_adapter import DeepODEstimator
+
+__all__ = [
+    "TravelTimeEstimator", "od_feature_matrix", "target_vector",
+    "TEMPEstimator", "LinearRegressionEstimator", "GBMEstimator",
+    "STNNEstimator", "MURATEstimator", "DeepODEstimator",
+]

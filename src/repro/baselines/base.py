@@ -1,0 +1,69 @@
+"""Common interface for all travel-time estimators.
+
+Every method in the comparison (TEMP, LR, GBM, STNN, MURAT, DeepOD) fits on
+training trip records and predicts from OD inputs alone, which keeps the
+harness (Tables 3-6) uniform.  ``model_size_bytes`` supports Table 5's
+memory-footprint column.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..trajectory.model import TripRecord
+
+
+class TravelTimeEstimator(ABC):
+    """Abstract estimator: fit on trips, predict travel times in seconds."""
+
+    name: str = "estimator"
+
+    @abstractmethod
+    def fit(self, dataset: TaxiDataset) -> "TravelTimeEstimator":
+        """Train on ``dataset.split.train`` (may read validation data for
+        early stopping, never test data)."""
+
+    @abstractmethod
+    def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        """Estimate travel times from the trips' OD inputs only."""
+
+    @abstractmethod
+    def model_size_bytes(self) -> int:
+        """Memory needed to apply the trained model (Table 5)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def od_feature_matrix(trips: Sequence[TripRecord],
+                      dataset: TaxiDataset) -> np.ndarray:
+    """Shared feature extraction for the classic baselines (LR / GBM).
+
+    Features derivable from the OD input alone:
+    origin x/y, destination x/y, Euclidean OD distance, hour-of-day
+    (sin/cos), day-of-week, weekend flag, weather id, position ratios.
+    """
+    slot_cfg = dataset.slot_config
+    rows = []
+    for trip in trips:
+        od = trip.od
+        ox, oy = od.origin_xy
+        dx, dy = od.destination_xy
+        dist = float(np.hypot(ox - dx, oy - dy))
+        hour = slot_cfg.hour_of_day(od.depart_time)
+        dow = slot_cfg.day_of_week(od.depart_time)
+        rows.append([
+            ox, oy, dx, dy, dist,
+            np.sin(2 * np.pi * hour / 24), np.cos(2 * np.pi * hour / 24),
+            float(dow), float(dow >= 5), float(od.weather),
+            od.ratio_start, od.ratio_end,
+        ])
+    return np.asarray(rows, dtype=float)
+
+
+def target_vector(trips: Sequence[TripRecord]) -> np.ndarray:
+    return np.array([t.travel_time for t in trips], dtype=float)

@@ -1,0 +1,164 @@
+"""GBM: gradient-boosted regression trees (the XGBoost stand-in).
+
+A from-scratch implementation of squared-loss gradient boosting with
+depth-limited CART regression trees, histogram-quantile split candidates,
+shrinkage and subsampling — the same algorithm family the paper's XGBoost
+baseline uses.  Model size depends on tree count/depth (Table 5 notes GBM's
+size varies per dataset because those hyper-parameters are tuned per
+dataset).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..trajectory.model import TripRecord
+from .base import TravelTimeEstimator, od_feature_matrix, target_vector
+
+
+@dataclass
+class _TreeNode:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_TreeNode"] = None
+    right: Optional["_TreeNode"] = None
+    value: float = 0.0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    def predict(self, x: np.ndarray) -> float:
+        node = self
+        while not node.is_leaf:
+            node = node.left if x[node.feature] <= node.threshold \
+                else node.right
+        return node.value
+
+    def count_nodes(self) -> int:
+        if self.is_leaf:
+            return 1
+        return 1 + self.left.count_nodes() + self.right.count_nodes()
+
+
+class _RegressionTree:
+    """Depth-limited CART on squared loss with quantile split candidates."""
+
+    def __init__(self, max_depth: int, min_samples_leaf: int,
+                 num_candidates: int = 16):
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.num_candidates = num_candidates
+        self.root: Optional[_TreeNode] = None
+
+    def fit(self, x: np.ndarray, residuals: np.ndarray) -> "_RegressionTree":
+        self.root = self._build(x, residuals, depth=0)
+        return self
+
+    def _build(self, x: np.ndarray, y: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode(value=float(y.mean()))
+        if depth >= self.max_depth or len(y) < 2 * self.min_samples_leaf:
+            return node
+        best = self._best_split(x, y)
+        if best is None:
+            return node
+        feature, threshold = best
+        mask = x[:, feature] <= threshold
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x[mask], y[mask], depth + 1)
+        node.right = self._build(x[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(self, x: np.ndarray,
+                    y: np.ndarray) -> Optional[Tuple[int, float]]:
+        n, d = x.shape
+        base_sse = float(((y - y.mean()) ** 2).sum())
+        best_gain, best = 1e-12, None
+        for feature in range(d):
+            col = x[:, feature]
+            qs = np.quantile(col, np.linspace(0.05, 0.95,
+                                              self.num_candidates))
+            for threshold in np.unique(qs):
+                mask = col <= threshold
+                n_left = int(mask.sum())
+                if n_left < self.min_samples_leaf or \
+                        n - n_left < self.min_samples_leaf:
+                    continue
+                yl, yr = y[mask], y[~mask]
+                sse = float(((yl - yl.mean()) ** 2).sum()
+                            + ((yr - yr.mean()) ** 2).sum())
+                gain = base_sse - sse
+                if gain > best_gain:
+                    best_gain, best = gain, (feature, float(threshold))
+        return best
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return np.array([self.root.predict(row) for row in x])
+
+    def count_nodes(self) -> int:
+        return self.root.count_nodes() if self.root else 0
+
+
+class GBMEstimator(TravelTimeEstimator):
+    """Gradient boosting over regression trees (squared loss)."""
+
+    name = "GBM"
+
+    def __init__(self, num_trees: int = 40, max_depth: int = 4,
+                 learning_rate: float = 0.1, subsample: float = 0.8,
+                 min_samples_leaf: int = 5, seed: int = 0):
+        if num_trees < 1 or max_depth < 1:
+            raise ValueError("num_trees and max_depth must be >= 1")
+        if not 0 < learning_rate <= 1 or not 0 < subsample <= 1:
+            raise ValueError("learning_rate and subsample must be in (0, 1]")
+        self.num_trees = num_trees
+        self.max_depth = max_depth
+        self.learning_rate = learning_rate
+        self.subsample = subsample
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self._trees: List[_RegressionTree] = []
+        self._base: float = 0.0
+        self._dataset: Optional[TaxiDataset] = None
+
+    def fit(self, dataset: TaxiDataset) -> "GBMEstimator":
+        self._dataset = dataset
+        rng = np.random.default_rng(self.seed)
+        x = od_feature_matrix(dataset.split.train, dataset)
+        y = target_vector(dataset.split.train)
+        self._base = float(y.mean())
+        pred = np.full(len(y), self._base)
+        self._trees = []
+        for _ in range(self.num_trees):
+            residual = y - pred
+            if self.subsample < 1.0:
+                idx = rng.choice(len(y), size=max(
+                    int(len(y) * self.subsample), 2), replace=False)
+            else:
+                idx = np.arange(len(y))
+            tree = _RegressionTree(self.max_depth, self.min_samples_leaf)
+            tree.fit(x[idx], residual[idx])
+            update = tree.predict(x)
+            pred = pred + self.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        if self._dataset is None:
+            raise RuntimeError("fit() must be called before predict()")
+        x = od_feature_matrix(trips, self._dataset)
+        pred = np.full(len(x), self._base)
+        for tree in self._trees:
+            pred = pred + self.learning_rate * tree.predict(x)
+        return np.maximum(pred, 1.0)
+
+    def model_size_bytes(self) -> int:
+        # Each node stores (feature id, threshold, value) ~ 12 bytes at
+        # float32/int32 precision.
+        nodes = sum(t.count_nodes() for t in self._trees)
+        return 12 * nodes + 4

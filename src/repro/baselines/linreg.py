@@ -1,0 +1,62 @@
+"""LR: linear regression baseline.
+
+Fits travel time as a linear function of the OD features with a
+least-squares (Euclidean) loss, solved in closed form via the normal
+equations with a small ridge term for conditioning.  The paper notes LR's
+model size is constant across datasets and its accuracy poor because travel
+time is not linear in the features.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..trajectory.model import TripRecord
+from .base import TravelTimeEstimator, od_feature_matrix, target_vector
+
+
+class LinearRegressionEstimator(TravelTimeEstimator):
+    """Closed-form ridge-stabilised linear regression."""
+
+    name = "LR"
+
+    def __init__(self, ridge: float = 1e-6):
+        if ridge < 0:
+            raise ValueError("ridge must be non-negative")
+        self.ridge = ridge
+        self._weights: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self._dataset: Optional[TaxiDataset] = None
+
+    def fit(self, dataset: TaxiDataset) -> "LinearRegressionEstimator":
+        self._dataset = dataset
+        x = od_feature_matrix(dataset.split.train, dataset)
+        y = target_vector(dataset.split.train)
+        # Standardise features for numerical stability.
+        self._mean = x.mean(axis=0)
+        self._std = np.maximum(x.std(axis=0), 1e-9)
+        xs = (x - self._mean) / self._std
+        design = np.hstack([xs, np.ones((len(xs), 1))])
+        gram = design.T @ design
+        gram += self.ridge * np.eye(gram.shape[0])
+        self._weights = np.linalg.solve(gram, design.T @ y)
+        return self
+
+    def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        if self._weights is None or self._dataset is None:
+            raise RuntimeError("fit() must be called before predict()")
+        x = od_feature_matrix(trips, self._dataset)
+        xs = (x - self._mean) / self._std
+        design = np.hstack([xs, np.ones((len(xs), 1))])
+        preds = design @ self._weights
+        return np.maximum(preds, 1.0)
+
+    def model_size_bytes(self) -> int:
+        if self._weights is None:
+            return 0
+        # Weights + standardisation vectors, at float32 storage.
+        return 4 * int(self._weights.size + self._mean.size + self._std.size)

@@ -1,0 +1,139 @@
+"""STNN: Spatial Temporal deep Neural Network [Jindal et al. 2017].
+
+The paper describes STNN as a multi-layer neural network that first
+predicts the travel *distance* from the raw OD coordinates, then combines
+the predicted distance with the departure-time information to predict the
+travel time.  Crucially it ignores the road network, which the paper
+identifies as the reason it trails MURAT and DeepOD.
+
+Implemented here with ``repro.nn``: a distance MLP over (origin, dest)
+coordinates and a time MLP over (predicted distance, temporal features),
+trained jointly with a combined MAE objective.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..nn import Adam, StepDecay, Tensor, TwoLayerMLP, concat, mae_loss
+from ..trajectory.model import TripRecord
+from .base import TravelTimeEstimator
+
+
+class STNNEstimator(TravelTimeEstimator):
+    """Distance-then-time neural network over raw coordinates."""
+
+    name = "STNN"
+
+    def __init__(self, hidden: int = 32, epochs: int = 8,
+                 batch_size: int = 64, learning_rate: float = 0.01,
+                 distance_loss_weight: float = 0.3, seed: int = 0):
+        if hidden < 1 or epochs < 1 or batch_size < 1:
+            raise ValueError("invalid STNN hyper-parameters")
+        if not 0 <= distance_loss_weight < 1:
+            raise ValueError("distance_loss_weight must be in [0, 1)")
+        self.hidden = hidden
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.learning_rate = learning_rate
+        self.distance_loss_weight = distance_loss_weight
+        self.seed = seed
+        self._dist_net: Optional[TwoLayerMLP] = None
+        self._time_net: Optional[TwoLayerMLP] = None
+        self._dataset: Optional[TaxiDataset] = None
+        self._norm: dict = {}
+
+    # ------------------------------------------------------------------
+    def _spatial_features(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        rows = [[*t.od.origin_xy, *t.od.destination_xy] for t in trips]
+        return np.asarray(rows, dtype=float)
+
+    def _temporal_features(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        slot_cfg = self._dataset.slot_config
+        rows = []
+        for t in trips:
+            hour = slot_cfg.hour_of_day(t.od.depart_time)
+            dow = slot_cfg.day_of_week(t.od.depart_time)
+            rows.append([np.sin(2 * np.pi * hour / 24),
+                         np.cos(2 * np.pi * hour / 24),
+                         dow / 6.0, float(dow >= 5)])
+        return np.asarray(rows, dtype=float)
+
+    def _distances(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        """Ground-truth route distances (training targets for the distance
+        head); falls back to the Euclidean distance when no trajectory."""
+        net = self._dataset.net
+        out = []
+        for t in trips:
+            if t.trajectory is not None:
+                out.append(sum(net.edge(e).length
+                               for e in t.trajectory.edge_ids))
+            else:
+                ox, oy = t.od.origin_xy
+                dx, dy = t.od.destination_xy
+                out.append(float(np.hypot(ox - dx, oy - dy)))
+        return np.asarray(out, dtype=float)
+
+    # ------------------------------------------------------------------
+    def fit(self, dataset: TaxiDataset) -> "STNNEstimator":
+        self._dataset = dataset
+        rng = np.random.default_rng(self.seed)
+        trips = dataset.split.train
+        xs = self._spatial_features(trips)
+        xt = self._temporal_features(trips)
+        dist = self._distances(trips)
+        y = np.array([t.travel_time for t in trips])
+
+        self._norm = {
+            "xs_mean": xs.mean(axis=0), "xs_std": np.maximum(xs.std(axis=0),
+                                                             1e-9),
+            "d_mean": dist.mean(), "d_std": max(dist.std(), 1e-9),
+            "y_mean": y.mean(), "y_std": max(y.std(), 1e-9),
+        }
+        xs_n = (xs - self._norm["xs_mean"]) / self._norm["xs_std"]
+        d_n = (dist - self._norm["d_mean"]) / self._norm["d_std"]
+        y_n = (y - self._norm["y_mean"]) / self._norm["y_std"]
+
+        self._dist_net = TwoLayerMLP(4, self.hidden, 1, rng=rng)
+        self._time_net = TwoLayerMLP(1 + xt.shape[1], self.hidden, 1,
+                                     rng=rng)
+        params = (list(self._dist_net.parameters())
+                  + list(self._time_net.parameters()))
+        opt = Adam(params, lr=self.learning_rate)
+        sched = StepDecay(opt, step_epochs=2, factor=5.0)
+        n = len(trips)
+        w = self.distance_loss_weight
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for lo in range(0, n, self.batch_size):
+                idx = order[lo:lo + self.batch_size]
+                opt.zero_grad()
+                d_pred = self._dist_net(Tensor(xs_n[idx]))
+                t_in = concat([d_pred, Tensor(xt[idx])], axis=1)
+                t_pred = self._time_net(t_in)
+                loss = (mae_loss(d_pred, Tensor(d_n[idx][:, None])) * w
+                        + mae_loss(t_pred, Tensor(y_n[idx][:, None]))
+                        * (1 - w))
+                loss.backward()
+                opt.step()
+            sched.epoch_end()
+        return self
+
+    def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        if self._dist_net is None:
+            raise RuntimeError("fit() must be called before predict()")
+        xs = self._spatial_features(trips)
+        xt = self._temporal_features(trips)
+        xs_n = (xs - self._norm["xs_mean"]) / self._norm["xs_std"]
+        d_pred = self._dist_net(Tensor(xs_n))
+        t_pred = self._time_net(concat([d_pred, Tensor(xt)], axis=1))
+        preds = t_pred.data[:, 0] * self._norm["y_std"] + self._norm["y_mean"]
+        return np.maximum(preds, 1.0)
+
+    def model_size_bytes(self) -> int:
+        if self._dist_net is None:
+            return 0
+        return (self._dist_net.size_bytes() + self._time_net.size_bytes())

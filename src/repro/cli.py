@@ -1,0 +1,169 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro.cli stats   --city mini-chengdu --trips 500
+    python -m repro.cli train   --city mini-chengdu --trips 2000 \\
+                                --epochs 8 --save model.npz
+    python -m repro.cli compare --city mini-xian --trips 2000 \\
+                                --methods TEMP LR GBM DeepOD
+    python -m repro.cli sweep-w --city mini-chengdu --trips 2000
+
+Everything runs on synthetic city presets (see ``repro.datagen.cities``);
+results print as plain text tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .baselines import (
+    DeepODEstimator, GBMEstimator, LinearRegressionEstimator,
+    MURATEstimator, STNNEstimator, TEMPEstimator,
+)
+from .core import DeepODConfig, DeepODTrainer, build_deepod
+from .datagen import PRESETS, load_city, strip_trajectories
+from .eval import format_table, mape, run_comparison
+from .nn import save_state
+
+
+def _default_config(args) -> DeepODConfig:
+    return DeepODConfig(
+        d_s=32, d_t=16, d1_m=32, d2_m=16, d3_m=32, d4_m=16,
+        d5_m=32, d6_m=16, d7_m=32, d9_m=32, d_h=32, d_traf=16,
+        epochs=args.epochs, batch_size=64, aux_weight=args.aux_weight,
+        lr_decay_epochs=4, use_external_features=args.external,
+        seed=args.seed)
+
+
+def _make_estimator(name: str, args):
+    name = name.upper() if name.lower() != "deepod" else "DeepOD"
+    factories = {
+        "TEMP": lambda: TEMPEstimator(),
+        "LR": lambda: LinearRegressionEstimator(),
+        "GBM": lambda: GBMEstimator(num_trees=40, seed=args.seed),
+        "STNN": lambda: STNNEstimator(epochs=args.epochs, seed=args.seed),
+        "MURAT": lambda: MURATEstimator(epochs=args.epochs,
+                                        seed=args.seed),
+        "DeepOD": lambda: DeepODEstimator(_default_config(args),
+                                          eval_every=0),
+    }
+    if name not in factories:
+        raise SystemExit(f"unknown method {name!r}; choose from "
+                         f"{sorted(factories)}")
+    return factories[name]()
+
+
+def cmd_stats(args) -> int:
+    dataset = load_city(args.city, num_trips=args.trips,
+                        num_days=args.days)
+    print(f"dataset: {dataset.name}")
+    for key, value in dataset.statistics().items():
+        print(f"  {key:20s} {value:12.2f}")
+    return 0
+
+
+def cmd_train(args) -> int:
+    dataset = load_city(args.city, num_trips=args.trips,
+                        num_days=args.days)
+    config = _default_config(args)
+    model = build_deepod(dataset, config)
+    trainer = DeepODTrainer(model, dataset, eval_every=args.eval_every)
+    history = trainer.fit()
+    print(f"trained {history.steps[-1] if history.steps else 0} steps "
+          f"in {history.wall_seconds:.1f}s")
+    test = strip_trajectories(dataset.split.test)
+    preds = trainer.predict(test)
+    actual = np.array([t.travel_time for t in test])
+    print(f"test MAPE {100 * mape(actual, preds):.2f}%")
+    if args.save:
+        save_state(model, args.save)
+        print(f"model saved to {args.save}")
+    return 0
+
+
+def cmd_compare(args) -> int:
+    dataset = load_city(args.city, num_trips=args.trips,
+                        num_days=args.days)
+    estimators = [_make_estimator(m, args) for m in args.methods]
+    results = run_comparison(estimators, dataset, verbose=True)
+    print()
+    print(format_table(results))
+    if args.out:
+        from .eval import save_report
+        save_report(results, args.out,
+                    metadata={"city": args.city, "trips": args.trips,
+                              "days": args.days, "seed": args.seed})
+        print(f"\nreport written to {args.out}")
+    return 0
+
+
+def cmd_sweep_w(args) -> int:
+    dataset = load_city(args.city, num_trips=args.trips,
+                        num_days=args.days)
+    test = strip_trajectories(dataset.split.test)
+    actual = np.array([t.travel_time for t in test])
+    print(f"{'w':>6}{'MAPE(%)':>10}")
+    for w in args.weights:
+        cfg = _default_config(args).with_overrides(aux_weight=w)
+        est = DeepODEstimator(cfg, eval_every=0).fit(dataset)
+        print(f"{w:6.1f}{100 * mape(actual, est.predict(test)):10.2f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DeepOD reproduction CLI")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("--city", default="mini-chengdu",
+                       choices=sorted(PRESETS))
+        p.add_argument("--trips", type=int, default=1000)
+        p.add_argument("--days", type=int, default=14)
+        p.add_argument("--epochs", type=int, default=8)
+        p.add_argument("--aux-weight", type=float, default=0.3,
+                       dest="aux_weight")
+        p.add_argument("--external", action="store_true")
+        p.add_argument("--seed", type=int, default=0)
+
+    p_stats = sub.add_parser("stats", help="dataset statistics (Table 2)")
+    common(p_stats)
+    p_stats.set_defaults(func=cmd_stats)
+
+    p_train = sub.add_parser("train", help="train DeepOD")
+    common(p_train)
+    p_train.add_argument("--save", default="")
+    p_train.add_argument("--eval-every", type=int, default=50,
+                         dest="eval_every")
+    p_train.set_defaults(func=cmd_train)
+
+    p_cmp = sub.add_parser("compare", help="compare methods (Table 4)")
+    common(p_cmp)
+    p_cmp.add_argument("--methods", nargs="+",
+                       default=["TEMP", "LR", "GBM", "DeepOD"])
+    p_cmp.add_argument("--out", default="",
+                       help="write a JSON report to this path")
+    p_cmp.set_defaults(func=cmd_compare)
+
+    p_sweep = sub.add_parser("sweep-w",
+                             help="auxiliary-loss weight sweep (Fig 9)")
+    common(p_sweep)
+    p_sweep.add_argument("--weights", nargs="+", type=float,
+                         default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    p_sweep.set_defaults(func=cmd_sweep_w)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

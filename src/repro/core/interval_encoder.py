@@ -1,0 +1,93 @@
+"""Time Interval Encoder (paper Section 4.3, Eq. 4-11 and Figure 6).
+
+Encodes one time interval [t[1], t[-1]] into a fixed-length vector tcode:
+
+1. normalise both endpoints into (slot, remainder) pairs;
+2. look up the embeddings of the Δd covered slots (Eq. 4) and stack them
+   into a (Δd, d_t) matrix Dt;
+3. run the ResNet CNN block (three convolutions with BatchNorm + ReLU and a
+   residual add, Eq. 5-8);
+4. average-pool over the Δd axis (Eq. 10);
+5. concatenate the two remainders and apply a two-layer MLP (Eq. 11).
+
+Batching: intervals in one batch cover different numbers of slots, so the
+slot matrices are padded to the batch maximum and the average pool masks
+the padding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..nn import (
+    IntervalResNetBlock, Module, Tensor, TwoLayerMLP, concat,
+)
+from ..temporal.timeslot import TimeSlotConfig
+from .config import DeepODConfig
+from .embeddings import TimeSlotEmbedding
+
+
+class TimeIntervalEncoder(Module):
+    """Interval -> tcode (batched)."""
+
+    def __init__(self, config: DeepODConfig,
+                 slot_embedding: TimeSlotEmbedding,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.config = config
+        self.slot_embedding = slot_embedding
+        self.resnet = IntervalResNetBlock(rng=rng)
+        # Eq. 11: input is Z5 (d_t) concatenated with the two remainders.
+        self.mlp = TwoLayerMLP(config.d_t + 2, config.d1_m, config.d2_m,
+                               rng=rng)
+
+    @property
+    def slot_config(self) -> TimeSlotConfig:
+        return self.slot_embedding.slot_config
+
+    def forward(self, intervals: Sequence[Tuple[float, float]]) -> Tensor:
+        """Encode a batch of (start, end) timestamp intervals.
+
+        Returns a (batch, d2_m) tensor of tcodes.
+        """
+        if not len(intervals):
+            raise ValueError("empty interval batch")
+        cfg = self.slot_config
+        slot_lists: List[np.ndarray] = []
+        remainders = np.zeros((len(intervals), 2))
+        for i, (t_start, t_end) in enumerate(intervals):
+            if t_end < t_start:
+                raise ValueError("interval end precedes start")
+            slots = np.fromiter(cfg.interval_slots(t_start, t_end),
+                                dtype=np.int64)
+            slot_lists.append(slots)
+            # Remainders normalised to [0, 1) so they do not dominate.
+            remainders[i, 0] = cfg.remainder_of(t_start) / cfg.slot_seconds
+            remainders[i, 1] = cfg.remainder_of(t_end) / cfg.slot_seconds
+
+        max_len = max(len(s) for s in slot_lists)
+        batch = len(intervals)
+        # Pad slot indices with each interval's last slot; the pooling mask
+        # below removes the padded rows from the average.
+        padded = np.zeros((batch, max_len), dtype=np.int64)
+        mask = np.zeros((batch, max_len))
+        for i, slots in enumerate(slot_lists):
+            padded[i, :len(slots)] = slots
+            padded[i, len(slots):] = slots[-1]
+            mask[i, :len(slots)] = 1.0
+
+        # (batch * max_len,) -> (batch, 1, max_len, d_t)
+        emb = self.slot_embedding.lookup_slots(padded.reshape(-1))
+        d_t = self.config.d_t
+        dt_tensor = emb.reshape(batch, 1, max_len, d_t)
+        row_mask = Tensor(mask[:, None, :, None])
+        z4 = self.resnet(dt_tensor, mask=row_mask)        # Eq. 5-8
+        z4 = z4.reshape(batch, max_len, d_t)
+        # Masked average pool over the slot axis (Eq. 10).
+        mask_t = Tensor(mask[:, :, None])
+        counts = Tensor(mask.sum(axis=1, keepdims=True))
+        z5 = (z4 * mask_t).sum(axis=1) / counts
+        z6 = concat([z5, Tensor(remainders)], axis=1)     # (batch, d_t + 2)
+        return self.mlp(z6)                               # Eq. 11

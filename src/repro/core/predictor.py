@@ -1,0 +1,137 @@
+"""Serving-style prediction facade.
+
+``TravelTimePredictor`` is what a downstream service would actually adopt:
+it owns a trained DeepOD model plus the preprocessing a live query needs —
+snapping raw origin/destination coordinates to road segments (Section 3:
+"we match the GPS points onto road segments"), slot/remainder conversion,
+external-feature assembly — and augments point estimates with empirical
+confidence intervals calibrated on validation residuals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..roadnet.spatial_index import SpatialIndex
+from ..trajectory.model import ODInput
+from .model import DeepOD
+from .trainer import DeepODTrainer
+
+
+@dataclass
+class Estimate:
+    """A travel-time estimate with a calibrated uncertainty band."""
+
+    seconds: float
+    lower: float        # e.g. 10th percentile band
+    upper: float        # e.g. 90th percentile band
+    origin_edge: int
+    destination_edge: int
+
+    def __post_init__(self):
+        if not (self.lower <= self.seconds <= self.upper):
+            raise ValueError("estimate must lie inside its band")
+
+
+class TravelTimePredictor:
+    """Query-facing wrapper around a trained DeepOD model.
+
+    Parameters
+    ----------
+    trainer:
+        A fitted :class:`DeepODTrainer` (provides prediction plumbing and
+        the dataset's speed-matrix store).
+    coverage:
+        Central coverage of the confidence band (default 0.8 → the band
+        spans the 10th-90th percentile of validation relative residuals).
+    """
+
+    def __init__(self, trainer: DeepODTrainer, coverage: float = 0.8):
+        if not 0.0 < coverage < 1.0:
+            raise ValueError("coverage must be in (0, 1)")
+        self.trainer = trainer
+        self.dataset: TaxiDataset = trainer.dataset
+        self.model: DeepOD = trainer.model
+        self.index = SpatialIndex(self.dataset.net)
+        self.coverage = coverage
+        self._lo_q, self._hi_q = self._calibrate()
+
+    # ------------------------------------------------------------------
+    def _calibrate(self) -> Tuple[float, float]:
+        """Empirical relative-residual quantiles on the validation split.
+
+        The band for a prediction p is [p*lo, p*hi] where lo/hi are
+        quantiles of actual/predicted on validation data — a simple,
+        honest split-conformal construction.
+        """
+        val = self.dataset.split.validation
+        if not val:
+            return (0.5, 2.0)
+        preds = self.trainer.predict(list(val))
+        actual = np.array([t.travel_time for t in val])
+        ratios = actual / np.maximum(preds, 1e-9)
+        alpha = (1.0 - self.coverage) / 2.0
+        lo = float(np.quantile(ratios, alpha))
+        hi = float(np.quantile(ratios, 1.0 - alpha))
+        return (min(lo, 1.0), max(hi, 1.0))
+
+    # ------------------------------------------------------------------
+    def match_query(self, origin_xy: Tuple[float, float],
+                    destination_xy: Tuple[float, float],
+                    depart_time: float) -> ODInput:
+        """Snap a raw-coordinate query onto the road network."""
+        if depart_time < 0:
+            raise ValueError("departure time must be non-negative")
+        o_edge, _, o_ratio = self.index.nearest_edge(*origin_xy)
+        d_edge, _, d_ratio = self.index.nearest_edge(*destination_xy)
+        weather = self.dataset.weather.category(
+            min(depart_time, self.dataset.horizon_seconds - 1.0))
+        return ODInput(
+            origin_xy=origin_xy, destination_xy=destination_xy,
+            depart_time=depart_time,
+            origin_edge=o_edge, destination_edge=d_edge,
+            ratio_start=o_ratio, ratio_end=d_ratio,
+            weather=weather)
+
+    def estimate(self, origin_xy: Tuple[float, float],
+                 destination_xy: Tuple[float, float],
+                 depart_time: float) -> Estimate:
+        """Estimate one trip from raw coordinates."""
+        return self.estimate_batch(
+            [(origin_xy, destination_xy, depart_time)])[0]
+
+    def estimate_batch(self, queries: Sequence[Tuple]) -> List[Estimate]:
+        """Estimate many (origin_xy, destination_xy, depart_time) queries."""
+        if not len(queries):
+            return []
+        ods = [self.match_query(o, d, t) for o, d, t in queries]
+        mats = None
+        if self.model.config.use_external_features:
+            store = self.dataset.speed_store
+            mats = np.stack([store.normalized_matrix_before(od.depart_time)
+                             for od in ods])
+        preds = self.model.predict(ods, mats)
+        return [Estimate(seconds=float(p),
+                         lower=float(p * self._lo_q),
+                         upper=float(p * self._hi_q),
+                         origin_edge=od.origin_edge,
+                         destination_edge=od.destination_edge)
+                for p, od in zip(preds, ods)]
+
+    # ------------------------------------------------------------------
+    def band_coverage_on_test(self) -> float:
+        """Fraction of test trips whose actual time falls in the band —
+        a health check for the calibration (should approximate
+        ``coverage``)."""
+        test = self.dataset.split.test
+        if not test:
+            raise ValueError("no test trips to evaluate coverage on")
+        preds = self.trainer.predict(list(test))
+        actual = np.array([t.travel_time for t in test])
+        inside = ((actual >= preds * self._lo_q)
+                  & (actual <= preds * self._hi_q))
+        return float(inside.mean())

@@ -1,0 +1,168 @@
+"""Offline training and online estimation (paper Algorithm 1).
+
+``build_deepod`` performs lines 1-5: pre-train Ws over the line graph of
+the road network (with trajectory co-occurrence weights), build the
+temporal graph and pre-train Wt, initialise the remaining parameters.
+``DeepODTrainer.fit`` performs lines 6-7 / the ModelTrain function: shuffle,
+mini-batch, forward both encoders, combine the weighted losses, Adam step,
+with the paper's step learning-rate decay; it also tracks validation error
+per step for the convergence experiments (Fig 10 / Table 3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..datagen.speed_matrix import SpeedMatrixStore
+from ..nn import Adam, StepDecay
+from ..trajectory.model import TripRecord
+from .config import DeepODConfig
+from .embeddings import RoadSegmentEmbedding, TimeSlotEmbedding
+from .model import DeepOD
+
+
+def build_deepod(dataset: TaxiDataset, config: Optional[DeepODConfig] = None
+                 ) -> DeepOD:
+    """Algorithm 1 lines 1-5: construct and initialise the model."""
+    config = config or DeepODConfig()
+    rng = np.random.default_rng(config.seed)
+    train_trajs = [t.trajectory.edge_ids for t in dataset.split.train
+                   if t.trajectory is not None]
+    road_emb = RoadSegmentEmbedding.pretrained(
+        dataset.net, train_trajs, config.d_s,
+        method=config.init_road_embedding, seed=config.seed, rng=rng)
+    slot_emb = TimeSlotEmbedding.pretrained(
+        dataset.slot_config, config.d_t,
+        graph_kind=config.temporal_graph,
+        method=config.init_slot_embedding, seed=config.seed, rng=rng)
+    return DeepOD(config, road_emb, slot_emb, rng=rng)
+
+
+@dataclass
+class TrainingHistory:
+    """Per-step validation errors and timing for Fig 10 / Table 3."""
+
+    steps: List[int] = field(default_factory=list)
+    val_mae: List[float] = field(default_factory=list)
+    train_loss: List[float] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def convergence_step(self, tolerance: float = 0.02,
+                         patience: int = 3) -> int:
+        """First step after which val MAE stays within ``tolerance`` of its
+        final best for ``patience`` consecutive evaluations."""
+        if not self.val_mae:
+            return 0
+        best = min(self.val_mae)
+        threshold = best * (1.0 + tolerance)
+        run = 0
+        for i, v in enumerate(self.val_mae):
+            run = run + 1 if v <= threshold else 0
+            if run >= patience:
+                return self.steps[i]
+        return self.steps[-1]
+
+
+class DeepODTrainer:
+    """ModelTrain (offline) + Estimation (online) of Algorithm 1."""
+
+    def __init__(self, model: DeepOD, dataset: TaxiDataset,
+                 eval_every: int = 20, max_eval_batch: int = 256):
+        self.model = model
+        self.dataset = dataset
+        self.eval_every = eval_every
+        self.max_eval_batch = max_eval_batch
+        cfg = model.config
+        self.optimizer = Adam(list(model.parameters()),
+                              lr=cfg.learning_rate,
+                              clip_norm=cfg.grad_clip)
+        self.scheduler = StepDecay(self.optimizer,
+                                   step_epochs=cfg.lr_decay_epochs,
+                                   factor=cfg.lr_decay_factor)
+        self.history = TrainingHistory()
+        self._rng = np.random.default_rng(cfg.seed + 1)
+        self._step = 0
+        # Normalisation statistics from the training targets.
+        times = np.array([t.travel_time for t in dataset.split.train])
+        model.set_target_stats(float(times.mean()),
+                               float(max(times.std(), 1e-6)))
+
+    # ------------------------------------------------------------------
+    def _speed_matrices(self, trips: Sequence[TripRecord]) -> Optional[np.ndarray]:
+        if not self.model.config.use_external_features:
+            return None
+        store = self.dataset.speed_store
+        return np.stack([
+            store.normalized_matrix_before(t.od.depart_time)
+            for t in trips])
+
+    def train_step(self, batch: Sequence[TripRecord]) -> Dict[str, float]:
+        """One forward/backward/update over a mini-batch."""
+        model = self.model
+        ods = [t.od for t in batch]
+        trajs = [t.trajectory for t in batch]
+        times = np.array([t.travel_time for t in batch])
+        mats = self._speed_matrices(batch)
+        self.optimizer.zero_grad()
+        losses = model.training_losses(ods, trajs, times, mats)
+        losses.total.backward()
+        self.optimizer.step()
+        self._step += 1
+        return {"loss": losses.total.item(), "main": losses.main,
+                "aux": losses.auxiliary}
+
+    def fit(self, epochs: Optional[int] = None,
+            max_steps: Optional[int] = None,
+            track_validation: bool = True) -> TrainingHistory:
+        """Full offline training loop (Algorithm 1 lines 6-7)."""
+        cfg = self.model.config
+        epochs = epochs if epochs is not None else cfg.epochs
+        train = list(self.dataset.split.train)
+        start = time.perf_counter()
+        done = False
+        for _ in range(epochs):
+            order = self._rng.permutation(len(train))
+            for lo in range(0, len(train), cfg.batch_size):
+                batch = [train[i] for i in order[lo:lo + cfg.batch_size]]
+                stats = self.train_step(batch)
+                self.history.train_loss.append(stats["loss"])
+                if track_validation and self.eval_every > 0 and \
+                        self._step % self.eval_every == 0:
+                    self.history.steps.append(self._step)
+                    self.history.val_mae.append(self.validation_mae())
+                if max_steps is not None and self._step >= max_steps:
+                    done = True
+                    break
+            self.scheduler.epoch_end()
+            if done:
+                break
+        # Always record a final validation point.
+        if track_validation and (not self.history.steps or
+                                 self.history.steps[-1] != self._step):
+            self.history.steps.append(self._step)
+            self.history.val_mae.append(self.validation_mae())
+        self.history.wall_seconds = time.perf_counter() - start
+        return self.history
+
+    # ------------------------------------------------------------------
+    def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        """Online estimation for a set of trips (uses only the OD inputs)."""
+        preds = []
+        for lo in range(0, len(trips), self.max_eval_batch):
+            chunk = trips[lo:lo + self.max_eval_batch]
+            mats = self._speed_matrices(chunk)
+            preds.append(self.model.predict([t.od for t in chunk], mats))
+        return np.concatenate(preds)
+
+    def validation_mae(self) -> float:
+        val = self.dataset.split.validation
+        if not val:
+            return float("nan")
+        preds = self.predict(val)
+        actual = np.array([t.travel_time for t in val])
+        return float(np.mean(np.abs(preds - actual)))

@@ -1,0 +1,122 @@
+"""Trajectory Encoder (paper Section 4.4, Eq. 12-17 and Figure 7).
+
+Encodes a trajectory <SP, PR> into stcode:
+
+1. every element <e_i, [t_i[1], t_i[-1]]> of the spatio-temporal path is
+   encoded as the concatenation D^st_i of the Time Interval Encoder's
+   tcode_i and the road-segment embedding D^s_i;
+2. the sequence [D^st_1 .. D^st_n] runs through an LSTM (Eq. 12-16), whose
+   final hidden state h_n represents SP;
+3. h_n is concatenated with the two position ratios r[1], r[-1] and a
+   two-layer MLP produces stcode (Eq. 17).
+
+Ablation toggles: with spatial encoding off (N-sp) the segment embedding is
+replaced by zeros; with temporal encoding off (N-tp) tcode is replaced by
+zeros.  The full N-st ablation lives in the model, which simply skips this
+module.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..nn import GRU, LSTM, Linear, Module, Tensor, TwoLayerMLP, concat
+from ..trajectory.model import MatchedTrajectory
+from .config import DeepODConfig
+from .embeddings import RoadSegmentEmbedding
+from .interval_encoder import TimeIntervalEncoder
+
+
+class MeanSequenceEncoder(Module):
+    """Order-insensitive baseline sequence encoder (design ablation).
+
+    Mean-pools the D^st sequence and projects to d_h; discards the
+    ordering information an RNN captures.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.proj = Linear(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+
+    def forward(self, x: Tensor, lengths=None):
+        batch, steps, _ = x.shape
+        if lengths is None:
+            lengths = [steps] * batch
+        mask = np.zeros((batch, steps, 1))
+        for i, n in enumerate(lengths):
+            mask[i, :n, 0] = 1.0
+        counts = Tensor(mask.sum(axis=1))
+        pooled = (x * Tensor(mask)).sum(axis=1) / counts
+        h = self.proj(pooled).tanh()
+        return None, h
+
+
+class TrajectoryEncoder(Module):
+    """Batch encoder: trajectories -> stcode (batch, d4_m)."""
+
+    def __init__(self, config: DeepODConfig,
+                 road_embedding: RoadSegmentEmbedding,
+                 interval_encoder: TimeIntervalEncoder,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.config = config
+        self.road_embedding = road_embedding
+        self.interval_encoder = interval_encoder
+        input_size = config.d2_m + config.d_s      # D^st = [tcode, D^s]
+        if config.sequence_encoder == "lstm":
+            self.lstm = LSTM(input_size, config.d_h, rng=rng)
+        elif config.sequence_encoder == "gru":
+            self.lstm = GRU(input_size, config.d_h, rng=rng)
+        else:
+            self.lstm = MeanSequenceEncoder(input_size, config.d_h,
+                                            rng=rng)
+        self.mlp = TwoLayerMLP(config.d_h + 2, config.d3_m, config.d4_m,
+                               rng=rng)
+
+    def forward(self, trajectories: Sequence[MatchedTrajectory]) -> Tensor:
+        if not len(trajectories):
+            raise ValueError("empty trajectory batch")
+        cfg = self.config
+        lengths = [len(t) for t in trajectories]
+        max_len = max(lengths)
+        batch = len(trajectories)
+
+        # Flatten all path elements, encode in one go, then scatter into a
+        # padded (batch, max_len, d) layout.
+        all_intervals = []
+        all_edges = []
+        for traj in trajectories:
+            for el in traj.path:
+                all_intervals.append(el.interval)
+                all_edges.append(el.edge_id)
+
+        if cfg.use_temporal_encoding:
+            tcodes = self.interval_encoder(all_intervals)   # (total, d2_m)
+        else:
+            tcodes = Tensor(np.zeros((len(all_intervals), cfg.d2_m)))
+        if cfg.use_spatial_encoding:
+            scodes = self.road_embedding(np.asarray(all_edges))
+        else:
+            scodes = Tensor(np.zeros((len(all_edges), cfg.d_s)))
+        dst = concat([tcodes, scodes], axis=1)              # (total, d)
+
+        # Scatter flat encodings into padded batch rows.  The scatter is a
+        # differentiable gather with a precomputed index map.
+        d = cfg.d2_m + cfg.d_s
+        index_map = np.zeros((batch, max_len), dtype=np.int64)
+        offset = 0
+        for i, n in enumerate(lengths):
+            index_map[i, :n] = np.arange(offset, offset + n)
+            index_map[i, n:] = offset + n - 1   # pad rows repeat last step
+            offset += n
+        padded = dst[index_map.reshape(-1)].reshape(batch, max_len, d)
+
+        _, h_n = self.lstm(padded, lengths=lengths)         # Eq. 12-16
+        ratios = np.array([[t.ratio_start, t.ratio_end]
+                           for t in trajectories])
+        z7 = concat([h_n, Tensor(ratios)], axis=1)
+        return self.mlp(z7)                                 # Eq. 17

@@ -1,0 +1,61 @@
+"""Ablation and embedding variants of DeepOD (Sections 6.4.2 and 6.5).
+
+Effectiveness ablations (Table 4):
+  * ``N-st``    — remove the trajectory encoding (no auxiliary task);
+  * ``N-sp``    — remove the spatial encoding of road segments;
+  * ``N-tp``    — remove the temporal encoding of time intervals;
+  * ``N-other`` — remove the external feature encoding.
+
+Embedding variants (Table 7):
+  * ``T-one``   — time-slot embedding initialised randomly (no graph init);
+  * ``T-day``   — temporal graph over one day only (no weekly periodicity);
+  * ``T-stamp`` — raw timestamps instead of slot embeddings;
+  * ``R-one``   — road-segment embedding initialised randomly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .config import DeepODConfig
+
+VARIANT_NAMES = (
+    "DeepOD", "N-st", "N-sp", "N-tp", "N-other",
+    "T-one", "T-day", "T-stamp", "R-one",
+)
+
+
+def variant_config(base: DeepODConfig, name: str) -> DeepODConfig:
+    """Derive the configuration of a named variant from a base config."""
+    if name == "DeepOD":
+        return base
+    if name == "N-st":
+        return base.with_overrides(use_trajectory_encoder=False)
+    if name == "N-sp":
+        return base.with_overrides(use_spatial_encoding=False)
+    if name == "N-tp":
+        return base.with_overrides(use_temporal_encoding=False)
+    if name == "N-other":
+        return base.with_overrides(use_external_features=False)
+    if name == "T-one":
+        return base.with_overrides(init_slot_embedding="onehot")
+    if name == "T-day":
+        return base.with_overrides(temporal_graph="daily")
+    if name == "T-stamp":
+        return base.with_overrides(use_timestamp_directly=True)
+    if name == "R-one":
+        return base.with_overrides(init_road_embedding="onehot")
+    raise ValueError(f"unknown variant {name!r}; choose from {VARIANT_NAMES}")
+
+
+def all_ablation_configs(base: DeepODConfig) -> Dict[str, DeepODConfig]:
+    """The Table 4 model column: four ablations plus full DeepOD."""
+    return {name: variant_config(base, name)
+            for name in ("N-st", "N-sp", "N-tp", "N-other", "DeepOD")}
+
+
+def all_embedding_variant_configs(base: DeepODConfig
+                                  ) -> Dict[str, DeepODConfig]:
+    """The Table 7 variants."""
+    return {name: variant_config(base, name)
+            for name in ("T-one", "T-day", "T-stamp", "R-one")}

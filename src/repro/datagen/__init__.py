@@ -1,0 +1,28 @@
+"""Synthetic taxi-city simulator — the offline substitute for the paper's
+Didi Chengdu/Xi'an and Beijing taxi-order datasets (Table 2)."""
+
+from .traffic import TrafficConfig, TrafficModel
+from .weather import (
+    N_WEATHER_TYPES, WEATHER_TYPES, WeatherConfig, WeatherProcess,
+)
+from .trips import TripConfig, TripGenerator, sample_departure_time
+from .speed_matrix import SpeedGridConfig, SpeedMatrixStore
+from .dataset import (
+    DatasetSplit, TaxiDataset, chronological_split, strip_trajectories,
+    subsample_training,
+)
+from .cities import PRESETS, CityPreset, build_city, load_city
+from .incidents import (
+    Incident, IncidentConfig, IncidentProcess, IncidentTraffic,
+)
+
+__all__ = [
+    "TrafficConfig", "TrafficModel",
+    "N_WEATHER_TYPES", "WEATHER_TYPES", "WeatherConfig", "WeatherProcess",
+    "TripConfig", "TripGenerator", "sample_departure_time",
+    "SpeedGridConfig", "SpeedMatrixStore",
+    "DatasetSplit", "TaxiDataset", "chronological_split",
+    "strip_trajectories", "subsample_training",
+    "PRESETS", "CityPreset", "build_city", "load_city",
+    "Incident", "IncidentConfig", "IncidentProcess", "IncidentTraffic",
+]

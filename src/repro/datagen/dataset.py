@@ -1,0 +1,123 @@
+"""Dataset assembly: cities, chronological splits and statistics.
+
+Mirrors the paper's experimental data handling (Section 6.1): taxi orders
+over a two-month window split chronologically into training / validation /
+test with ratio 42:7:12 (days); test OD inputs carry no trajectory.  Also
+computes the Table 2 statistics (order count, average points per
+trajectory, average travel time, average segments, average length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from ..temporal.timeslot import SECONDS_PER_DAY, TimeSlotConfig
+from ..trajectory.model import TripRecord
+from .speed_matrix import SpeedGridConfig, SpeedMatrixStore
+from .traffic import TrafficModel
+from .weather import WeatherProcess
+
+
+@dataclass
+class DatasetSplit:
+    """Chronological train/validation/test partition of trip records."""
+
+    train: List[TripRecord]
+    validation: List[TripRecord]
+    test: List[TripRecord]
+
+    def __post_init__(self):
+        # Test trips must not expose their trajectory to models: the
+        # harness enforces the paper's protocol by checking at access time,
+        # not by mutating records (benchmarks still need ground truth).
+        pass
+
+    @property
+    def sizes(self) -> Tuple[int, int, int]:
+        return (len(self.train), len(self.validation), len(self.test))
+
+
+@dataclass
+class TaxiDataset:
+    """A complete city dataset: network, trips, split, external data."""
+
+    name: str
+    net: RoadNetwork
+    trips: List[TripRecord]
+    split: DatasetSplit
+    slot_config: TimeSlotConfig
+    weather: WeatherProcess
+    traffic: TrafficModel
+    speed_store: SpeedMatrixStore
+    horizon_seconds: float
+
+    def statistics(self) -> Dict[str, float]:
+        """Table 2-style statistics."""
+        points = [len(t.raw) for t in self.trips if t.raw is not None]
+        segments = [len(t.trajectory) for t in self.trips
+                    if t.trajectory is not None]
+        lengths = [
+            sum(self.net.edge(eid).length
+                for eid in t.trajectory.edge_ids)
+            for t in self.trips if t.trajectory is not None]
+        return {
+            "num_orders": float(len(self.trips)),
+            "avg_points": float(np.mean(points)) if points else 0.0,
+            "avg_travel_time_s": float(np.mean(
+                [t.travel_time for t in self.trips])),
+            "avg_segments": float(np.mean(segments)) if segments else 0.0,
+            "avg_length_m": float(np.mean(lengths)) if lengths else 0.0,
+            "num_vertices": float(self.net.num_vertices),
+            "num_edges": float(self.net.num_edges),
+        }
+
+
+def chronological_split(trips: Sequence[TripRecord],
+                        ratios: Tuple[int, int, int] = (42, 7, 12)
+                        ) -> DatasetSplit:
+    """Split trips by departure time with the paper's 42:7:12 day ratio."""
+    if any(r <= 0 for r in ratios):
+        raise ValueError("split ratios must be positive")
+    ordered = sorted(trips, key=lambda t: t.od.depart_time)
+    n = len(ordered)
+    if n < 3:
+        raise ValueError("need at least three trips to split")
+    total = sum(ratios)
+    train_end = int(n * ratios[0] / total)
+    val_end = int(n * (ratios[0] + ratios[1]) / total)
+    train_end = max(train_end, 1)
+    val_end = max(val_end, train_end + 1)
+    val_end = min(val_end, n - 1)
+    return DatasetSplit(
+        train=ordered[:train_end],
+        validation=ordered[train_end:val_end],
+        test=ordered[val_end:],
+    )
+
+
+def strip_trajectories(trips: Sequence[TripRecord]) -> List[TripRecord]:
+    """Copies of trip records with trajectories removed (test protocol)."""
+    return [TripRecord(od=t.od, travel_time=t.travel_time,
+                       trajectory=None, raw=None)
+            for t in trips]
+
+
+def subsample_training(split: DatasetSplit, fraction: float,
+                       seed: int = 0) -> DatasetSplit:
+    """Table 6 scalability protocol: keep a fraction of the training data."""
+    if not 0 < fraction <= 1:
+        raise ValueError("fraction must be in (0, 1]")
+    if fraction == 1.0:
+        return split
+    rng = np.random.default_rng(seed)
+    n = max(int(len(split.train) * fraction), 1)
+    idx = np.sort(rng.choice(len(split.train), size=n, replace=False))
+    return DatasetSplit(
+        train=[split.train[i] for i in idx],
+        validation=split.validation,
+        test=split.test,
+    )

@@ -1,0 +1,132 @@
+"""Traffic incidents: transient, localised disruptions.
+
+An extension beyond the paper's evaluation (its external features include
+"traffic condition"; incidents are the canonical source of non-periodic
+condition shifts).  ``IncidentProcess`` samples accidents/closures that
+slow a contiguous set of edges for a bounded window; ``IncidentTraffic``
+overlays them on a base :class:`TrafficModel`.  Used by the robustness
+bench: how gracefully does each method degrade when the test period
+contains disruptions the training period never saw?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from .traffic import TrafficModel
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One disruption: affected edges, active window, severity."""
+
+    edge_ids: Tuple[int, ...]
+    start: float
+    end: float
+    speed_factor: float      # multiplicative slowdown, in (0, 1]
+
+    def __post_init__(self):
+        if self.end <= self.start:
+            raise ValueError("incident must have positive duration")
+        if not 0 < self.speed_factor <= 1:
+            raise ValueError("speed factor must be in (0, 1]")
+        if not self.edge_ids:
+            raise ValueError("incident must affect at least one edge")
+
+    def active_at(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+
+@dataclass
+class IncidentConfig:
+    rate_per_day: float = 4.0          # expected incidents per day
+    mean_duration: float = 45 * 60.0   # seconds
+    min_duration: float = 10 * 60.0
+    severity_range: Tuple[float, float] = (0.2, 0.6)
+    spread_edges: int = 3              # contiguous edges affected
+
+    def __post_init__(self):
+        if self.rate_per_day < 0:
+            raise ValueError("rate must be non-negative")
+        lo, hi = self.severity_range
+        if not 0 < lo <= hi <= 1:
+            raise ValueError("severity range must satisfy 0 < lo <= hi <= 1")
+
+
+class IncidentProcess:
+    """Poisson-ish sampling of incidents over a horizon."""
+
+    def __init__(self, net: RoadNetwork, horizon_seconds: float,
+                 config: Optional[IncidentConfig] = None, seed: int = 0):
+        if horizon_seconds <= 0:
+            raise ValueError("horizon must be positive")
+        self.net = net
+        self.config = config or IncidentConfig()
+        rng = np.random.default_rng(seed)
+        days = horizon_seconds / 86400.0
+        count = rng.poisson(self.config.rate_per_day * days)
+        self.incidents: List[Incident] = [
+            self._sample(rng, horizon_seconds) for _ in range(count)]
+
+    def _sample(self, rng: np.random.Generator,
+                horizon: float) -> Incident:
+        cfg = self.config
+        start = float(rng.uniform(0, horizon))
+        duration = max(cfg.min_duration,
+                       float(rng.exponential(cfg.mean_duration)))
+        severity = float(rng.uniform(*cfg.severity_range))
+        # Spread over a contiguous run of edges from a random seed edge.
+        edges = [int(rng.integers(self.net.num_edges))]
+        while len(edges) < cfg.spread_edges:
+            successors = self.net.successors(edges[-1])
+            if not successors:
+                break
+            edges.append(int(rng.choice([e.edge_id for e in successors])))
+        return Incident(tuple(dict.fromkeys(edges)), start,
+                        min(start + duration, horizon), severity)
+
+    def factor(self, edge_id: int, t: float) -> float:
+        """Combined incident slowdown on an edge at time t."""
+        factor = 1.0
+        for incident in self.incidents:
+            if incident.active_at(t) and edge_id in incident.edge_ids:
+                factor *= incident.speed_factor
+        return factor
+
+    def active_at(self, t: float) -> List[Incident]:
+        return [i for i in self.incidents if i.active_at(t)]
+
+
+class IncidentTraffic:
+    """A TrafficModel view with incident slowdowns overlaid.
+
+    Duck-typed to :class:`TrafficModel`'s query surface (``speed`` /
+    ``travel_time`` / ``congestion_factor``), so the trip generator can
+    drive through disrupted traffic unchanged.
+    """
+
+    def __init__(self, base: TrafficModel, incidents: IncidentProcess):
+        self.base = base
+        self.incidents = incidents
+        self.net = base.net
+        self.config = base.config
+
+    def congestion_factor(self, edge_id: int, t: float,
+                          weather_factor: float = 1.0) -> float:
+        base = self.base.congestion_factor(edge_id, t, weather_factor)
+        combined = base * self.incidents.factor(edge_id, t)
+        return float(max(combined, self.config.min_speed_factor * 0.5))
+
+    def speed(self, edge_id: int, t: float,
+              weather_factor: float = 1.0) -> float:
+        return float(self.net.edge(edge_id).speed_limit
+                     * self.congestion_factor(edge_id, t, weather_factor))
+
+    def travel_time(self, edge_id: int, t: float,
+                    weather_factor: float = 1.0) -> float:
+        return float(self.net.edge(edge_id).length
+                     / self.speed(edge_id, t, weather_factor))

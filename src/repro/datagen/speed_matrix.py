@@ -1,0 +1,98 @@
+"""Traffic-condition speed matrices (paper Section 4.5).
+
+The whole city area is split into fixed-size grids (the paper uses
+200m x 200m); every Δt minutes the average observed speed per grid cell is
+computed from recent trajectories.  The matrix closest before a trip's
+departure time is its "current traffic condition" feature, consumed by the
+External Features Encoder's CNN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from ..trajectory.model import TripRecord
+
+
+@dataclass
+class SpeedGridConfig:
+    cell_metres: float = 200.0
+    period_seconds: float = 300.0     # Δt, every 5 minutes per the paper
+
+    def __post_init__(self):
+        if self.cell_metres <= 0 or self.period_seconds <= 0:
+            raise ValueError("cell size and period must be positive")
+
+
+class SpeedMatrixStore:
+    """Time-indexed grid of average speeds computed from trip records."""
+
+    def __init__(self, net: RoadNetwork, trips: Sequence[TripRecord],
+                 horizon_seconds: float,
+                 config: Optional[SpeedGridConfig] = None):
+        self.config = config or SpeedGridConfig()
+        cfg = self.config
+        min_x, min_y, max_x, max_y = net.bounding_box()
+        self.min_x, self.min_y = min_x, min_y
+        self.rows = max(int(np.ceil((max_y - min_y) / cfg.cell_metres)), 1)
+        self.cols = max(int(np.ceil((max_x - min_x) / cfg.cell_metres)), 1)
+        self.periods = max(int(np.ceil(horizon_seconds
+                                       / cfg.period_seconds)), 1)
+        sums = np.zeros((self.periods, self.rows, self.cols))
+        counts = np.zeros_like(sums)
+
+        for trip in trips:
+            traj = trip.trajectory
+            if traj is None:
+                continue
+            for element in traj.path:
+                edge = net.edge(element.edge_id)
+                if element.duration <= 0:
+                    continue
+                speed = edge.length / element.duration
+                mid = (np.asarray(net.edge_vector(element.edge_id)[0])
+                       + np.asarray(net.edge_vector(element.edge_id)[1])) / 2
+                r, c = self._cell(mid[0], mid[1])
+                p = min(int(element.enter_time // cfg.period_seconds),
+                        self.periods - 1)
+                sums[p, r, c] += speed
+                counts[p, r, c] += 1.0
+
+        # Mean speed; empty cells fall back to the global mean so the CNN
+        # sees a dense matrix (the paper does not specify; any constant
+        # imputation preserves the signal in observed cells).
+        global_mean = sums.sum() / max(counts.sum(), 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = np.where(counts > 0, sums / np.maximum(counts, 1.0),
+                            global_mean)
+        self._matrices = mean
+        self.global_mean_speed = float(global_mean)
+
+    # ------------------------------------------------------------------
+    def _cell(self, x: float, y: float) -> Tuple[int, int]:
+        c = int(np.clip((x - self.min_x) // self.config.cell_metres,
+                        0, self.cols - 1))
+        r = int(np.clip((y - self.min_y) // self.config.cell_metres,
+                        0, self.rows - 1))
+        return r, c
+
+    def matrix_before(self, t: float) -> np.ndarray:
+        """The speed matrix of the last completed period before time t."""
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        p = int(t // self.config.period_seconds) - 1
+        p = int(np.clip(p, 0, self.periods - 1))
+        return self._matrices[p]
+
+    def normalized_matrix_before(self, t: float) -> np.ndarray:
+        """Matrix scaled to ~[0, 1] by the global mean for stable training."""
+        scale = 2.0 * max(self.global_mean_speed, 1e-6)
+        return np.clip(self.matrix_before(t) / scale, 0.0, 2.0)
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return (self.rows, self.cols)

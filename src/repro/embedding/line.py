@@ -1,0 +1,99 @@
+"""LINE: Large-scale Information Network Embedding [Tang et al. 2015].
+
+Implements first-order proximity (directly connected nodes have similar
+embeddings) and second-order proximity (nodes sharing neighbourhoods are
+similar) with negative-sampling SGD over weighted edge samples.  One of the
+three initialisation choices the paper evaluates (node2vec wins, Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..roadnet.linegraph import WeightedDigraph
+
+
+@dataclass
+class LineConfig:
+    dim: int = 64
+    order: int = 2           # 1 or 2
+    samples: int = 100_000   # edge samples to draw
+    negatives: int = 5
+    lr: float = 0.025
+
+    def __post_init__(self):
+        if self.order not in (1, 2):
+            raise ValueError("LINE order must be 1 or 2")
+        if self.dim < 1 or self.samples < 1 or self.negatives < 0:
+            raise ValueError("invalid LINE configuration")
+
+
+def train_line(graph: WeightedDigraph, config: Optional[LineConfig] = None,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Train LINE embeddings; returns a (num_nodes, dim) matrix."""
+    config = config or LineConfig()
+    rng = rng or np.random.default_rng()
+    edges = list(graph.edges())
+    if not edges:
+        raise ValueError("graph has no edges")
+    sources = np.array([u for u, _, _ in edges])
+    targets = np.array([v for _, v, _ in edges])
+    weights = np.array([w for _, _, w in edges], dtype=float)
+    weights = np.maximum(weights, 1e-9)
+    edge_probs = weights / weights.sum()
+
+    # Negative-sampling noise: out-degree^{3/4}.
+    degree = np.zeros(graph.num_nodes)
+    np.add.at(degree, sources, weights)
+    noise = np.maximum(degree, 1e-3) ** 0.75
+    noise /= noise.sum()
+
+    dim = config.dim
+    emb = (rng.random((graph.num_nodes, dim)) - 0.5) / dim
+    # Second-order keeps a separate context table; first-order shares emb.
+    context = np.zeros((graph.num_nodes, dim)) if config.order == 2 else emb
+
+    batch = 256
+    for lo in range(0, config.samples, batch):
+        n = min(batch, config.samples - lo)
+        lr = max(1e-4, config.lr * (1.0 - lo / config.samples))
+        idx = rng.choice(len(edges), size=n, p=edge_probs)
+        u, v = sources[idx], targets[idx]
+        u_vec = emb[u]
+        pos_vec = context[v]
+        pos = _sigmoid(np.sum(u_vec * pos_vec, axis=1))
+        coeff = (pos - 1.0)[:, None]
+        grad_u = coeff * pos_vec
+        np.add.at(context, v, -lr * _clip_rows(coeff * u_vec))
+
+        if config.negatives > 0:
+            neg = rng.choice(graph.num_nodes, size=(n, config.negatives),
+                             p=noise)
+            neg_vec = context[neg]
+            score = _sigmoid(np.einsum("bd,bkd->bk", u_vec, neg_vec))
+            ncoeff = score[:, :, None]
+            grad_u += np.einsum("bkd->bd", ncoeff * neg_vec)
+            grad_neg = (ncoeff * u_vec[:, None, :]).reshape(
+                n * config.negatives, -1)
+            np.add.at(context, neg.reshape(-1), -lr * _clip_rows(grad_neg))
+        np.add.at(emb, u, -lr * _clip_rows(grad_u))
+    return emb
+
+
+def _clip_rows(grad: np.ndarray, max_norm: float = 1.0) -> np.ndarray:
+    """Clip each gradient row's L2 norm.
+
+    With a shared embedding/context table (first-order proximity) the raw
+    SGD updates can enter a positive feedback loop on tiny graphs; clipping
+    bounds the step size without changing descent directions.
+    """
+    norms = np.linalg.norm(grad, axis=-1, keepdims=True)
+    scale = np.minimum(1.0, max_norm / np.maximum(norms, 1e-12))
+    return grad * scale
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))

@@ -1,0 +1,121 @@
+"""Skip-gram with negative sampling (SGNS), vectorised in numpy.
+
+The word2vec-style objective underlying both DeepWalk and node2vec: for
+every (center, context) pair harvested from random walks within a window,
+maximise ``log sigma(u_c . v_ctx)`` while pushing down ``k`` negatives drawn
+from the unigram^{3/4} distribution.  Gradients are applied with plain SGD
+and a linearly decaying learning rate, matching the reference
+implementations closely enough for initialisation purposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class SkipGramConfig:
+    dim: int = 64
+    window: int = 5
+    negatives: int = 5
+    epochs: int = 2
+    lr: float = 0.025
+    min_lr: float = 0.0001
+    batch_size: int = 512
+
+    def __post_init__(self):
+        if self.dim < 1 or self.window < 1 or self.negatives < 0:
+            raise ValueError("invalid skip-gram configuration")
+        if self.epochs < 1 or self.lr <= 0:
+            raise ValueError("invalid training configuration")
+
+
+def build_pairs(walks: Sequence[Sequence[int]], window: int
+                ) -> np.ndarray:
+    """Harvest (center, context) pairs within ``window`` of each other."""
+    pairs: List[Tuple[int, int]] = []
+    for walk in walks:
+        n = len(walk)
+        for i, center in enumerate(walk):
+            lo = max(0, i - window)
+            hi = min(n, i + window + 1)
+            for j in range(lo, hi):
+                if j != i:
+                    pairs.append((center, walk[j]))
+    if not pairs:
+        raise ValueError("no training pairs: walks too short?")
+    return np.asarray(pairs, dtype=np.int64)
+
+
+def unigram_distribution(walks: Sequence[Sequence[int]], num_nodes: int,
+                         power: float = 0.75) -> np.ndarray:
+    """Noise distribution proportional to count^power (word2vec default)."""
+    counts = np.zeros(num_nodes, dtype=float)
+    for walk in walks:
+        for node in walk:
+            counts[node] += 1.0
+    counts = np.maximum(counts, 1e-3) ** power
+    return counts / counts.sum()
+
+
+def train_skipgram(walks: Sequence[Sequence[int]], num_nodes: int,
+                   config: Optional[SkipGramConfig] = None,
+                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Train SGNS over walks; returns the (num_nodes, dim) input embeddings."""
+    config = config or SkipGramConfig()
+    rng = rng or np.random.default_rng()
+    pairs = build_pairs(walks, config.window)
+    noise = unigram_distribution(walks, num_nodes)
+
+    center_emb = (rng.random((num_nodes, config.dim)) - 0.5) / config.dim
+    context_emb = np.zeros((num_nodes, config.dim))
+
+    total_steps = config.epochs * int(np.ceil(len(pairs) / config.batch_size))
+    step = 0
+    for _ in range(config.epochs):
+        order = rng.permutation(len(pairs))
+        for lo in range(0, len(pairs), config.batch_size):
+            batch = pairs[order[lo:lo + config.batch_size]]
+            lr = max(config.min_lr,
+                     config.lr * (1.0 - step / max(total_steps, 1)))
+            _sgns_step(center_emb, context_emb, batch, noise,
+                       config.negatives, lr, rng)
+            step += 1
+    return center_emb
+
+
+def _sgns_step(center_emb: np.ndarray, context_emb: np.ndarray,
+               batch: np.ndarray, noise: np.ndarray, negatives: int,
+               lr: float, rng: np.random.Generator) -> None:
+    centers = batch[:, 0]
+    contexts = batch[:, 1]
+    b = len(batch)
+    c_vecs = center_emb[centers]                       # (B, D)
+
+    # Positive examples.
+    pos_vecs = context_emb[contexts]
+    pos_score = _sigmoid(np.sum(c_vecs * pos_vecs, axis=1))
+    pos_coeff = (pos_score - 1.0)[:, None]             # d/dx of -log sigma
+    grad_center = pos_coeff * pos_vecs
+    grad_pos = pos_coeff * c_vecs
+    np.add.at(context_emb, contexts, -lr * grad_pos)
+
+    # Negative examples.
+    if negatives > 0:
+        neg = rng.choice(len(noise), size=(b, negatives), p=noise)
+        neg_vecs = context_emb[neg]                    # (B, K, D)
+        neg_score = _sigmoid(np.einsum("bd,bkd->bk", c_vecs, neg_vecs))
+        neg_coeff = neg_score[:, :, None]
+        grad_center += np.einsum("bkd->bd", neg_coeff * neg_vecs)
+        grad_neg = neg_coeff * c_vecs[:, None, :]
+        np.add.at(context_emb, neg.reshape(-1),
+                  -lr * grad_neg.reshape(b * negatives, -1))
+
+    np.add.at(center_emb, centers, -lr * grad_center)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30, 30)))

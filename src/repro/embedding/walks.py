@@ -1,0 +1,117 @@
+"""Random-walk generation over weighted digraphs.
+
+DeepWalk samples uniform (weight-proportional) walks; node2vec biases the
+walk with return parameter ``p`` and in-out parameter ``q`` [Grover &
+Leskovec 2016].  The paper uses these walks over (a) the line graph of the
+road network, with trajectory co-occurrence weights steering transition
+probabilities, and (b) the weekly temporal graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.linegraph import WeightedDigraph
+
+
+def weighted_choice(rng: np.random.Generator, items: Sequence[int],
+                    weights: Sequence[float]) -> int:
+    """Sample one item proportionally to non-negative weights."""
+    w = np.asarray(weights, dtype=float)
+    total = w.sum()
+    if total <= 0:
+        # All-zero weights: fall back to uniform.
+        return int(items[rng.integers(len(items))])
+    return int(items[rng.choice(len(items), p=w / total)])
+
+
+def generate_walks(graph: WeightedDigraph, num_walks: int, walk_length: int,
+                   rng: Optional[np.random.Generator] = None
+                   ) -> List[List[int]]:
+    """Weight-proportional random walks (DeepWalk-style).
+
+    ``num_walks`` walks start from every node; walks stop early at sinks.
+    """
+    _validate(num_walks, walk_length)
+    rng = rng or np.random.default_rng()
+    walks: List[List[int]] = []
+    nodes = np.arange(graph.num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        for start in nodes:
+            walk = [int(start)]
+            while len(walk) < walk_length:
+                nbrs = graph.neighbors(walk[-1])
+                if not nbrs:
+                    break
+                items = [v for v, _ in nbrs]
+                weights = [w for _, w in nbrs]
+                walk.append(weighted_choice(rng, items, weights))
+            walks.append(walk)
+    return walks
+
+
+def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
+                            walk_length: int, p: float = 1.0, q: float = 1.0,
+                            rng: Optional[np.random.Generator] = None
+                            ) -> List[List[int]]:
+    """node2vec second-order biased walks.
+
+    The unnormalised probability of stepping from ``cur`` to ``nxt`` given
+    the previous node ``prev`` multiplies the edge weight by
+
+    * ``1/p`` when ``nxt == prev`` (return),
+    * ``1``   when ``nxt`` is a neighbour of ``prev`` (BFS-like),
+    * ``1/q`` otherwise (DFS-like).
+    """
+    _validate(num_walks, walk_length)
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    rng = rng or np.random.default_rng()
+    # Neighbour-set cache for the prev-adjacency test.
+    nbr_sets: Dict[int, set] = {}
+
+    def neighbors_of(u: int) -> set:
+        if u not in nbr_sets:
+            nbr_sets[u] = {v for v, _ in graph.neighbors(u)}
+        return nbr_sets[u]
+
+    walks: List[List[int]] = []
+    nodes = np.arange(graph.num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        for start in nodes:
+            walk = [int(start)]
+            while len(walk) < walk_length:
+                cur = walk[-1]
+                nbrs = graph.neighbors(cur)
+                if not nbrs:
+                    break
+                if len(walk) == 1:
+                    items = [v for v, _ in nbrs]
+                    weights = [w for _, w in nbrs]
+                else:
+                    prev = walk[-2]
+                    prev_nbrs = neighbors_of(prev)
+                    items, weights = [], []
+                    for v, w in nbrs:
+                        if v == prev:
+                            bias = 1.0 / p
+                        elif v in prev_nbrs:
+                            bias = 1.0
+                        else:
+                            bias = 1.0 / q
+                        items.append(v)
+                        weights.append(w * bias)
+                walk.append(weighted_choice(rng, items, weights))
+            walks.append(walk)
+    return walks
+
+
+def _validate(num_walks: int, walk_length: int) -> None:
+    if num_walks < 1:
+        raise ValueError("num_walks must be >= 1")
+    if walk_length < 2:
+        raise ValueError("walk_length must be >= 2")

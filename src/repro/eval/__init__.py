@@ -1,0 +1,33 @@
+"""Evaluation substrate: the metrics of Section 6.1, the comparison
+harness used across Tables 3-7 and Figures 8-14, t-SNE and distribution
+utilities."""
+
+from .metrics import all_metrics, batched_mape, mae, mape, mare
+from .harness import (
+    MethodResult, case_study_sample, evaluate_method, format_table,
+    mape_distribution, run_comparison, worst_cases,
+)
+from .tsne import tsne
+from .distributions import (
+    distribution_summary, gaussian_kde_pdf, slot_heatmap,
+    weekday_weekend_contrast,
+)
+from .report import (
+    compare_reports, load_report, markdown_table, result_to_dict,
+    save_report,
+)
+from .significance import (
+    BootstrapComparison, comparison_summary, paired_bootstrap,
+)
+
+__all__ = [
+    "all_metrics", "batched_mape", "mae", "mape", "mare",
+    "MethodResult", "case_study_sample", "evaluate_method", "format_table",
+    "mape_distribution", "run_comparison", "worst_cases",
+    "tsne",
+    "distribution_summary", "gaussian_kde_pdf", "slot_heatmap",
+    "weekday_weekend_contrast",
+    "compare_reports", "load_report", "markdown_table", "result_to_dict",
+    "save_report",
+    "BootstrapComparison", "comparison_summary", "paired_bootstrap",
+]

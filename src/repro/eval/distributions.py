@@ -1,0 +1,76 @@
+"""Distribution utilities for Fig 11 (PDF of per-batch MAPE) and the
+slot-embedding heat map of Fig 14(b)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+
+def gaussian_kde_pdf(samples: np.ndarray,
+                     grid: Optional[np.ndarray] = None,
+                     bandwidth: Optional[float] = None,
+                     num_points: int = 100
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+    """Kernel-density estimate of a sample set's PDF (Fig 11 curves).
+
+    Returns (grid, density).  Bandwidth defaults to Scott's rule.
+    """
+    samples = np.asarray(samples, dtype=float)
+    if samples.size < 2:
+        raise ValueError("need at least two samples for a KDE")
+    std = samples.std()
+    if std == 0:
+        std = 1e-6
+    if bandwidth is None:
+        bandwidth = 1.06 * std * samples.size ** (-1 / 5)
+    if grid is None:
+        lo = samples.min() - 3 * bandwidth
+        hi = samples.max() + 3 * bandwidth
+        grid = np.linspace(lo, hi, num_points)
+    z = (grid[:, None] - samples[None, :]) / bandwidth
+    density = np.exp(-0.5 * z ** 2).sum(axis=1)
+    density /= (samples.size * bandwidth * np.sqrt(2 * np.pi))
+    return grid, density
+
+
+def distribution_summary(samples: np.ndarray) -> Dict[str, float]:
+    """Mean/variance summary used to compare Fig 11 curves numerically."""
+    samples = np.asarray(samples, dtype=float)
+    return {
+        "mean": float(samples.mean()),
+        "std": float(samples.std()),
+        "median": float(np.median(samples)),
+        "p90": float(np.quantile(samples, 0.9)),
+    }
+
+
+def slot_heatmap(values_1d: np.ndarray, slots_per_day: int,
+                 pool: int = 12) -> np.ndarray:
+    """Fig 14(b): reshape per-slot 1-D t-SNE values into a (day, hour-ish)
+    heat map, averaging every ``pool`` neighbouring slots.
+
+    Returns an array of shape (7, slots_per_day // pool) for a weekly
+    embedding table.
+    """
+    values_1d = np.asarray(values_1d, dtype=float).ravel()
+    if values_1d.size % slots_per_day != 0:
+        raise ValueError("values length must be a multiple of slots_per_day")
+    days = values_1d.size // slots_per_day
+    if slots_per_day % pool != 0:
+        raise ValueError("pool must divide slots_per_day")
+    grid = values_1d.reshape(days, slots_per_day // pool, pool).mean(axis=2)
+    return grid
+
+
+def weekday_weekend_contrast(heatmap: np.ndarray) -> float:
+    """How much weekday columns differ from weekend columns, relative to
+    the within-group variation; > 1 indicates visible weekly periodicity."""
+    if heatmap.shape[0] != 7:
+        raise ValueError("expected a 7-day heat map")
+    weekday = heatmap[:5]
+    weekend = heatmap[5:]
+    between = np.abs(weekday.mean(axis=0) - weekend.mean(axis=0)).mean()
+    within = (weekday.std(axis=0).mean() + weekend.std(axis=0).mean()) / 2
+    return float(between / max(within, 1e-9))

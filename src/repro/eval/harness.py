@@ -1,0 +1,128 @@
+"""The comparison harness used by every experiment in Section 6.
+
+Runs a set of estimators over a dataset and collects test metrics
+(Table 4), model size / training time / estimation latency (Table 5),
+training-curve histories (Fig 10 / Table 3), per-batch MAPE distributions
+(Fig 9 / Fig 11) and case-study samples (Fig 12 / Fig 13).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.base import TravelTimeEstimator
+from ..datagen.dataset import TaxiDataset, strip_trajectories
+from ..trajectory.model import TripRecord
+from .metrics import all_metrics, batched_mape
+
+
+@dataclass
+class MethodResult:
+    """Everything measured for one method on one dataset."""
+
+    name: str
+    metrics: Dict[str, float]
+    model_size_bytes: int
+    train_seconds: float
+    predict_seconds_per_k: float
+    predictions: np.ndarray
+    actuals: np.ndarray
+    history: Optional[object] = None     # TrainingHistory when available
+
+    def mape_percent(self) -> float:
+        return 100.0 * self.metrics["mape"]
+
+
+def evaluate_method(estimator: TravelTimeEstimator, dataset: TaxiDataset,
+                    test_trips: Optional[Sequence[TripRecord]] = None
+                    ) -> MethodResult:
+    """Fit + evaluate one estimator, timing both phases.
+
+    Test trips are stripped of trajectories (the online protocol: only the
+    OD input is available at prediction time).
+    """
+    if test_trips is None:
+        test_trips = strip_trajectories(dataset.split.test)
+    t0 = time.perf_counter()
+    estimator.fit(dataset)
+    train_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    preds = estimator.predict(list(test_trips))
+    predict_seconds = time.perf_counter() - t0
+    per_k = predict_seconds / max(len(test_trips), 1) * 1000.0
+
+    actual = np.array([t.travel_time for t in test_trips])
+    return MethodResult(
+        name=estimator.name,
+        metrics=all_metrics(actual, preds),
+        model_size_bytes=estimator.model_size_bytes(),
+        train_seconds=train_seconds,
+        predict_seconds_per_k=per_k,
+        predictions=preds,
+        actuals=actual,
+        history=getattr(estimator, "history", None),
+    )
+
+
+def run_comparison(estimators: Sequence[TravelTimeEstimator],
+                   dataset: TaxiDataset,
+                   verbose: bool = False) -> Dict[str, MethodResult]:
+    """Evaluate several estimators on one dataset (one Table 4 column)."""
+    test_trips = strip_trajectories(dataset.split.test)
+    results = {}
+    for est in estimators:
+        result = evaluate_method(est, dataset, test_trips)
+        results[est.name] = result
+        if verbose:
+            print(f"  {est.name:10s}  MAE={result.metrics['mae']:8.2f}s  "
+                  f"MAPE={result.mape_percent():6.2f}%  "
+                  f"MARE={100 * result.metrics['mare']:6.2f}%")
+    return results
+
+
+def mape_distribution(result: MethodResult,
+                      batch_size: int = 32) -> np.ndarray:
+    """Per-batch MAPE samples for Fig 11's PDF curves."""
+    return batched_mape(result.actuals, result.predictions, batch_size)
+
+
+def case_study_sample(result: MethodResult, k: int = 50,
+                      max_actual: Optional[float] = 3600.0,
+                      seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig 12: k random (actual, estimated) pairs, travel time < 1 hour."""
+    rng = np.random.default_rng(seed)
+    mask = np.ones(len(result.actuals), dtype=bool)
+    if max_actual is not None:
+        mask &= result.actuals < max_actual
+    idx = np.flatnonzero(mask)
+    if len(idx) > k:
+        idx = rng.choice(idx, size=k, replace=False)
+    return result.actuals[idx], result.predictions[idx]
+
+
+def worst_cases(result: MethodResult, k: int = 50
+                ) -> Tuple[np.ndarray, np.ndarray]:
+    """Fig 13: the k worst (actual, estimated) pairs by per-trip MAPE."""
+    per_trip = np.abs(result.actuals - result.predictions) / result.actuals
+    order = np.argsort(-per_trip)[:k]
+    return result.actuals[order], result.predictions[order]
+
+
+def format_table(results: Dict[str, MethodResult],
+                 columns: Sequence[str] = ("mae", "mape", "mare")
+                 ) -> str:
+    """Render a Table 4-style text table."""
+    lines = ["method      " + "".join(f"{c.upper():>12}" for c in columns)]
+    for name, res in results.items():
+        cells = []
+        for c in columns:
+            v = res.metrics[c]
+            cells.append(f"{v:12.2f}" if c == "mae"
+                         else f"{100 * v:11.2f}%")
+        lines.append(f"{name:12s}" + "".join(cells))
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Evaluation metrics (paper Section 6.1).
+
+MAE  = (1/N) sum |y_i - yhat_i|
+MAPE = (1/N) sum |(y_i - yhat_i) / y_i|
+MARE = sum |y_i - yhat_i| / sum |y_i|
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+
+def _validate(y_true: np.ndarray, y_pred: np.ndarray) -> None:
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty metric input")
+
+
+def mae(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute error in seconds."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mape(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute percentage error (fraction, not percent)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _validate(y_true, y_pred)
+    if np.any(y_true <= 0):
+        raise ValueError("MAPE requires positive ground-truth times")
+    return float(np.mean(np.abs((y_true - y_pred) / y_true)))
+
+
+def mare(y_true: Sequence[float], y_pred: Sequence[float]) -> float:
+    """Mean absolute relative error (sum-normalised)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _validate(y_true, y_pred)
+    denom = float(np.sum(np.abs(y_true)))
+    if denom == 0:
+        raise ValueError("MARE denominator is zero")
+    return float(np.sum(np.abs(y_true - y_pred)) / denom)
+
+
+def all_metrics(y_true: Sequence[float], y_pred: Sequence[float]
+                ) -> Dict[str, float]:
+    """All three paper metrics; percentages reported as fractions."""
+    return {
+        "mae": mae(y_true, y_pred),
+        "mape": mape(y_true, y_pred),
+        "mare": mare(y_true, y_pred),
+    }
+
+
+def batched_mape(y_true: Sequence[float], y_pred: Sequence[float],
+                 batch_size: int) -> np.ndarray:
+    """Per-mini-batch MAPE values (the box-plot data of Fig 9 and the
+    distribution data of Fig 11)."""
+    y_true = np.asarray(y_true, dtype=float)
+    y_pred = np.asarray(y_pred, dtype=float)
+    _validate(y_true, y_pred)
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    out = []
+    for lo in range(0, len(y_true), batch_size):
+        out.append(mape(y_true[lo:lo + batch_size],
+                        y_pred[lo:lo + batch_size]))
+    return np.asarray(out)

@@ -1,0 +1,88 @@
+"""Statistical comparison of estimators: paired bootstrap tests.
+
+Single-number metric gaps between methods can be sampling noise; the
+paired bootstrap resamples test trips (keeping each trip's predictions
+from both methods paired) and reports a confidence interval on the metric
+difference plus the probability that method A truly beats method B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from .harness import MethodResult
+from .metrics import mape
+
+
+@dataclass
+class BootstrapComparison:
+    """Outcome of a paired bootstrap between two methods on one metric."""
+
+    metric: str
+    point_difference: float       # metric(A) - metric(B); negative = A wins
+    ci_low: float
+    ci_high: float
+    prob_a_better: float          # fraction of resamples where A < B
+    resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the confidence interval excludes zero."""
+        return self.ci_low > 0 or self.ci_high < 0
+
+
+def paired_bootstrap(result_a: MethodResult, result_b: MethodResult,
+                     metric_fn: Optional[Callable] = None,
+                     metric_name: str = "mape",
+                     resamples: int = 2000, coverage: float = 0.95,
+                     seed: int = 0) -> BootstrapComparison:
+    """Paired bootstrap of ``metric(A) - metric(B)`` over shared test trips.
+
+    Both results must come from the same test set (same actuals in the
+    same order); this is what :func:`repro.eval.run_comparison` produces.
+    """
+    if metric_fn is None:
+        metric_fn = mape
+    if not np.array_equal(result_a.actuals, result_b.actuals):
+        raise ValueError("results must share one test set, in order")
+    if resamples < 10:
+        raise ValueError("resamples must be >= 10")
+    if not 0 < coverage < 1:
+        raise ValueError("coverage must be in (0, 1)")
+
+    actual = result_a.actuals
+    pred_a, pred_b = result_a.predictions, result_b.predictions
+    n = len(actual)
+    rng = np.random.default_rng(seed)
+
+    point = metric_fn(actual, pred_a) - metric_fn(actual, pred_b)
+    diffs = np.empty(resamples)
+    for r in range(resamples):
+        idx = rng.integers(0, n, size=n)
+        diffs[r] = (metric_fn(actual[idx], pred_a[idx])
+                    - metric_fn(actual[idx], pred_b[idx]))
+    alpha = (1.0 - coverage) / 2.0
+    return BootstrapComparison(
+        metric=metric_name,
+        point_difference=float(point),
+        ci_low=float(np.quantile(diffs, alpha)),
+        ci_high=float(np.quantile(diffs, 1.0 - alpha)),
+        prob_a_better=float(np.mean(diffs < 0)),
+        resamples=resamples,
+    )
+
+
+def comparison_summary(comparison: BootstrapComparison,
+                       name_a: str, name_b: str) -> str:
+    """One-line human-readable verdict."""
+    direction = "better than" if comparison.point_difference < 0 \
+        else "worse than"
+    significance = "significant" if comparison.significant \
+        else "not significant"
+    return (f"{name_a} is {direction} {name_b} on {comparison.metric} "
+            f"(Δ={comparison.point_difference:+.4f}, "
+            f"{100 * comparison.prob_a_better:.0f}% of resamples, "
+            f"{significance})")

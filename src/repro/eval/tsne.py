@@ -1,0 +1,94 @@
+"""Minimal t-SNE [van der Maaten & Hinton 2008] in numpy.
+
+Used only for Fig 14(b): projecting trained time-slot embeddings to one
+dimension to visualise the daily/weekly periodicity as a heat map.  This is
+the classic exact (non-Barnes-Hut) algorithm with binary-search perplexity
+calibration and momentum gradient descent — entirely adequate for the ~2016
+points of the weekly temporal graph and far below that in the scaled-down
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def _pairwise_sq_dists(x: np.ndarray) -> np.ndarray:
+    sq = np.sum(x ** 2, axis=1)
+    d = sq[:, None] + sq[None, :] - 2 * x @ x.T
+    np.fill_diagonal(d, 0.0)
+    return np.maximum(d, 0.0)
+
+
+def _calibrate_p(dists: np.ndarray, perplexity: float,
+                 tol: float = 1e-4, max_iter: int = 50) -> np.ndarray:
+    """Per-point binary search for Gaussian bandwidths hitting the target
+    perplexity; returns the symmetrised joint distribution P."""
+    n = dists.shape[0]
+    target_entropy = np.log(perplexity)
+    p = np.zeros((n, n))
+    for i in range(n):
+        beta_lo, beta_hi = 1e-12, 1e12
+        beta = 1.0
+        row = np.delete(dists[i], i)
+        for _ in range(max_iter):
+            expo = np.exp(-row * beta)
+            total = expo.sum()
+            if total <= 0:
+                beta /= 2
+                continue
+            probs = expo / total
+            entropy = -np.sum(probs * np.log(np.maximum(probs, 1e-12)))
+            if abs(entropy - target_entropy) < tol:
+                break
+            if entropy > target_entropy:
+                beta_lo = beta
+                beta = beta * 2 if beta_hi >= 1e12 else (beta + beta_hi) / 2
+            else:
+                beta_hi = beta
+                beta = beta / 2 if beta_lo <= 1e-12 else (beta + beta_lo) / 2
+        full = np.insert(probs, i, 0.0)
+        p[i] = full
+    p = (p + p.T) / (2 * n)
+    return np.maximum(p, 1e-12)
+
+
+def tsne(x: np.ndarray, n_components: int = 1, perplexity: float = 20.0,
+         iterations: int = 300, learning_rate: Optional[float] = None,
+         seed: int = 0, early_exaggeration: float = 4.0) -> np.ndarray:
+    """Project ``x`` (n, d) to (n, n_components) with t-SNE.
+
+    ``learning_rate`` defaults to the standard n / early_exaggeration
+    heuristic (clamped to [5, 50]); large fixed rates diverge on small
+    point sets.
+    """
+    x = np.asarray(x, dtype=float)
+    n = x.shape[0]
+    if n < 3:
+        raise ValueError("t-SNE needs at least 3 points")
+    if perplexity >= n:
+        perplexity = max((n - 1) / 3.0, 2.0)
+    if learning_rate is None:
+        learning_rate = float(np.clip(n / early_exaggeration, 5.0, 50.0))
+    rng = np.random.default_rng(seed)
+    p = _calibrate_p(_pairwise_sq_dists(x), perplexity)
+
+    y = rng.normal(0, 1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    exaggeration_until = iterations // 4
+    for it in range(iterations):
+        pp = p * early_exaggeration if it < exaggeration_until else p
+        d = _pairwise_sq_dists(y)
+        num = 1.0 / (1.0 + d)
+        np.fill_diagonal(num, 0.0)
+        q = np.maximum(num / num.sum(), 1e-12)
+        # Gradient of KL(P || Q).
+        pq = (pp - q) * num
+        grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+        momentum = 0.5 if it < exaggeration_until else 0.8
+        velocity = momentum * velocity - learning_rate * grad
+        y = y + velocity
+        y = y - y.mean(axis=0)
+    return y

@@ -1,0 +1,53 @@
+"""Candidate generation for HMM map matching.
+
+For each GPS fix we enumerate road segments within an error radius (falling
+back to the k nearest if the radius is empty), each candidate carrying the
+projected position: (edge id, projection distance, position ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.spatial_index import SpatialIndex
+from ..trajectory.model import GPSPoint
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A possible road position for one GPS fix."""
+
+    edge_id: int
+    distance: float     # metres from the fix to the projected point
+    ratio: float        # position ratio along the edge in [0, 1]
+
+
+def candidates_for_point(index: SpatialIndex, point: GPSPoint,
+                         radius: float = 80.0,
+                         max_candidates: int = 8,
+                         min_candidates: int = 2) -> List[Candidate]:
+    """Candidate edges for a GPS fix.
+
+    Radius search first; if it returns fewer than ``min_candidates`` the
+    search falls back to k-nearest so a noisy fix never strands the HMM
+    with an empty column.
+    """
+    if max_candidates < 1:
+        raise ValueError("max_candidates must be >= 1")
+    hits = index.edges_within(point.x, point.y, radius)[:max_candidates]
+    if len(hits) < min_candidates:
+        hits = index.k_nearest_edges(point.x, point.y,
+                                     k=max(min_candidates, 1))
+    return [Candidate(eid, dist, ratio) for eid, dist, ratio in hits]
+
+
+def candidates_for_trajectory(index: SpatialIndex,
+                              points: Sequence[GPSPoint],
+                              radius: float = 80.0,
+                              max_candidates: int = 8
+                              ) -> List[List[Candidate]]:
+    """Candidate columns for every fix of a trajectory."""
+    return [candidates_for_point(index, p, radius, max_candidates)
+            for p in points]

@@ -1,0 +1,238 @@
+"""HMM map matching (Newson-Krumm style), the offline substitute for the
+Valhalla matcher the paper uses.
+
+States are candidate (edge, ratio) positions per GPS fix; emission
+probability is Gaussian in the projection distance; transition probability
+is exponential in the discrepancy between the great-circle displacement of
+consecutive fixes and the route distance between their candidates.  Viterbi
+decoding yields the most likely edge sequence, which is then expanded into a
+connected path via shortest-path gap filling.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from ..roadnet.shortest_path import NoPathError, dijkstra
+from ..roadnet.spatial_index import SpatialIndex
+from ..trajectory.interpolation import intervals_from_gps_times
+from ..trajectory.model import GPSPoint, MatchedTrajectory, RawTrajectory
+from .candidates import Candidate, candidates_for_trajectory
+
+
+class MatchingError(Exception):
+    """Raised when a trajectory cannot be matched to the network."""
+
+
+@dataclass
+class HMMConfig:
+    """Tuning parameters of the matcher.
+
+    ``sigma`` is the GPS noise standard deviation (metres) of the Gaussian
+    emission model; ``beta`` scales the transition penalty on route-vs-
+    displacement discrepancy; ``radius`` bounds the candidate search.
+    """
+
+    sigma: float = 25.0
+    beta: float = 30.0
+    radius: float = 80.0
+    max_candidates: int = 8
+    max_route_factor: float = 8.0    # prune absurd detours
+
+    def __post_init__(self):
+        if self.sigma <= 0 or self.beta <= 0 or self.radius <= 0:
+            raise ValueError("sigma, beta and radius must be positive")
+
+
+class HMMMapMatcher:
+    """Match raw GPS trajectories onto a road network."""
+
+    def __init__(self, net: RoadNetwork, index: Optional[SpatialIndex] = None,
+                 config: Optional[HMMConfig] = None):
+        self.net = net
+        self.index = index or SpatialIndex(net)
+        self.config = config or HMMConfig()
+        self._route_cache: Dict[Tuple[int, float, int, float], float] = {}
+
+    # ------------------------------------------------------------------
+    def match(self, traj: RawTrajectory) -> MatchedTrajectory:
+        """Match a raw trajectory; returns a :class:`MatchedTrajectory`.
+
+        Raises :class:`MatchingError` when Viterbi finds no feasible state
+        sequence (e.g. all candidates of some fix are unreachable).
+        """
+        points = traj.points
+        columns = candidates_for_trajectory(
+            self.index, points, self.config.radius,
+            self.config.max_candidates)
+        if any(not col for col in columns):
+            raise MatchingError("a GPS fix produced no candidates")
+        best_states = self._viterbi(points, columns)
+        edge_seq, route_positions = self._expand_path(best_states, columns)
+        start = columns[0][best_states[0]]
+        end = columns[-1][best_states[-1]]
+        times = [p.timestamp for p in points]
+        elements = intervals_from_gps_times(
+            self.net, edge_seq, times, route_positions,
+            start.ratio, end.ratio)
+        return MatchedTrajectory(elements, start.ratio, end.ratio)
+
+    def match_point(self, x: float, y: float) -> Tuple[int, float]:
+        """Match a single point (an OD endpoint): (edge_id, ratio)."""
+        edge_id, _, ratio = self.index.nearest_edge(x, y)
+        return edge_id, ratio
+
+    # ------------------------------------------------------------------
+    # Viterbi
+    # ------------------------------------------------------------------
+    def _viterbi(self, points: Sequence[GPSPoint],
+                 columns: List[List[Candidate]]) -> List[int]:
+        cfg = self.config
+        n = len(points)
+        # Log-probability tables.
+        prev_scores = np.array([self._emission(c) for c in columns[0]])
+        back: List[np.ndarray] = []
+        for t in range(1, n):
+            displacement = float(np.hypot(
+                points[t].x - points[t - 1].x,
+                points[t].y - points[t - 1].y))
+            cur = columns[t]
+            prev = columns[t - 1]
+            scores = np.full(len(cur), -np.inf)
+            pointers = np.zeros(len(cur), dtype=np.int64)
+            for j, cand in enumerate(cur):
+                emit = self._emission(cand)
+                best_score, best_i = -np.inf, 0
+                for i, prev_cand in enumerate(prev):
+                    if not np.isfinite(prev_scores[i]):
+                        continue
+                    trans = self._transition(prev_cand, cand, displacement)
+                    score = prev_scores[i] + trans
+                    if score > best_score:
+                        best_score, best_i = score, i
+                scores[j] = best_score + emit
+                pointers[j] = best_i
+            if not np.any(np.isfinite(scores)):
+                raise MatchingError(
+                    f"no feasible transition into GPS fix {t}")
+            prev_scores = scores
+            back.append(pointers)
+
+        # Backtrack.
+        states = [int(np.argmax(prev_scores))]
+        for pointers in reversed(back):
+            states.append(int(pointers[states[-1]]))
+        states.reverse()
+        return states
+
+    def _emission(self, cand: Candidate) -> float:
+        sigma = self.config.sigma
+        return float(-0.5 * (cand.distance / sigma) ** 2
+                     - np.log(sigma * np.sqrt(2 * np.pi)))
+
+    def _transition(self, a: Candidate, b: Candidate,
+                    displacement: float) -> float:
+        route = self._route_distance(a, b)
+        if route is None:
+            return -np.inf
+        diff = abs(route - displacement)
+        penalty = -diff / self.config.beta
+        # Soft prune: absurd detours get a heavy (but finite) extra
+        # penalty rather than -inf, so near-stationary fixes in congestion
+        # (displacement ~ GPS noise) never strand the Viterbi lattice.
+        if route > self.config.max_route_factor * displacement + 200.0:
+            penalty -= 50.0
+        return float(penalty)
+
+    def _route_distance(self, a: Candidate, b: Candidate) -> Optional[float]:
+        """Network distance between two candidate positions.
+
+        Same edge, forward order: simply the ratio gap.  Otherwise: distance
+        from a's position to the end of its edge, a shortest path to the
+        start of b's edge, plus b's partial edge.
+        """
+        key = (a.edge_id, round(a.ratio, 4), b.edge_id, round(b.ratio, 4))
+        if key in self._route_cache:
+            return self._route_cache[key]
+        result = self._route_distance_uncached(a, b)
+        self._route_cache[key] = result
+        return result
+
+    def _route_distance_uncached(self, a: Candidate,
+                                 b: Candidate) -> Optional[float]:
+        net = self.net
+        edge_a, edge_b = net.edge(a.edge_id), net.edge(b.edge_id)
+        if a.edge_id == b.edge_id and b.ratio >= a.ratio:
+            return (b.ratio - a.ratio) * edge_a.length
+        tail = (1.0 - a.ratio) * edge_a.length
+        head = b.ratio * edge_b.length
+        try:
+            _, between = dijkstra(net, edge_a.end, edge_b.start)
+        except NoPathError:
+            return None
+        return tail + between + head
+
+    # ------------------------------------------------------------------
+    # Path expansion
+    # ------------------------------------------------------------------
+    def _expand_path(self, states: List[int],
+                     columns: List[List[Candidate]]
+                     ) -> Tuple[List[int], List[float]]:
+        """Expand matched candidates into a connected edge sequence.
+
+        Returns the edge sequence and, aligned with the GPS fixes, each
+        fix's cumulative route position (metres from the trip origin) for
+        interval interpolation.
+        """
+        net = self.net
+        cands = [columns[t][s] for t, s in enumerate(states)]
+        edge_seq: List[int] = [cands[0].edge_id]
+        first_edge_len = net.edge(cands[0].edge_id).length
+        origin_offset = cands[0].ratio * first_edge_len
+        # Route position of the first fix relative to path start (which we
+        # define as the entry point of the first edge at the start ratio).
+        positions: List[float] = [0.0]
+        travelled = 0.0
+
+        for prev, cur in zip(cands, cands[1:]):
+            if cur.edge_id == edge_seq[-1]:
+                # Same edge: position advances by the ratio delta (clamped
+                # at zero in case of GPS jitter moving slightly backwards).
+                edge_len = net.edge(cur.edge_id).length
+                last_ratio = self._ratio_on_last_edge(
+                    edge_seq, positions, travelled, prev, cur)
+                delta = max(cur.ratio - last_ratio, 0.0) * edge_len
+                travelled += delta
+                positions.append(travelled)
+                continue
+            # Different edge: walk the shortest path between them.
+            edge_prev = net.edge(edge_seq[-1])
+            edge_cur = net.edge(cur.edge_id)
+            prev_ratio = self._ratio_on_last_edge(
+                edge_seq, positions, travelled, prev, cur)
+            travelled += (1.0 - prev_ratio) * edge_prev.length
+            try:
+                gap_edges, gap_len = dijkstra(net, edge_prev.end,
+                                              edge_cur.start)
+            except NoPathError as exc:
+                raise MatchingError("matched states are disconnected") from exc
+            for eid in gap_edges:
+                edge_seq.append(eid)
+            travelled += gap_len
+            edge_seq.append(cur.edge_id)
+            travelled += cur.ratio * edge_cur.length
+            positions.append(travelled)
+
+        return edge_seq, positions
+
+    def _ratio_on_last_edge(self, edge_seq, positions, travelled,
+                            prev: Candidate, cur: Candidate) -> float:
+        """Ratio already covered on the current last edge of the path."""
+        if prev.edge_id == edge_seq[-1]:
+            return prev.ratio
+        return 0.0

@@ -1,0 +1,120 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+These free functions mirror the operations DeepOD's equations use:
+activations (Eq. 9, 12-16), losses (MAE main loss, Euclidean auxiliary loss
+of Algorithm 1), padding and pooling used by the Time Interval Encoder
+(Eq. 5-10) and the External Features Encoder (Eq. 18).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .tensor import Tensor, concat, stack  # noqa: F401  (re-exported)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit, Eq. 9 of the paper."""
+    return x.relu()
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    return x.tanh()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exp = shifted.exp()
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def dropout(x: Tensor, p: float, training: bool,
+            rng: Optional[np.random.Generator] = None) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if rng is None:
+        rng = np.random.default_rng()
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+# ----------------------------------------------------------------------
+# Losses
+# ----------------------------------------------------------------------
+def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
+    """Mean absolute error — the paper's main loss (Algorithm 1, line 11)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return (pred - target).abs().mean()
+
+
+def mse_loss(pred: Tensor, target: Tensor) -> Tensor:
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    return ((pred - target) ** 2).mean()
+
+
+def euclidean_loss(a: Tensor, b: Tensor) -> Tensor:
+    """Batch-mean Euclidean distance, the auxiliary loss of Algorithm 1.
+
+    ``auxiliaryloss = sqrt(sum_j (code[j] - stcode[j])^2)`` averaged over
+    the batch dimension so its scale is comparable with the main loss.
+    """
+    diff = a - b
+    sq = (diff ** 2).sum(axis=-1)
+    # Epsilon keeps the sqrt differentiable when code == stcode exactly.
+    return ((sq + 1e-12) ** 0.5).mean()
+
+
+def smooth_l1_loss(pred: Tensor, target: Tensor, beta: float = 1.0) -> Tensor:
+    """Huber-style loss used for robustness experiments."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred - target
+    abs_diff = diff.abs()
+    quad_mask = Tensor((abs_diff.data < beta).astype(np.float64))
+    lin_mask = Tensor((abs_diff.data >= beta).astype(np.float64))
+    quad = (diff ** 2) * (0.5 / beta) * quad_mask
+    lin = (abs_diff - 0.5 * beta) * lin_mask
+    return (quad + lin).mean()
+
+
+# ----------------------------------------------------------------------
+# Padding / pooling helpers used by the CNN encoders
+# ----------------------------------------------------------------------
+def pad2d(x: Tensor, pad: Tuple[int, int, int, int]) -> Tensor:
+    """Zero-pad the last two axes of ``x`` by (top, bottom, left, right)."""
+    top, bottom, left, right = pad
+    if top == bottom == left == right == 0:
+        return x
+    pad_width = [(0, 0)] * (x.ndim - 2) + [(top, bottom), (left, right)]
+    out_data = np.pad(x.data, pad_width)
+
+    slices = tuple([slice(None)] * (x.ndim - 2) +
+                   [slice(top, out_data.shape[-2] - bottom),
+                    slice(left, out_data.shape[-1] - right)])
+
+    def backward(grad):
+        return (grad[slices],)
+
+    return Tensor._make(out_data, (x,), backward)
+
+
+def avg_pool_over_axis(x: Tensor, axis: int) -> Tensor:
+    """Average-pool away one axis (Eq. 10: column means of Z4)."""
+    return x.mean(axis=axis)
+
+
+def global_avg_pool2d(x: Tensor) -> Tensor:
+    """Average over the trailing two spatial axes (N, C, H, W) -> (N, C)."""
+    return x.mean(axis=(-2, -1))

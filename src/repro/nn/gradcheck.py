@@ -1,0 +1,99 @@
+"""Numerical gradient checking, exposed as a public utility.
+
+The internal test-suite uses finite differences to validate every autograd
+rule; downstream users extending ``repro.nn`` with new ops get the same
+tooling here.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+import numpy as np
+
+from .modules import Module
+from .tensor import Tensor
+
+
+def numeric_gradient(fn: Callable[[np.ndarray], float], x: np.ndarray,
+                     eps: float = 1e-6) -> np.ndarray:
+    """Central finite-difference gradient of a scalar function at ``x``.
+
+    ``fn`` must treat its argument as read-only apart from the in-place
+    perturbation this routine performs and undoes.
+    """
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_gradient(op: Callable[[Tensor], Tensor], x: np.ndarray,
+                   atol: float = 1e-6, eps: float = 1e-6) -> bool:
+    """Compare ``op``'s analytic input gradient with finite differences.
+
+    Parameters
+    ----------
+    op:
+        A function mapping a Tensor to a Tensor; its output is summed to a
+        scalar before differentiation.
+    x:
+        The input point.  Avoid non-differentiable points (e.g. 0 for
+        ReLU/abs) — finite differences straddle them.
+
+    Returns
+    -------
+    True when the gradients agree within ``atol``; raises AssertionError
+    with the mismatch otherwise.
+    """
+    x = np.asarray(x, dtype=np.float64)
+
+    def scalar_fn(arr: np.ndarray) -> float:
+        return float(op(Tensor(arr)).sum().data)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    op(t).sum().backward()
+    if t.grad is None:
+        raise AssertionError("op produced no gradient for its input")
+    expected = numeric_gradient(scalar_fn, x.copy(), eps=eps)
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+    return True
+
+
+def check_module_gradients(module: Module, x: np.ndarray,
+                           atol: float = 1e-5,
+                           eps: float = 1e-6) -> bool:
+    """Finite-difference check of every parameter gradient of ``module``.
+
+    The module is evaluated in eval() mode so stochastic layers (dropout)
+    and batch statistics do not break the comparison.
+    """
+    was_training = module.training
+    module.eval()
+    try:
+        inp = Tensor(np.asarray(x, dtype=np.float64))
+        module.zero_grad()
+        module(inp).sum().backward()
+        for name, param in module.named_parameters():
+            analytic = param.grad
+            if analytic is None:
+                analytic = np.zeros_like(param.data)
+
+            def scalar_fn(arr, _param=param):
+                return float(module(inp).sum().data)
+
+            numeric = numeric_gradient(scalar_fn, param.data, eps=eps)
+            np.testing.assert_allclose(
+                analytic, numeric, atol=atol,
+                err_msg=f"gradient mismatch for parameter {name!r}")
+    finally:
+        module.train(was_training)
+    return True

@@ -1,0 +1,86 @@
+"""GRU layers — an alternative sequence encoder for the Trajectory
+Encoder ablations.
+
+Section 4.4 of the paper says "we use an RNN model (e.g., LSTM)" — LSTM is
+the instantiated choice, not the only admissible one.  The GRU here powers
+the sequence-encoder ablation bench (LSTM vs GRU vs mean pooling) listed
+in DESIGN.md Section 6.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .modules import Module, Parameter
+from .tensor import Tensor, concat, stack
+
+
+class GRUCell(Module):
+    """Gated recurrent unit (Cho et al. 2014).
+
+    z = σ(Wz [x, h]); r = σ(Wr [x, h]);
+    h~ = tanh(Wh [x, r ⊗ h]); h' = (1 − z) ⊗ h + z ⊗ h~.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        k = 1.0 / np.sqrt(hidden_size)
+        gate_shape = (2 * hidden_size, input_size + hidden_size)
+        self.weight_gates = Parameter(rng.uniform(-k, k, size=gate_shape))
+        self.bias_gates = Parameter(rng.uniform(-k, k,
+                                                size=(2 * hidden_size,)))
+        cand_shape = (hidden_size, input_size + hidden_size)
+        self.weight_cand = Parameter(rng.uniform(-k, k, size=cand_shape))
+        self.bias_cand = Parameter(rng.uniform(-k, k, size=(hidden_size,)))
+
+    def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
+        hs = self.hidden_size
+        zx = concat([x, h_prev], axis=-1)
+        gates = (zx @ self.weight_gates.T + self.bias_gates).sigmoid()
+        z = gates[:, :hs]
+        r = gates[:, hs:]
+        candidate_in = concat([x, r * h_prev], axis=-1)
+        h_tilde = (candidate_in @ self.weight_cand.T
+                   + self.bias_cand).tanh()
+        return (1.0 - z) * h_prev + z * h_tilde
+
+
+class GRU(Module):
+    """Unrolled GRU over padded variable-length batches.
+
+    Interface-compatible with :class:`repro.nn.LSTM`: returns (outputs,
+    final hidden state), with padded steps frozen.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = GRUCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.input_size = input_size
+
+    def forward(self, x: Tensor, lengths: Optional[Sequence[int]] = None
+                ) -> Tuple[Tensor, Tensor]:
+        batch, steps, _ = x.shape
+        if lengths is None:
+            lengths = [steps] * batch
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if len(lengths) != batch:
+            raise ValueError("lengths must have one entry per batch row")
+        if np.any(lengths < 1) or np.any(lengths > steps):
+            raise ValueError("sequence lengths must be in [1, time]")
+
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            h_new = self.cell(x[:, t, :], h)
+            mask = Tensor((t < lengths).astype(np.float64)[:, None])
+            h = h_new * mask + h * (1.0 - mask)
+            outputs.append(h)
+        return stack(outputs, axis=1), h

@@ -1,0 +1,55 @@
+"""Parameter initialisation schemes.
+
+Algorithm 1 (line 5) initialises non-embedding parameters "with normal
+distribution"; we also provide the Xavier/Glorot and Kaiming variants that
+PyTorch's Linear/LSTM defaults correspond to, so experiments can be run with
+either choice.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def normal(shape: Tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.01) -> np.ndarray:
+    """Plain normal initialisation (Algorithm 1, line 5)."""
+    return rng.normal(0.0, std, size=shape)
+
+
+def xavier_uniform(shape: Tuple[int, ...],
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    a = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-a, a, size=shape)
+
+
+def kaiming_uniform(shape: Tuple[int, ...], rng: np.random.Generator,
+                    nonlinearity: str = "relu") -> np.ndarray:
+    """He uniform, suitable for ReLU stacks such as MLP1/MLP2."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0) if nonlinearity == "relu" else 1.0
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def uniform_fan_in(shape: Tuple[int, ...],
+                   rng: np.random.Generator) -> np.ndarray:
+    """PyTorch Linear default: U(-1/sqrt(fan_in), 1/sqrt(fan_in))."""
+    fan_in, _ = _fans(shape)
+    bound = 1.0 / np.sqrt(max(fan_in, 1))
+    return rng.uniform(-bound, bound, size=shape)
+
+
+def _fans(shape: Tuple[int, ...]) -> Tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        # Linear weights are stored (out_features, in_features).
+        return shape[1], shape[0]
+    # Conv kernels: (out_channels, in_channels, *spatial).
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

@@ -1,0 +1,226 @@
+"""Optimisers and learning-rate schedules.
+
+The paper trains with Adam [Kingma & Ba 2014], mini-batch 1024, initial
+learning rate 0.01 reduced by a factor of 5 every 2 epochs (Section 6.1).
+:class:`Adam` and :class:`StepDecay` implement exactly that recipe; SGD is
+provided for the LR baseline and ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .modules import Parameter
+
+
+class Optimizer:
+    """Base optimiser over a list of parameters."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float):
+        self.params: List[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, vel in zip(self.params, self._velocity):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            param.data = param.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Algorithm 1's AdamOpt)."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 betas=(0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0,
+                 clip_norm: Optional[float] = None):
+        super().__init__(params, lr)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self.clip_norm = clip_norm
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        if self.clip_norm is not None:
+            self._clip_gradients()
+        bias1 = 1.0 - self.beta1 ** self._t
+        bias2 = 1.0 - self.beta2 ** self._t
+        for param, m, v in zip(self.params, self._m, self._v):
+            if param.grad is None:
+                continue
+            grad = param.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * param.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def _clip_gradients(self) -> None:
+        total = 0.0
+        for param in self.params:
+            if param.grad is not None:
+                total += float(np.sum(param.grad ** 2))
+        norm = np.sqrt(total)
+        if norm > self.clip_norm and norm > 0:
+            scale = self.clip_norm / norm
+            for param in self.params:
+                if param.grad is not None:
+                    param.grad = param.grad * scale
+
+
+class StepDecay:
+    """Divide the learning rate by ``factor`` every ``step_epochs`` epochs.
+
+    The paper's schedule: initial 0.01, reduced by 1/5 every 2 epochs.
+    """
+
+    def __init__(self, optimizer: Optimizer, step_epochs: int = 2,
+                 factor: float = 5.0):
+        if step_epochs < 1:
+            raise ValueError("step_epochs must be >= 1")
+        if factor <= 1.0:
+            raise ValueError("factor must be > 1")
+        self.optimizer = optimizer
+        self.step_epochs = step_epochs
+        self.factor = factor
+        self._initial_lr = optimizer.lr
+        self._epoch = 0
+
+    def epoch_end(self) -> float:
+        """Advance one epoch; returns the learning rate now in effect."""
+        self._epoch += 1
+        drops = self._epoch // self.step_epochs
+        self.optimizer.lr = self._initial_lr / (self.factor ** drops)
+        return self.optimizer.lr
+
+
+class RMSProp(Optimizer):
+    """RMSProp — kept for optimiser ablations of the training recipe."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 alpha: float = 0.99, eps: float = 1e-8):
+        super().__init__(params, lr)
+        if not 0 < alpha < 1:
+            raise ValueError("alpha must be in (0, 1)")
+        self.alpha = alpha
+        self.eps = eps
+        self._sq = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, sq in zip(self.params, self._sq):
+            if param.grad is None:
+                continue
+            sq *= self.alpha
+            sq += (1.0 - self.alpha) * param.grad ** 2
+            param.data = param.data - self.lr * param.grad / (
+                np.sqrt(sq) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad — historical-accumulation adaptive method."""
+
+    def __init__(self, params: Iterable[Parameter], lr: float = 0.01,
+                 eps: float = 1e-10):
+        super().__init__(params, lr)
+        self.eps = eps
+        self._acc = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, acc in zip(self.params, self._acc):
+            if param.grad is None:
+                continue
+            acc += param.grad ** 2
+            param.data = param.data - self.lr * param.grad / (
+                np.sqrt(acc) + self.eps)
+
+
+class CosineDecay:
+    """Cosine learning-rate annealing over a fixed number of epochs."""
+
+    def __init__(self, optimizer: Optimizer, total_epochs: int,
+                 min_lr: float = 0.0):
+        if total_epochs < 1:
+            raise ValueError("total_epochs must be >= 1")
+        self.optimizer = optimizer
+        self.total_epochs = total_epochs
+        self.min_lr = min_lr
+        self._initial_lr = optimizer.lr
+        self._epoch = 0
+
+    def epoch_end(self) -> float:
+        self._epoch = min(self._epoch + 1, self.total_epochs)
+        progress = self._epoch / self.total_epochs
+        self.optimizer.lr = self.min_lr + 0.5 * (
+            self._initial_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
+        return self.optimizer.lr
+
+
+class EarlyStopping:
+    """Patience-based early stopping on a monitored metric (lower=better).
+
+    The trainer consults :meth:`should_stop` after each validation
+    evaluation; :attr:`best_state` holds a snapshot of the best weights.
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: float = np.inf
+        self.best_state: Optional[dict] = None
+        self._bad_evals = 0
+
+    def update(self, metric: float, module: Optional["object"] = None
+               ) -> bool:
+        """Record a new metric value; returns True when it improved."""
+        if metric < self.best - self.min_delta:
+            self.best = metric
+            self._bad_evals = 0
+            if module is not None:
+                self.best_state = module.state_dict()
+            return True
+        self._bad_evals += 1
+        return False
+
+    def should_stop(self) -> bool:
+        return self._bad_evals >= self.patience

@@ -1,0 +1,119 @@
+"""Recurrent layers: the LSTM of DeepOD's Trajectory Encoder (Eq. 12-16).
+
+The paper encodes a spatio-temporal path — a sequence of concatenated
+(tcode_i, D^s_i) vectors — with a standard LSTM and keeps the final hidden
+state h_n as the sequence representation.  :class:`LSTMCell` implements one
+unit exactly per Eq. 12-16; :class:`LSTM` unrolls it over a padded batch of
+variable-length sequences and gathers h at each sequence's true last step.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .modules import Module, Parameter
+from .tensor import Tensor, concat, stack
+
+
+class LSTMCell(Module):
+    """One LSTM unit (Eq. 12-16).
+
+    Gate order inside the fused weight matrices is (forget, input, output,
+    cell candidate), i.e. rows [0:H] compute f, [H:2H] compute i, [2H:3H]
+    compute o and [3H:4H] compute the tanh candidate.
+    """
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None,
+                 forget_bias: float = 1.0):
+        super().__init__()
+        rng = rng or np.random.default_rng()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        k = 1.0 / np.sqrt(hidden_size)
+        shape = (4 * hidden_size, input_size + hidden_size)
+        self.weight = Parameter(rng.uniform(-k, k, size=shape))
+        bias = rng.uniform(-k, k, size=(4 * hidden_size,))
+        # Positive forget-gate bias is a standard stabilisation.
+        bias[:hidden_size] += forget_bias
+        self.bias = Parameter(bias)
+
+    def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]
+                ) -> Tuple[Tensor, Tensor]:
+        """Advance one step.
+
+        Parameters
+        ----------
+        x: (batch, input_size) input D^st_j.
+        state: (h_{j-1}, c_{j-1}) each (batch, hidden_size).
+
+        Returns
+        -------
+        (h_j, c_j)
+        """
+        h_prev, c_prev = state
+        zx = concat([x, h_prev], axis=-1)
+        gates = zx @ self.weight.T + self.bias
+        hs = self.hidden_size
+        f = gates[:, 0 * hs:1 * hs].sigmoid()       # Eq. 12
+        i = gates[:, 1 * hs:2 * hs].sigmoid()       # Eq. 13
+        o = gates[:, 2 * hs:3 * hs].sigmoid()       # Eq. 14
+        g = gates[:, 3 * hs:4 * hs].tanh()
+        c = f * c_prev + i * g                      # Eq. 15
+        h = o * c.tanh()                            # Eq. 16
+        return h, c
+
+
+class LSTM(Module):
+    """Unrolled LSTM over padded batches of variable-length sequences."""
+
+    def __init__(self, input_size: int, hidden_size: int,
+                 rng: Optional[np.random.Generator] = None):
+        super().__init__()
+        self.cell = LSTMCell(input_size, hidden_size, rng=rng)
+        self.hidden_size = hidden_size
+        self.input_size = input_size
+
+    def forward(self, x: Tensor, lengths: Optional[Sequence[int]] = None
+                ) -> Tuple[Tensor, Tensor]:
+        """Run the LSTM over a (batch, time, input_size) tensor.
+
+        Parameters
+        ----------
+        x:
+            Padded input batch.
+        lengths:
+            True sequence lengths; padding steps beyond a sequence's length
+            do not update its state.  Defaults to full length.
+
+        Returns
+        -------
+        outputs: (batch, time, hidden) all hidden states (padded steps hold
+            the carried-over state).
+        final: (batch, hidden) h at each sequence's final true step — the
+            h_n of Eq. 16 used by the Trajectory Encoder.
+        """
+        batch, steps, _ = x.shape
+        if lengths is None:
+            lengths = [steps] * batch
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if len(lengths) != batch:
+            raise ValueError("lengths must have one entry per batch row")
+        if np.any(lengths < 1) or np.any(lengths > steps):
+            raise ValueError("sequence lengths must be in [1, time]")
+
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        outputs: List[Tensor] = []
+        for t in range(steps):
+            x_t = x[:, t, :]
+            h_new, c_new = self.cell(x_t, (h, c))
+            # Freeze state on padded steps: mask=1 while t < length.
+            mask = Tensor((t < lengths).astype(np.float64)[:, None])
+            h = h_new * mask + h * (1.0 - mask)
+            c = c_new * mask + c * (1.0 - mask)
+            outputs.append(h)
+        stacked = stack(outputs, axis=1)
+        return stacked, h

@@ -1,0 +1,42 @@
+"""Saving, loading and sizing models.
+
+Table 5 of the paper compares methods by ``model size(Byte)``, i.e. the
+memory footprint required to apply a trained model.  For neural models that
+is the parameter (+ buffer) byte count; :func:`state_dict_bytes` computes it
+from a saved state.  Models are persisted as ``.npz`` archives so no pickle
+security surface is introduced.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .modules import Module
+
+
+def save_state(module: Module, path: str) -> None:
+    """Serialise ``module.state_dict()`` into a compressed ``.npz`` file."""
+    state = module.state_dict()
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: str) -> None:
+    """Restore a module from :func:`save_state` output."""
+    with np.load(path if path.endswith(".npz") else path + ".npz") as data:
+        state: Dict[str, np.ndarray] = {key: data[key] for key in data.files}
+    module.load_state_dict(state)
+
+
+def state_dict_bytes(state: Dict[str, np.ndarray],
+                     bytes_per_element: int = 4) -> int:
+    """Size in bytes of a state dict at the given storage precision."""
+    return sum(bytes_per_element * np.asarray(v).size for v in state.values())
+
+
+def parameter_count(module: Module) -> int:
+    return module.num_parameters()

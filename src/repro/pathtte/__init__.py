@@ -1,0 +1,13 @@
+"""Path travel-time estimation (known-route) — the sibling problem the
+paper surveys in Section 7.1, implemented as the historical per-edge
+profile family and the sub-path concatenation family."""
+
+from .historical import EdgeTimeProfile, ProfileConfig
+from .concat import SubPathConcatenator, SubPathConfig, SubPathTable
+from .api import PerEdgePathEstimator, SubPathPathEstimator
+
+__all__ = [
+    "EdgeTimeProfile", "ProfileConfig",
+    "SubPathConcatenator", "SubPathConfig", "SubPathTable",
+    "PerEdgePathEstimator", "SubPathPathEstimator",
+]

@@ -1,0 +1,102 @@
+"""High-level path travel-time estimators.
+
+These estimate the travel time of a trip whose *route is known* — the
+sibling problem of Section 7.1.  They serve two purposes here: (1) an
+upper-bound reference for the OD-based methods (how much of the error
+comes from not knowing the route?), used by the route-knowledge ablation
+bench; (2) a complete implementation of the historical-profile and
+sub-path-concatenation method families the paper surveys.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..datagen.dataset import TaxiDataset
+from ..trajectory.model import TripRecord
+from .concat import SubPathConcatenator, SubPathConfig, SubPathTable
+from .historical import EdgeTimeProfile, ProfileConfig
+
+
+class PerEdgePathEstimator:
+    """Sum of per-edge historical profile times along the known route."""
+
+    name = "PathProfile"
+
+    def __init__(self, config: Optional[ProfileConfig] = None):
+        self.config = config
+        self.profile: Optional[EdgeTimeProfile] = None
+
+    def fit(self, dataset: TaxiDataset) -> "PerEdgePathEstimator":
+        self.profile = EdgeTimeProfile(dataset.net, self.config).fit(
+            dataset.split.train)
+        return self
+
+    def predict_path(self, edge_ids: Sequence[int], depart_time: float,
+                     ratio_start: float = 0.0,
+                     ratio_end: float = 1.0) -> float:
+        if self.profile is None:
+            raise RuntimeError("fit() must be called before predict_path()")
+        t = depart_time
+        total = 0.0
+        for k, eid in enumerate(edge_ids):
+            full = self.profile.edge_travel_time(eid, t)
+            frac = 1.0
+            if k == 0:
+                frac -= ratio_start
+            if k == len(edge_ids) - 1:
+                frac -= (1.0 - ratio_end)
+            duration = full * max(frac, 0.0)
+            total += duration
+            t += duration
+        return total
+
+    def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:
+        """Estimate trips whose records still carry their route."""
+        out = []
+        for trip in trips:
+            if trip.trajectory is None:
+                raise ValueError(
+                    "path estimators need the route; use an OD method "
+                    "for routeless queries")
+            out.append(self.predict_path(
+                trip.trajectory.edge_ids, trip.od.depart_time,
+                trip.od.ratio_start, trip.od.ratio_end))
+        return np.asarray(out)
+
+
+class SubPathPathEstimator(PerEdgePathEstimator):
+    """Optimal sub-path concatenation (Wang et al. [42] style)."""
+
+    name = "PathSubPath"
+
+    def __init__(self, profile_config: Optional[ProfileConfig] = None,
+                 subpath_config: Optional[SubPathConfig] = None):
+        super().__init__(profile_config)
+        self.subpath_config = subpath_config
+        self.concatenator: Optional[SubPathConcatenator] = None
+
+    def fit(self, dataset: TaxiDataset) -> "SubPathPathEstimator":
+        super().fit(dataset)
+        table = SubPathTable(self.subpath_config).fit(dataset.split.train)
+        self.concatenator = SubPathConcatenator(
+            dataset.net, self.profile, table)
+        return self
+
+    def predict_path(self, edge_ids: Sequence[int], depart_time: float,
+                     ratio_start: float = 0.0,
+                     ratio_end: float = 1.0) -> float:
+        if self.concatenator is None:
+            raise RuntimeError("fit() must be called before predict_path()")
+        full = self.concatenator.estimate(list(edge_ids), depart_time)
+        # Trim the partial first/last edges proportionally.
+        profile = self.profile
+        trim = 0.0
+        if len(edge_ids) >= 1:
+            trim += ratio_start * profile.edge_travel_time(
+                edge_ids[0], depart_time)
+            trim += (1.0 - ratio_end) * profile.edge_travel_time(
+                edge_ids[-1], depart_time)
+        return max(full - trim, 1.0)

@@ -1,0 +1,134 @@
+"""Sub-path concatenation for path travel-time estimation.
+
+Per-edge profiles ignore the interaction between consecutive segments
+(intersection delays, signal coordination); Wang et al. [42] instead find
+an optimal concatenation of observed *sub-paths*.  This module implements
+that idea: harvest the travel times of all sub-paths (up to a length cap)
+from historical trajectories, then cover a query path with observed
+sub-paths via dynamic programming, preferring longer sub-paths with more
+observations and falling back to per-edge profile estimates for gaps.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from ..temporal.timeslot import SECONDS_PER_WEEK
+from ..trajectory.model import TripRecord
+from .historical import EdgeTimeProfile
+
+
+@dataclass
+class SubPathConfig:
+    max_subpath_len: int = 4
+    bin_seconds: float = 3600.0 * 2
+    min_observations: int = 2
+    # Penalty per concatenation joint: favours covers made of fewer,
+    # longer sub-paths, which capture intersection delays (Wang et al.).
+    joint_cost: float = 1.0
+
+    def __post_init__(self):
+        if self.max_subpath_len < 1:
+            raise ValueError("max_subpath_len must be >= 1")
+        if SECONDS_PER_WEEK % self.bin_seconds != 0:
+            raise ValueError("bin width must divide one week")
+
+
+class SubPathTable:
+    """Observed (sub-path, time bin) -> mean travel time."""
+
+    def __init__(self, config: Optional[SubPathConfig] = None):
+        self.config = config or SubPathConfig()
+        self._table: Dict[Tuple[Tuple[int, ...], int], List[float]] = \
+            defaultdict(lambda: [0.0, 0.0])
+
+    def _bin_of(self, t: float) -> int:
+        return int((t % SECONDS_PER_WEEK) // self.config.bin_seconds)
+
+    def fit(self, trips: Iterable[TripRecord]) -> "SubPathTable":
+        cap = self.config.max_subpath_len
+        for trip in trips:
+            traj = trip.trajectory
+            if traj is None:
+                continue
+            path = traj.path
+            for i in range(len(path)):
+                for j in range(i + 1, min(i + cap, len(path)) + 1):
+                    duration = path[j - 1].exit_time - path[i].enter_time
+                    if duration <= 0:
+                        continue
+                    key = (tuple(el.edge_id for el in path[i:j]),
+                           self._bin_of(path[i].enter_time))
+                    acc = self._table[key]
+                    acc[0] += duration
+                    acc[1] += 1.0
+        return self
+
+    def lookup(self, edges: Tuple[int, ...], t: float) -> Optional[float]:
+        """Mean observed travel time of a sub-path at time t, or None."""
+        acc = self._table.get((edges, self._bin_of(t)))
+        if acc and acc[1] >= self.config.min_observations:
+            return acc[0] / acc[1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+class SubPathConcatenator:
+    """Optimal-concatenation path TTE (dynamic programming).
+
+    ``estimate(path_edges, depart_time)`` covers the query path with
+    observed sub-paths; cost = number of joints (fewer is better, as each
+    joint loses the intersection-delay information), ties broken toward
+    more-observed segments.  Gaps fall back to the per-edge profile.
+    """
+
+    def __init__(self, net: RoadNetwork, profile: EdgeTimeProfile,
+                 table: SubPathTable):
+        self.net = net
+        self.profile = profile
+        self.table = table
+
+    def estimate(self, path_edges: Sequence[int],
+                 depart_time: float) -> float:
+        n = len(path_edges)
+        if n == 0:
+            raise ValueError("empty path")
+        cap = self.table.config.max_subpath_len
+        joint_cost = self.table.config.joint_cost
+        # DP over prefix positions: best (num_joints, est_time) to cover
+        # path[:i].  Times are estimated greedily with the departure
+        # time advanced along the cover.
+        INF = float("inf")
+        best_cost = [INF] * (n + 1)
+        best_time = [0.0] * (n + 1)
+        best_cost[0] = 0.0
+        for i in range(n):
+            if best_cost[i] == INF:
+                continue
+            t_here = depart_time + best_time[i]
+            for j in range(i + 1, min(i + cap, n) + 1):
+                sub = tuple(path_edges[i:j])
+                observed = self.table.lookup(sub, t_here)
+                if observed is not None:
+                    duration = observed
+                    # Observed sub-paths cost one joint regardless of
+                    # length: longer matches win.
+                    step_cost = joint_cost
+                else:
+                    if j - i > 1:
+                        continue     # only single edges fall back
+                    duration = self.profile.edge_travel_time(
+                        path_edges[i], t_here)
+                    step_cost = joint_cost * 1.5   # fallback is worse
+                cost = best_cost[i] + step_cost
+                if cost < best_cost[j]:
+                    best_cost[j] = cost
+                    best_time[j] = best_time[i] + duration
+        return best_time[n]

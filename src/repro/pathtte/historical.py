@@ -1,0 +1,103 @@
+"""Per-edge historical travel-time profiles.
+
+The floating-car-data family of path travel-time estimation (paper Section
+7.1): every matched trajectory contributes one observation of (edge,
+time-of-week bin, traversal speed); queries aggregate the profile with a
+fallback hierarchy edge→road-class→global when a bin has no data, which is
+exactly the sparsity problem the paper cites for these methods.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from ..temporal.timeslot import SECONDS_PER_WEEK
+from ..trajectory.model import TripRecord
+
+
+@dataclass
+class ProfileConfig:
+    bin_seconds: float = 3600.0    # time-of-week bin width
+    min_observations: int = 2      # below this a bin falls back
+
+    def __post_init__(self):
+        if self.bin_seconds <= 0:
+            raise ValueError("bin width must be positive")
+        if SECONDS_PER_WEEK % self.bin_seconds != 0:
+            raise ValueError("bin width must divide one week")
+
+
+class EdgeTimeProfile:
+    """Aggregated per-edge speeds by time-of-week bin with fallbacks."""
+
+    def __init__(self, net: RoadNetwork,
+                 config: Optional[ProfileConfig] = None):
+        self.net = net
+        self.config = config or ProfileConfig()
+        self.bins_per_week = int(SECONDS_PER_WEEK
+                                 // self.config.bin_seconds)
+        # (edge, bin) -> [sum_speed, count]
+        self._edge_bin: Dict[Tuple[int, int], List[float]] = \
+            defaultdict(lambda: [0.0, 0.0])
+        self._edge_all: Dict[int, List[float]] = \
+            defaultdict(lambda: [0.0, 0.0])
+        self._class_bin: Dict[Tuple[str, int], List[float]] = \
+            defaultdict(lambda: [0.0, 0.0])
+        self._global = [0.0, 0.0]
+
+    # ------------------------------------------------------------------
+    def fit(self, trips: Iterable[TripRecord]) -> "EdgeTimeProfile":
+        for trip in trips:
+            traj = trip.trajectory
+            if traj is None:
+                continue
+            for element in traj.path:
+                if element.duration <= 0:
+                    continue
+                edge = self.net.edge(element.edge_id)
+                speed = edge.length / element.duration
+                b = self._bin_of(element.enter_time)
+                for acc in (self._edge_bin[(element.edge_id, b)],
+                            self._edge_all[element.edge_id],
+                            self._class_bin[(edge.road_class, b)],
+                            self._global):
+                    acc[0] += speed
+                    acc[1] += 1.0
+        if self._global[1] == 0:
+            raise ValueError("no trajectory observations to fit on")
+        return self
+
+    def _bin_of(self, t: float) -> int:
+        return int((t % SECONDS_PER_WEEK) // self.config.bin_seconds)
+
+    # ------------------------------------------------------------------
+    def speed(self, edge_id: int, t: float) -> float:
+        """Expected speed on an edge at time t, with fallback hierarchy."""
+        b = self._bin_of(t)
+        min_obs = self.config.min_observations
+        for key, table in (((edge_id, b), self._edge_bin),
+                           (edge_id, self._edge_all)):
+            acc = table.get(key)
+            if acc and acc[1] >= min_obs:
+                return acc[0] / acc[1]
+        edge = self.net.edge(edge_id)
+        acc = self._class_bin.get((edge.road_class, b))
+        if acc and acc[1] >= min_obs:
+            return acc[0] / acc[1]
+        return self._global[0] / self._global[1]
+
+    def edge_travel_time(self, edge_id: int, t: float) -> float:
+        return self.net.edge(edge_id).length / self.speed(edge_id, t)
+
+    def coverage(self) -> float:
+        """Fraction of (edge, bin) cells with enough direct observations —
+        the sparsity number that limits this method family."""
+        total = self.net.num_edges * self.bins_per_week
+        covered = sum(1 for acc in self._edge_bin.values()
+                      if acc[1] >= self.config.min_observations)
+        return covered / total

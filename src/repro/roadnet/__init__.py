@@ -1,0 +1,22 @@
+"""Road-network substrate: graphs, generators, routing, spatial indexing
+and the line-graph conversion of paper Figure 4."""
+
+from .graph import Edge, RoadNetwork, Vertex
+from .generators import grid_city
+from .shortest_path import (
+    NoPathError, astar, dijkstra, is_connected_path, path_length,
+    perturbed_route, time_dependent_dijkstra,
+)
+from .spatial_index import SpatialIndex
+from .linegraph import WeightedDigraph, build_line_graph, temporal_graph_to_digraph
+from .ksp import k_shortest_paths, route_diversity
+
+__all__ = [
+    "Edge", "RoadNetwork", "Vertex",
+    "grid_city",
+    "NoPathError", "astar", "dijkstra", "is_connected_path", "path_length",
+    "perturbed_route", "time_dependent_dijkstra",
+    "SpatialIndex",
+    "WeightedDigraph", "build_line_graph", "temporal_graph_to_digraph",
+    "k_shortest_paths", "route_diversity",
+]

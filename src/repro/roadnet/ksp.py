@@ -1,0 +1,115 @@
+"""Yen's k-shortest loopless paths.
+
+Route-diversity analysis for the simulator and the Example 1 scenario
+(the same OD pair served by several sensible routes).  Standard Yen's
+algorithm on top of Dijkstra with edge/vertex exclusion.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Set, Tuple
+
+import numpy as np
+
+from .graph import RoadNetwork
+from .shortest_path import NoPathError, dijkstra
+
+
+def _dijkstra_excluding(net: RoadNetwork, source: int, target: int,
+                        banned_edges: Set[int], banned_vertices: Set[int],
+                        edge_cost: Callable[[int], float]
+                        ) -> Tuple[List[int], float]:
+    dist = {source: 0.0}
+    prev = {}
+    heap = [(0.0, source)]
+    visited = set()
+    while heap:
+        d, v = heapq.heappop(heap)
+        if v in visited:
+            continue
+        visited.add(v)
+        if v == target:
+            path = []
+            node = target
+            while node != source:
+                eid = prev[node]
+                path.append(eid)
+                node = net.edge(eid).start
+            path.reverse()
+            return path, d
+        for edge in net.out_edges(v):
+            if edge.edge_id in banned_edges or edge.end in banned_vertices:
+                continue
+            nd = d + edge_cost(edge.edge_id)
+            if nd < dist.get(edge.end, np.inf):
+                dist[edge.end] = nd
+                prev[edge.end] = edge.edge_id
+                heapq.heappush(heap, (nd, edge.end))
+    raise NoPathError(f"no path from {source} to {target}")
+
+
+def k_shortest_paths(net: RoadNetwork, source: int, target: int, k: int,
+                     edge_cost: Optional[Callable[[int], float]] = None
+                     ) -> List[Tuple[List[int], float]]:
+    """Up to ``k`` loopless shortest paths, ascending by cost (Yen 1971)."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if edge_cost is None:
+        edge_cost = lambda eid: net.edge(eid).length  # noqa: E731
+    first = dijkstra(net, source, target, edge_cost=edge_cost)
+    paths: List[Tuple[List[int], float]] = [first]
+    candidates: List[Tuple[float, List[int]]] = []
+    seen = {tuple(first[0])}
+
+    while len(paths) < k:
+        prev_path = paths[-1][0]
+        for i in range(len(prev_path)):
+            # Spur node: start vertex of edge i of the previous path.
+            spur_edge = net.edge(prev_path[i])
+            spur_node = spur_edge.start
+            root = prev_path[:i]
+            root_cost = sum(edge_cost(e) for e in root)
+            banned_edges: Set[int] = set()
+            for path, _ in paths:
+                if path[:i] == root and len(path) > i:
+                    banned_edges.add(path[i])
+            # Ban root vertices to keep paths loopless.
+            banned_vertices = {net.edge(e).start for e in root}
+            try:
+                spur, spur_cost = _dijkstra_excluding(
+                    net, spur_node, target, banned_edges,
+                    banned_vertices, edge_cost)
+            except NoPathError:
+                continue
+            total = root + spur
+            key = tuple(total)
+            if key in seen:
+                continue
+            seen.add(key)
+            heapq.heappush(candidates, (root_cost + spur_cost, total))
+        if not candidates:
+            break
+        cost, path = heapq.heappop(candidates)
+        paths.append((path, cost))
+    return paths
+
+
+def route_diversity(net: RoadNetwork, source: int, target: int,
+                    k: int = 3) -> float:
+    """Mean pairwise Jaccard distance between the k shortest routes.
+
+    0 means all routes identical; values near 1 mean disjoint
+    alternatives — the regime where the paper's Example 1 matters most.
+    """
+    paths = k_shortest_paths(net, source, target, k)
+    if len(paths) < 2:
+        return 0.0
+    sets = [set(p) for p, _ in paths]
+    distances = []
+    for i in range(len(sets)):
+        for j in range(i + 1, len(sets)):
+            union = sets[i] | sets[j]
+            inter = sets[i] & sets[j]
+            distances.append(1.0 - len(inter) / len(union))
+    return float(np.mean(distances))

@@ -1,0 +1,107 @@
+"""Line-graph conversion of the road network (paper Figure 4).
+
+Graph embedding methods (DeepWalk, node2vec, LINE) embed *nodes*, while
+DeepOD needs embeddings for *edges* (road segments).  The paper therefore
+converts the road network into a new graph where each node stands for a road
+segment, and an edge <v_ik, v_kj> exists whenever segment <v_i, v_k> can be
+followed by segment <v_k, v_j>.  Link weights are the co-occurrence counts
+of the two segments on the same historical trajectory (e.g. the weight of
+<v46, v63> is 2 when both segments are co-passed by two trajectories), which
+shape the random-walk transition probabilities of the embedding methods.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .graph import RoadNetwork
+
+
+class WeightedDigraph:
+    """Minimal adjacency-list weighted digraph consumed by repro.embedding."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes < 1:
+            raise ValueError("graph needs at least one node")
+        self.num_nodes = num_nodes
+        self._adj: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+
+    def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
+        if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
+            raise IndexError(f"edge ({u}, {v}) out of range")
+        if weight < 0:
+            raise ValueError("edge weight must be non-negative")
+        self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
+
+    def set_weight(self, u: int, v: int, weight: float) -> None:
+        self._adj[u][v] = weight
+
+    def neighbors(self, u: int) -> List[Tuple[int, float]]:
+        return list(self._adj[u].items())
+
+    def weight(self, u: int, v: int) -> float:
+        return self._adj[u].get(v, 0.0)
+
+    def out_degree(self, u: int) -> int:
+        return len(self._adj[u])
+
+    def num_edges(self) -> int:
+        return sum(len(nbrs) for nbrs in self._adj)
+
+    def edges(self) -> Iterable[Tuple[int, int, float]]:
+        for u, nbrs in enumerate(self._adj):
+            for v, w in nbrs.items():
+                yield (u, v, w)
+
+
+def build_line_graph(net: RoadNetwork,
+                     trajectories: Sequence[Sequence[int]] = (),
+                     smoothing: float = 1.0) -> WeightedDigraph:
+    """Convert a road network into its segment line graph (Figure 4).
+
+    Parameters
+    ----------
+    net:
+        The road network; the output graph has one node per edge of ``net``.
+    trajectories:
+        Historical trajectories as edge-id sequences.  Consecutive pairs
+        contribute co-occurrence counts to the corresponding line-graph link
+        weights.
+    smoothing:
+        Base weight added to every structural link so segments never
+        traversed by any trajectory still participate in random walks.
+
+    Returns
+    -------
+    WeightedDigraph with ``net.num_edges`` nodes.
+    """
+    graph = WeightedDigraph(net.num_edges)
+    # Structural links: e1 -> e2 when e1's end vertex is e2's start vertex.
+    for edge in net.edges():
+        for successor in net.successors(edge.edge_id):
+            if successor.edge_id == edge.edge_id:
+                continue
+            graph.set_weight(edge.edge_id, successor.edge_id, smoothing)
+
+    # Co-occurrence counts from historical trajectories.
+    counts: Dict[Tuple[int, int], float] = defaultdict(float)
+    for traj in trajectories:
+        for prev, nxt in zip(traj, traj[1:]):
+            counts[(prev, nxt)] += 1.0
+    for (prev, nxt), count in counts.items():
+        expected_end = net.edge(prev).end
+        if net.edge(nxt).start != expected_end:
+            raise ValueError(
+                f"trajectory step {prev}->{nxt} is not road-connected")
+        graph.set_weight(prev, nxt, smoothing + count)
+    return graph
+
+
+def temporal_graph_to_digraph(edges: Iterable[Tuple[int, int]],
+                              num_nodes: int) -> WeightedDigraph:
+    """Wrap an explicit (u, v) edge list as a WeightedDigraph."""
+    graph = WeightedDigraph(num_nodes)
+    for u, v in edges:
+        graph.add_edge(u, v, 1.0)
+    return graph

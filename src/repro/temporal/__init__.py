@@ -1,0 +1,12 @@
+"""Temporal substrate: time slots (Eq. 2-3) and the temporal graph
+(Figure 5b)."""
+
+from .timeslot import SECONDS_PER_DAY, SECONDS_PER_WEEK, TimeSlotConfig
+from .temporal_graph import (
+    build_daily_graph, build_weekly_graph, weekly_edge_list,
+)
+
+__all__ = [
+    "SECONDS_PER_DAY", "SECONDS_PER_WEEK", "TimeSlotConfig",
+    "build_daily_graph", "build_weekly_graph", "weekly_edge_list",
+]

@@ -1,0 +1,51 @@
+"""The temporal graph of paper Figure 5(b).
+
+One node per time slot of a week (2016 nodes at Δt = 5 min).  Two kinds of
+directed edges:
+
+* **neighbouring-slot edges** — slot s links to slot (s+1) mod N, expressing
+  that adjacent time slots should have smooth embeddings;
+* **neighbouring-day edges** — slot s links to the same slot one day later,
+  (s + slots_per_day) mod N, expressing daily periodicity.
+
+The paper's ablation T-day uses a one-day cycle instead, which cannot
+distinguish weekdays; :func:`build_daily_graph` implements that variant for
+Table 7.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..roadnet.linegraph import WeightedDigraph
+from .timeslot import TimeSlotConfig
+
+
+def build_weekly_graph(config: TimeSlotConfig) -> WeightedDigraph:
+    """Directed weekly temporal graph (Figure 5b).
+
+    Both edge families wrap modulo the week so the last Sunday slot connects
+    forward to the first Monday slot, preserving weekly periodicity.
+    """
+    n = config.slots_per_week
+    per_day = config.slots_per_day
+    graph = WeightedDigraph(n)
+    for s in range(n):
+        graph.add_edge(s, (s + 1) % n, 1.0)          # neighbouring slots
+        graph.add_edge(s, (s + per_day) % n, 1.0)    # neighbouring days
+    return graph
+
+
+def build_daily_graph(config: TimeSlotConfig) -> WeightedDigraph:
+    """One-day temporal graph used by the T-day variant (Table 7)."""
+    n = config.slots_per_day
+    graph = WeightedDigraph(n)
+    for s in range(n):
+        graph.add_edge(s, (s + 1) % n, 1.0)
+    return graph
+
+
+def weekly_edge_list(config: TimeSlotConfig) -> List[Tuple[int, int]]:
+    """Explicit edge list of the weekly graph (for tests/inspection)."""
+    graph = build_weekly_graph(config)
+    return [(u, v) for u, v, _ in graph.edges()]

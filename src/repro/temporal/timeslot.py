@@ -1,0 +1,112 @@
+"""Time slots and time remainders (paper Definition 4, Eq. 2-3).
+
+A timestamp ``t`` is normalised relative to a base timestamp ``t0`` and a
+slot size ``Δt``::
+
+    t_p = floor((t - t0) / Δt)          (Eq. 2)
+    t_r = t - t0 - t_p * Δt             (Eq. 3)
+
+Because traffic conditions repeat weekly (Fig. 5a), only the slots of one
+week are embedded: a slot maps to temporal-graph node ``t_p % slots_per_week``
+(paper: ``t_p % 2016`` when Δt is 5 minutes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+SECONDS_PER_DAY = 24 * 3600
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class TimeSlotConfig:
+    """Time-slot arithmetic parameterised by base timestamp and slot size.
+
+    Parameters
+    ----------
+    base_timestamp:
+        ``t0`` of Definition 4; must be no larger than any timestamp in the
+        data.  For weekly periodicity to align with calendar weekdays, pick
+        a ``t0`` that falls on a week boundary (e.g. a Monday midnight).
+    slot_seconds:
+        ``Δt``.  The paper's default is 5 minutes (300 s), giving 288 slots
+        per day and 2016 per week.
+    """
+
+    base_timestamp: float = 0.0
+    slot_seconds: float = 300.0
+
+    def __post_init__(self):
+        if self.slot_seconds <= 0:
+            raise ValueError("slot size must be positive")
+        if SECONDS_PER_DAY % self.slot_seconds != 0:
+            raise ValueError(
+                f"slot size {self.slot_seconds}s must divide one day evenly")
+
+    # ------------------------------------------------------------------
+    @property
+    def slots_per_day(self) -> int:
+        return int(SECONDS_PER_DAY // self.slot_seconds)
+
+    @property
+    def slots_per_week(self) -> int:
+        return 7 * self.slots_per_day
+
+    # ------------------------------------------------------------------
+    def slot_of(self, timestamp: float) -> int:
+        """Eq. 2: absolute slot index t_p (not yet wrapped to the week)."""
+        if timestamp < self.base_timestamp:
+            raise ValueError(
+                f"timestamp {timestamp} precedes base {self.base_timestamp}")
+        return int((timestamp - self.base_timestamp) // self.slot_seconds)
+
+    def remainder_of(self, timestamp: float) -> float:
+        """Eq. 3: remainder t_r in [0, Δt)."""
+        t_p = self.slot_of(timestamp)
+        return float(timestamp - self.base_timestamp
+                     - t_p * self.slot_seconds)
+
+    def normalize(self, timestamp: float) -> Tuple[int, float]:
+        """Return (t_p, t_r); the <t_p, t_r> pair representing a timestamp."""
+        t_p = self.slot_of(timestamp)
+        t_r = float(timestamp - self.base_timestamp
+                    - t_p * self.slot_seconds)
+        return t_p, t_r
+
+    def weekly_node(self, slot: int) -> int:
+        """Temporal-graph node id: t_p % slots_per_week."""
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        return slot % self.slots_per_week
+
+    def daily_node(self, slot: int) -> int:
+        """Node id in a one-day temporal graph (for the T-day variant)."""
+        if slot < 0:
+            raise ValueError("slot must be non-negative")
+        return slot % self.slots_per_day
+
+    def interval_slots(self, t_start: float, t_end: float) -> range:
+        """All slot indices covered by a time interval (Eq. 4).
+
+        ``Δd = t_p[-1] - t_p[1] + 1`` slots: t_p[1], t_p[1]+1, ..., t_p[-1].
+        """
+        if t_end < t_start:
+            raise ValueError("interval end precedes start")
+        first = self.slot_of(t_start)
+        last = self.slot_of(t_end)
+        return range(first, last + 1)
+
+    def slot_start_time(self, slot: int) -> float:
+        """Timestamp at which ``slot`` begins."""
+        return self.base_timestamp + slot * self.slot_seconds
+
+    def day_of_week(self, timestamp: float) -> int:
+        """0 = first day of the base week (Monday by convention)."""
+        seconds = (timestamp - self.base_timestamp) % SECONDS_PER_WEEK
+        return int(seconds // SECONDS_PER_DAY)
+
+    def hour_of_day(self, timestamp: float) -> float:
+        seconds = (timestamp - self.base_timestamp) % SECONDS_PER_DAY
+        return seconds / 3600.0

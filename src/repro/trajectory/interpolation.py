@@ -1,0 +1,129 @@
+"""Per-edge time-interval interpolation (paper Section 2).
+
+GPS points arrive every few seconds, while the spatio-temporal path needs an
+entry/exit timestamp for every road segment.  The paper uses linear
+interpolation to compute t_i[1] and t_i[-1]; we do the same: distribute time
+along the route proportionally to distance between the surrounding GPS
+fixes (or, when only endpoint timestamps are known, along the whole route).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..roadnet.graph import RoadNetwork
+from .model import MatchedTrajectory, PathElement
+
+
+def intervals_from_endpoint_times(
+        net: RoadNetwork, edge_ids: Sequence[int],
+        depart_time: float, arrive_time: float,
+        ratio_start: float, ratio_end: float) -> List[PathElement]:
+    """Linear interpolation of edge intervals from trip endpoints.
+
+    The travelled distance on the first edge is ``(1 - r[1]) * len`` and on
+    the last edge ``r[-1] * len`` (the trip enters the first segment at
+    ratio r[1] and leaves the last at r[-1]); intermediate edges contribute
+    their full length.  Time is spread proportionally to distance, matching
+    the paper's linear-interpolation convention.
+    """
+    if arrive_time <= depart_time:
+        raise ValueError("arrival must be after departure")
+    if not edge_ids:
+        raise ValueError("empty edge sequence")
+    distances = _travelled_distances(net, edge_ids, ratio_start, ratio_end)
+    total = float(sum(distances))
+    if total <= 0:
+        # Degenerate trip inside one point: spread time evenly.
+        distances = [1.0] * len(edge_ids)
+        total = float(len(edge_ids))
+    duration = arrive_time - depart_time
+    elements: List[PathElement] = []
+    clock = depart_time
+    for eid, dist in zip(edge_ids, distances):
+        dt = duration * dist / total
+        elements.append(PathElement(eid, clock, clock + dt))
+        clock += dt
+    # Snap the final exit to the exact arrival time (no float drift).
+    last = elements[-1]
+    elements[-1] = PathElement(last.edge_id, last.enter_time, arrive_time)
+    return elements
+
+
+def intervals_from_gps_times(
+        net: RoadNetwork, edge_ids: Sequence[int],
+        gps_times: Sequence[float], gps_route_positions: Sequence[float],
+        ratio_start: float, ratio_end: float) -> List[PathElement]:
+    """Interval interpolation anchored at every GPS fix.
+
+    Parameters
+    ----------
+    gps_times:
+        Timestamps of the GPS fixes along the trip.
+    gps_route_positions:
+        Cumulative route distance (metres from the trip origin) of each fix,
+        monotone non-decreasing and aligned with ``gps_times``.
+
+    Edge boundary crossings are converted to route positions, then their
+    timestamps interpolated within the bracketing GPS fixes, which is how a
+    matcher with dense fixes (3-second sampling in Chengdu/Xi'an) recovers
+    fine-grained intervals.
+    """
+    if len(gps_times) != len(gps_route_positions):
+        raise ValueError("times and positions must align")
+    if len(gps_times) < 2:
+        raise ValueError("need at least two GPS fixes")
+    positions = np.asarray(gps_route_positions, dtype=float)
+    times = np.asarray(gps_times, dtype=float)
+    if np.any(np.diff(positions) < -1e-9):
+        raise ValueError("route positions must be non-decreasing")
+    if np.any(np.diff(times) < 0):
+        raise ValueError("gps times must be non-decreasing")
+
+    boundaries = _edge_boundaries(net, edge_ids, ratio_start, ratio_end)
+    # The matcher's cumulative positions and the ratio-based boundary
+    # model can drift by a few metres (projection vs path geometry);
+    # rescale boundaries onto the observed position span so the first/last
+    # timestamps pin exactly to the first/last GPS fixes.
+    span = boundaries[-1] - boundaries[0]
+    obs_span = positions[-1] - positions[0]
+    if span > 0 and obs_span > 0:
+        boundaries = (positions[0]
+                      + (boundaries - boundaries[0]) * (obs_span / span))
+    # Interpolate a timestamp for every boundary route-position.
+    boundary_times = np.interp(boundaries, positions, times)
+    elements = []
+    for i, eid in enumerate(edge_ids):
+        elements.append(PathElement(eid, float(boundary_times[i]),
+                                    float(boundary_times[i + 1])))
+    return elements
+
+
+def _travelled_distances(net: RoadNetwork, edge_ids: Sequence[int],
+                         ratio_start: float, ratio_end: float) -> List[float]:
+    if len(edge_ids) == 1:
+        span = max(ratio_end - ratio_start, 0.0)
+        return [net.edge(edge_ids[0]).length * span]
+    distances = [net.edge(eid).length for eid in edge_ids]
+    distances[0] *= (1.0 - ratio_start)
+    distances[-1] *= ratio_end
+    return distances
+
+
+def _edge_boundaries(net: RoadNetwork, edge_ids: Sequence[int],
+                     ratio_start: float, ratio_end: float) -> np.ndarray:
+    """Cumulative route positions of edge entry/exit points."""
+    distances = _travelled_distances(net, edge_ids, ratio_start, ratio_end)
+    return np.concatenate([[0.0], np.cumsum(distances)])
+
+
+def build_matched_trajectory(
+        net: RoadNetwork, edge_ids: Sequence[int], depart_time: float,
+        arrive_time: float, ratio_start: float,
+        ratio_end: float) -> MatchedTrajectory:
+    """Convenience constructor used by the simulator and the matcher."""
+    elements = intervals_from_endpoint_times(
+        net, edge_ids, depart_time, arrive_time, ratio_start, ratio_end)
+    return MatchedTrajectory(elements, ratio_start, ratio_end)

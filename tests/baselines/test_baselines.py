@@ -1,0 +1,193 @@
+"""Tests for the five baseline estimators and the shared interface."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DeepODEstimator, GBMEstimator, LinearRegressionEstimator,
+    MURATEstimator, STNNEstimator, TEMPEstimator, od_feature_matrix,
+    target_vector,
+)
+from repro.core import DeepODConfig
+from repro.datagen import load_city, strip_trajectories
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_city("mini-chengdu", num_trips=200, num_days=14)
+
+
+@pytest.fixture(scope="module")
+def test_trips(dataset):
+    return strip_trajectories(dataset.split.test)
+
+
+def mae(preds, trips):
+    actual = np.array([t.travel_time for t in trips])
+    return float(np.mean(np.abs(preds - actual)))
+
+
+def mean_baseline_mae(dataset, trips):
+    mean_pred = np.mean([t.travel_time for t in dataset.split.train])
+    actual = np.array([t.travel_time for t in trips])
+    return float(np.mean(np.abs(mean_pred - actual)))
+
+
+class TestFeatureExtraction:
+    def test_matrix_shape(self, dataset):
+        x = od_feature_matrix(dataset.split.train[:10], dataset)
+        assert x.shape == (10, 12)
+        assert np.isfinite(x).all()
+
+    def test_target_vector(self, dataset):
+        y = target_vector(dataset.split.train[:5])
+        assert (y > 0).all()
+
+
+class TestTEMP:
+    def test_fit_predict(self, dataset, test_trips):
+        est = TEMPEstimator().fit(dataset)
+        preds = est.predict(test_trips)
+        assert preds.shape == (len(test_trips),)
+        assert (preds > 0).all()
+
+    def test_model_size_scales_with_data(self, dataset):
+        est = TEMPEstimator().fit(dataset)
+        assert est.model_size_bytes() == len(dataset.split.train) * 6 * 8
+
+    def test_predict_before_fit_raises(self, test_trips):
+        with pytest.raises(RuntimeError):
+            TEMPEstimator().predict(test_trips)
+
+    def test_relaxation_fallback(self, dataset):
+        """A query in an empty corner still returns a finite estimate."""
+        est = TEMPEstimator(neighbor_radius=1.0, max_relaxations=0)
+        est.fit(dataset)
+        from repro.trajectory import ODInput, TripRecord
+        od = ODInput((-9999.0, -9999.0), (-9998.0, -9998.0), 3600.0,
+                     origin_edge=0, destination_edge=1)
+        trip = TripRecord(od, travel_time=1.0)
+        pred = est.predict([trip])
+        assert np.isfinite(pred).all() and pred[0] > 0
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            TEMPEstimator(neighbor_radius=0.0)
+
+    def test_beats_global_mean(self, dataset, test_trips):
+        est = TEMPEstimator().fit(dataset)
+        assert mae(est.predict(test_trips), test_trips) < \
+            mean_baseline_mae(dataset, test_trips) * 1.05
+
+
+class TestLR:
+    def test_fit_predict_beats_mean(self, dataset, test_trips):
+        est = LinearRegressionEstimator().fit(dataset)
+        preds = est.predict(test_trips)
+        assert mae(preds, test_trips) < mean_baseline_mae(
+            dataset, test_trips)
+
+    def test_constant_model_size(self, dataset):
+        est = LinearRegressionEstimator().fit(dataset)
+        size_a = est.model_size_bytes()
+        small = load_city("mini-chengdu", num_trips=60, num_days=7)
+        size_b = LinearRegressionEstimator().fit(small).model_size_bytes()
+        assert size_a == size_b
+
+    def test_linearity(self, dataset):
+        """LR predictions are affine in the features: doubling a trip's
+        distance feature moves the prediction linearly."""
+        est = LinearRegressionEstimator().fit(dataset)
+        assert est._weights is not None
+
+    def test_predict_before_fit(self, test_trips):
+        with pytest.raises(RuntimeError):
+            LinearRegressionEstimator().predict(test_trips)
+
+
+class TestGBM:
+    def test_fit_predict_beats_lr(self, dataset, test_trips):
+        lr_mae = mae(LinearRegressionEstimator().fit(dataset)
+                     .predict(test_trips), test_trips)
+        gbm_mae = mae(GBMEstimator(num_trees=30, seed=0).fit(dataset)
+                      .predict(test_trips), test_trips)
+        # GBM captures non-linearity; on this data it should not lose to
+        # LR by much (and usually wins).
+        assert gbm_mae < lr_mae * 1.10
+
+    def test_more_trees_fit_training_better(self, dataset):
+        train = dataset.split.train
+        small = GBMEstimator(num_trees=5, seed=0).fit(dataset)
+        large = GBMEstimator(num_trees=40, seed=0).fit(dataset)
+        assert mae(large.predict(train), train) <= \
+            mae(small.predict(train), train)
+
+    def test_model_size_counts_nodes(self, dataset):
+        est = GBMEstimator(num_trees=10).fit(dataset)
+        assert est.model_size_bytes() > 0
+        bigger = GBMEstimator(num_trees=20).fit(dataset)
+        assert bigger.model_size_bytes() > est.model_size_bytes()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            GBMEstimator(num_trees=0)
+        with pytest.raises(ValueError):
+            GBMEstimator(learning_rate=0.0)
+
+    def test_deterministic(self, dataset, test_trips):
+        a = GBMEstimator(num_trees=8, seed=3).fit(dataset)
+        b = GBMEstimator(num_trees=8, seed=3).fit(dataset)
+        np.testing.assert_allclose(a.predict(test_trips),
+                                   b.predict(test_trips))
+
+
+class TestSTNN:
+    def test_fit_predict_beats_mean(self, dataset, test_trips):
+        est = STNNEstimator(epochs=8, seed=0).fit(dataset)
+        assert mae(est.predict(test_trips), test_trips) < \
+            mean_baseline_mae(dataset, test_trips)
+
+    def test_constant_model_size(self, dataset):
+        est = STNNEstimator(epochs=1).fit(dataset)
+        small = load_city("mini-chengdu", num_trips=60, num_days=7)
+        est2 = STNNEstimator(epochs=1).fit(small)
+        assert est.model_size_bytes() == est2.model_size_bytes()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            STNNEstimator(hidden=0)
+        with pytest.raises(ValueError):
+            STNNEstimator(distance_loss_weight=1.0)
+
+
+class TestMURAT:
+    def test_fit_predict_beats_mean(self, dataset, test_trips):
+        est = MURATEstimator(epochs=8, seed=0).fit(dataset)
+        assert mae(est.predict(test_trips), test_trips) < \
+            mean_baseline_mae(dataset, test_trips)
+
+    def test_model_size_grows_with_grid(self, dataset):
+        small = MURATEstimator(grid_cells=6, epochs=1).fit(dataset)
+        large = MURATEstimator(grid_cells=16, epochs=1).fit(dataset)
+        assert large.model_size_bytes() > small.model_size_bytes()
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            MURATEstimator(grid_cells=1)
+
+
+class TestDeepODAdapter:
+    def test_adapter_interface(self, dataset, test_trips):
+        cfg = DeepODConfig(d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8,
+                           d5_m=16, d6_m=8, d7_m=16, d9_m=16, d_h=16,
+                           d_traf=8, batch_size=16, epochs=2,
+                           use_external_features=False)
+        est = DeepODEstimator(cfg, eval_every=0).fit(dataset)
+        preds = est.predict(test_trips)
+        assert preds.shape == (len(test_trips),)
+        assert est.model_size_bytes() > 0
+        assert est.history is not None
+
+    def test_predict_before_fit(self, test_trips):
+        with pytest.raises(RuntimeError):
+            DeepODEstimator().predict(test_trips)

@@ -1,0 +1,74 @@
+"""Unit tests for the gradient-boosting internals (regression trees)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gbm import _RegressionTree, _TreeNode
+
+
+RNG = np.random.default_rng(31)
+
+
+class TestTreeNode:
+    def test_leaf_predict(self):
+        leaf = _TreeNode(value=3.5)
+        assert leaf.is_leaf
+        assert leaf.predict(np.array([1.0, 2.0])) == 3.5
+
+    def test_split_routing(self):
+        node = _TreeNode(feature=0, threshold=0.5,
+                         left=_TreeNode(value=-1.0),
+                         right=_TreeNode(value=1.0))
+        assert node.predict(np.array([0.2])) == -1.0
+        assert node.predict(np.array([0.9])) == 1.0
+
+    def test_count_nodes(self):
+        node = _TreeNode(feature=0, threshold=0.0,
+                         left=_TreeNode(value=0.0),
+                         right=_TreeNode(feature=1, threshold=0.0,
+                                         left=_TreeNode(value=0.0),
+                                         right=_TreeNode(value=0.0)))
+        assert node.count_nodes() == 5
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        """A depth-1 tree must find an obvious single split."""
+        x = np.linspace(0, 1, 200)[:, None]
+        y = np.where(x[:, 0] < 0.5, -1.0, 1.0)
+        tree = _RegressionTree(max_depth=1, min_samples_leaf=5).fit(x, y)
+        preds = tree.predict(x)
+        # Quantile split candidates land near (not exactly at) 0.5, so a
+        # few boundary points stay misrouted.
+        assert np.mean((preds - y) ** 2) < 0.2
+        assert not tree.root.is_leaf
+        assert tree.root.threshold == pytest.approx(0.5, abs=0.1)
+
+    def test_depth_limits_capacity(self):
+        x = RNG.random((300, 1))
+        y = np.sin(8 * x[:, 0])
+        shallow = _RegressionTree(max_depth=1, min_samples_leaf=5).fit(x, y)
+        deep = _RegressionTree(max_depth=5, min_samples_leaf=5).fit(x, y)
+        err_shallow = np.mean((shallow.predict(x) - y) ** 2)
+        err_deep = np.mean((deep.predict(x) - y) ** 2)
+        assert err_deep < err_shallow
+
+    def test_constant_target_stays_leaf(self):
+        x = RNG.random((50, 2))
+        y = np.full(50, 7.0)
+        tree = _RegressionTree(max_depth=3, min_samples_leaf=5).fit(x, y)
+        assert tree.root.is_leaf
+        np.testing.assert_allclose(tree.predict(x), 7.0)
+
+    def test_min_samples_leaf_respected(self):
+        """With min_samples_leaf above half the data no split is legal."""
+        x = RNG.random((20, 1))
+        y = x[:, 0]
+        tree = _RegressionTree(max_depth=3, min_samples_leaf=11).fit(x, y)
+        assert tree.root.is_leaf
+
+    def test_multifeature_picks_informative(self):
+        x = RNG.random((300, 3))
+        y = np.where(x[:, 2] < 0.5, 0.0, 10.0)   # only feature 2 matters
+        tree = _RegressionTree(max_depth=1, min_samples_leaf=5).fit(x, y)
+        assert tree.root.feature == 2

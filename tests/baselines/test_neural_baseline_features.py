@@ -1,0 +1,75 @@
+"""Feature-extraction unit tests for STNN and MURAT."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MURATEstimator, STNNEstimator
+from repro.datagen import load_city
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_city("mini-chengdu", num_trips=100, num_days=14)
+
+
+class TestSTNNFeatures:
+    def test_distance_targets_use_route_length(self, dataset):
+        est = STNNEstimator(epochs=1)
+        est._dataset = dataset
+        trips = dataset.split.train[:5]
+        dists = est._distances(trips)
+        for trip, d in zip(trips, dists):
+            route_len = sum(dataset.net.edge(e).length
+                            for e in trip.trajectory.edge_ids)
+            assert d == pytest.approx(route_len)
+
+    def test_distance_fallback_euclidean(self, dataset):
+        from repro.datagen import strip_trajectories
+        est = STNNEstimator(epochs=1)
+        est._dataset = dataset
+        stripped = strip_trajectories(dataset.split.train[:3])
+        dists = est._distances(stripped)
+        for trip, d in zip(stripped, dists):
+            ox, oy = trip.od.origin_xy
+            dx, dy = trip.od.destination_xy
+            assert d == pytest.approx(np.hypot(ox - dx, oy - dy))
+
+    def test_temporal_features_bounded(self, dataset):
+        est = STNNEstimator(epochs=1)
+        est._dataset = dataset
+        feats = est._temporal_features(dataset.split.train[:20])
+        assert feats.shape == (20, 4)
+        assert (np.abs(feats[:, :2]) <= 1.0).all()      # sin/cos
+        assert ((feats[:, 3] == 0) | (feats[:, 3] == 1)).all()
+
+
+class TestMURATFeatures:
+    def test_cell_mapping_in_range(self, dataset):
+        est = MURATEstimator(epochs=1, grid_cells=10)
+        est._bbox = dataset.net.bounding_box()
+        rng = np.random.default_rng(0)
+        min_x, min_y, max_x, max_y = est._bbox
+        for _ in range(50):
+            x = rng.uniform(min_x - 100, max_x + 100)
+            y = rng.uniform(min_y - 100, max_y + 100)
+            cell = est._cell_of(x, y)
+            assert 0 <= cell < 100
+
+    def test_slot_mapping_daily(self, dataset):
+        est = MURATEstimator(epochs=1, slot_minutes=30)
+        assert est._slot_of(0.0) == 0
+        assert est._slot_of(30 * 60.0) == 1
+        # Daily wrap: same time next day maps to the same slot.
+        assert est._slot_of(100.0) == est._slot_of(100.0 + 86400.0)
+
+    def test_float_features_include_dow(self, dataset):
+        est = MURATEstimator(epochs=1)
+        feats = est._float_features(dataset.split.train[:10])
+        assert feats.shape == (10, 12)   # 5 floats + 7 dow one-hot
+        np.testing.assert_allclose(feats[:, 5:].sum(axis=1), 1.0)
+
+    def test_corner_cells_differ(self, dataset):
+        est = MURATEstimator(epochs=1, grid_cells=8)
+        est._bbox = dataset.net.bounding_box()
+        min_x, min_y, max_x, max_y = est._bbox
+        assert est._cell_of(min_x, min_y) != est._cell_of(max_x, max_y)

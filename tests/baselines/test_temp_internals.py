@@ -1,0 +1,68 @@
+"""Unit tests for TEMP's slot indexing and neighbour relaxation."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.temp import TEMPEstimator
+from repro.datagen import load_city
+from repro.temporal import SECONDS_PER_WEEK
+from repro.trajectory import ODInput, TripRecord
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    dataset = load_city("mini-chengdu", num_trips=150, num_days=14)
+    return TEMPEstimator(slot_minutes=30.0).fit(dataset), dataset
+
+
+class TestSlotIndexing:
+    def test_weekly_wrap(self, fitted):
+        est, _ = fitted
+        t = 100.0
+        assert est._week_slot(t) == est._week_slot(t + SECONDS_PER_WEEK)
+
+    def test_slots_in_range(self, fitted):
+        est, _ = fitted
+        rng = np.random.default_rng(0)
+        for t in rng.uniform(0, 3 * SECONDS_PER_WEEK, size=50):
+            slot = est._week_slot(float(t))
+            assert 0 <= slot < est._slots_per_week
+
+
+class TestNeighbourLogic:
+    def _query(self, dataset, trip):
+        return TripRecord(od=trip.od, travel_time=trip.travel_time)
+
+    def test_narrow_radius_relaxes_outward(self, fitted):
+        """With an absurdly small radius the estimator must relax rather
+        than fail, and still produce a plausible time."""
+        est, dataset = fitted
+        narrow = TEMPEstimator(neighbor_radius=1e-3, slot_minutes=30.0,
+                               max_relaxations=8)
+        narrow.fit(dataset)
+        trip = dataset.split.test[0]
+        pred = narrow.predict([self._query(dataset, trip)])[0]
+        assert np.isfinite(pred) and pred > 0
+
+    def test_exact_repeat_trip_recalled(self, fitted):
+        """Querying a training trip's own OD/time must average a
+        neighbourhood containing that trip."""
+        est, dataset = fitted
+        trip = dataset.split.train[10]
+        pred = est.predict([self._query(dataset, trip)])[0]
+        # The prediction should be in the broad vicinity of the trip's
+        # own time (its neighbourhood average).
+        assert pred == pytest.approx(trip.travel_time, rel=2.0)
+
+    def test_fallback_is_training_mean(self, fitted):
+        est, dataset = fitted
+        assert est._fallback_time == pytest.approx(
+            np.mean([t.travel_time for t in dataset.split.train]))
+
+    def test_temporal_window_grows_on_relaxation(self, fitted):
+        est, dataset = fitted
+        od = dataset.split.test[0].od
+        slot = est._week_slot(od.depart_time)
+        hits_tight = est._neighbors(od, slot, est.neighbor_radius, 0)
+        hits_wide = est._neighbors(od, slot, est.neighbor_radius * 4, 2)
+        assert len(hits_wide) >= len(hits_tight)

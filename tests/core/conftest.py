@@ -1,0 +1,11 @@
+"""Shared fixtures for core-model tests: a tiny city dataset."""
+
+import pytest
+
+from repro.datagen import load_city
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A very small mini-chengdu instance shared across core tests."""
+    return load_city("mini-chengdu", num_trips=120, num_days=7)

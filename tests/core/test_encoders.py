@@ -1,0 +1,243 @@
+"""Tests for the DeepOD encoder modules (Sections 4.1-4.6)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepOD, DeepODConfig, ExternalFeaturesEncoder, ODEncoder,
+    RoadSegmentEmbedding, TimeIntervalEncoder, TimeSlotEmbedding,
+    TrajectoryEncoder, TravelTimeEstimatorHead,
+)
+from repro.nn import Tensor
+from repro.temporal import TimeSlotConfig
+from repro.trajectory import MatchedTrajectory, ODInput, PathElement
+
+
+CFG = DeepODConfig(d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8,
+                   d5_m=16, d6_m=8, d7_m=16, d9_m=16, d_h=16, d_traf=8)
+SLOT_CFG = TimeSlotConfig(base_timestamp=0.0, slot_seconds=300.0)
+RNG = np.random.default_rng(0)
+
+
+@pytest.fixture
+def slot_emb():
+    return TimeSlotEmbedding(SLOT_CFG, CFG.d_t, rng=np.random.default_rng(1))
+
+
+@pytest.fixture
+def road_emb():
+    return RoadSegmentEmbedding(20, CFG.d_s, rng=np.random.default_rng(2))
+
+
+@pytest.fixture
+def interval_encoder(slot_emb):
+    return TimeIntervalEncoder(CFG, slot_emb, rng=np.random.default_rng(3))
+
+
+class TestTimeSlotEmbedding:
+    def test_weekly_wraps(self, slot_emb):
+        a = slot_emb.lookup_slots([0]).data
+        b = slot_emb.lookup_slots([2016]).data
+        np.testing.assert_allclose(a, b)
+
+    def test_daily_graph_kind(self):
+        emb = TimeSlotEmbedding(SLOT_CFG, 8, graph_kind="daily",
+                                rng=np.random.default_rng(4))
+        assert emb.num_embeddings == 288
+        np.testing.assert_allclose(emb.lookup_slots([288]).data,
+                                   emb.lookup_slots([0]).data)
+
+    def test_invalid_graph_kind(self):
+        with pytest.raises(ValueError):
+            TimeSlotEmbedding(SLOT_CFG, 8, graph_kind="monthly")
+
+
+class TestTimeIntervalEncoder:
+    def test_output_shape(self, interval_encoder):
+        out = interval_encoder([(0.0, 400.0), (1000.0, 4000.0)])
+        assert out.shape == (2, CFG.d2_m)
+
+    def test_variable_slot_counts_batched(self, interval_encoder):
+        """Intervals spanning 1 and 10 slots batch together; padding must
+        not change the single-interval result."""
+        interval_encoder.eval()   # freeze batchnorm to running stats
+        single = interval_encoder([(0.0, 100.0)]).data
+        batched = interval_encoder([(0.0, 100.0), (0.0, 2900.0)]).data
+        np.testing.assert_allclose(batched[0], single[0], atol=1e-8)
+
+    def test_remainders_affect_output(self, interval_encoder):
+        interval_encoder.eval()
+        a = interval_encoder([(0.0, 100.0)]).data
+        b = interval_encoder([(50.0, 150.0)]).data
+        assert not np.allclose(a, b)
+
+    def test_gradients_reach_slot_embedding(self, interval_encoder,
+                                            slot_emb):
+        out = interval_encoder([(0.0, 700.0)])
+        out.sum().backward()
+        assert slot_emb.weight.grad is not None
+        assert np.abs(slot_emb.weight.grad).sum() > 0
+
+    def test_empty_batch_rejected(self, interval_encoder):
+        with pytest.raises(ValueError):
+            interval_encoder([])
+
+    def test_reversed_interval_rejected(self, interval_encoder):
+        with pytest.raises(ValueError):
+            interval_encoder([(100.0, 50.0)])
+
+
+class TestTrajectoryEncoder:
+    def _traj(self, edges, t0=0.0, dt=60.0):
+        path = [PathElement(e, t0 + i * dt, t0 + (i + 1) * dt)
+                for i, e in enumerate(edges)]
+        return MatchedTrajectory(path, 0.3, 0.7)
+
+    def test_output_shape(self, road_emb, interval_encoder):
+        enc = TrajectoryEncoder(CFG, road_emb, interval_encoder,
+                                rng=np.random.default_rng(5))
+        out = enc([self._traj([0, 1, 2]), self._traj([3, 4])])
+        assert out.shape == (2, CFG.d4_m)
+
+    def test_padding_invariance(self, road_emb, interval_encoder):
+        """A short trajectory's stcode must not depend on batchmates."""
+        enc = TrajectoryEncoder(CFG, road_emb, interval_encoder,
+                                rng=np.random.default_rng(5))
+        enc.eval()
+        alone = enc([self._traj([0, 1])]).data
+        batched = enc([self._traj([0, 1]),
+                       self._traj([2, 3, 4, 5, 6])]).data
+        np.testing.assert_allclose(batched[0], alone[0], atol=1e-8)
+
+    def test_order_sensitivity(self, road_emb, interval_encoder):
+        """Reversing the segment order must change the encoding — the
+        LSTM captures sequence structure."""
+        enc = TrajectoryEncoder(CFG, road_emb, interval_encoder,
+                                rng=np.random.default_rng(5))
+        enc.eval()
+        fwd = enc([self._traj([0, 1, 2, 3])]).data
+        rev = enc([self._traj([3, 2, 1, 0])]).data
+        assert not np.allclose(fwd, rev)
+
+    def test_ratio_sensitivity(self, road_emb, interval_encoder):
+        enc = TrajectoryEncoder(CFG, road_emb, interval_encoder,
+                                rng=np.random.default_rng(5))
+        enc.eval()
+        path = [PathElement(0, 0.0, 60.0)]
+        a = enc([MatchedTrajectory(path, 0.1, 0.9)]).data
+        b = enc([MatchedTrajectory(path, 0.9, 0.1)]).data
+        assert not np.allclose(a, b)
+
+    def test_nsp_zeroes_spatial(self, road_emb, interval_encoder):
+        cfg = CFG.with_overrides(use_spatial_encoding=False)
+        enc = TrajectoryEncoder(cfg, road_emb, interval_encoder,
+                                rng=np.random.default_rng(5))
+        enc([self._traj([0, 1])]).sum().backward()
+        assert road_emb.weight.grad is None
+
+    def test_empty_batch_rejected(self, road_emb, interval_encoder):
+        enc = TrajectoryEncoder(CFG, road_emb, interval_encoder,
+                                rng=np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            enc([])
+
+
+class TestExternalFeaturesEncoder:
+    def test_output_shape(self):
+        enc = ExternalFeaturesEncoder(CFG, rng=np.random.default_rng(6))
+        mats = RNG.random((3, 9, 9))
+        out = enc([0, 5, 15], mats)
+        assert out.shape == (3, CFG.d6_m)
+
+    def test_weather_id_validation(self):
+        enc = ExternalFeaturesEncoder(CFG, rng=np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            enc([16], RNG.random((1, 9, 9)))
+        with pytest.raises(ValueError):
+            enc([-1], RNG.random((1, 9, 9)))
+
+    def test_weather_changes_output(self):
+        enc = ExternalFeaturesEncoder(CFG, rng=np.random.default_rng(6))
+        enc.eval()
+        mat = RNG.random((1, 9, 9))
+        a = enc([0], mat).data
+        b = enc([6], mat).data
+        assert not np.allclose(a, b)
+
+    def test_traffic_matrix_changes_output(self):
+        enc = ExternalFeaturesEncoder(CFG, rng=np.random.default_rng(6))
+        enc.eval()
+        a = enc([0], np.full((1, 9, 9), 0.2)).data
+        b = enc([0], np.full((1, 9, 9), 0.9)).data
+        assert not np.allclose(a, b)
+
+    def test_bad_matrix_ndim(self):
+        enc = ExternalFeaturesEncoder(CFG, rng=np.random.default_rng(6))
+        with pytest.raises(ValueError):
+            enc.cnn(Tensor(RNG.random((9, 9))))
+
+
+class TestODEncoder:
+    def _od(self, e1=0, e2=5, t=3600.0, weather=0):
+        return ODInput((0, 0), (1, 1), t, origin_edge=e1,
+                       destination_edge=e2, ratio_start=0.3, ratio_end=0.6,
+                       weather=weather)
+
+    def _encoder(self, cfg=CFG, with_external=True):
+        road = RoadSegmentEmbedding(20, cfg.d_s,
+                                    rng=np.random.default_rng(2))
+        slot = TimeSlotEmbedding(SLOT_CFG, cfg.d_t,
+                                 rng=np.random.default_rng(1))
+        ext = (ExternalFeaturesEncoder(cfg, rng=np.random.default_rng(6))
+               if with_external else None)
+        if not with_external:
+            cfg = cfg.with_overrides(use_external_features=False)
+        return ODEncoder(cfg, road, slot, ext,
+                         rng=np.random.default_rng(7)), cfg
+
+    def test_output_width_is_d8(self):
+        enc, cfg = self._encoder()
+        out = enc([self._od()], RNG.random((1, 9, 9)))
+        assert out.shape == (1, cfg.d8_m)
+        assert cfg.d8_m == cfg.d4_m
+
+    def test_unmatched_od_rejected(self):
+        enc, _ = self._encoder()
+        od = ODInput((0, 0), (1, 1), 100.0)   # not matched
+        with pytest.raises(ValueError):
+            enc([od], RNG.random((1, 9, 9)))
+
+    def test_missing_speed_matrices_rejected(self):
+        enc, _ = self._encoder()
+        with pytest.raises(ValueError):
+            enc([self._od()])
+
+    def test_external_disabled_needs_no_matrices(self):
+        enc, _ = self._encoder(with_external=False)
+        out = enc([self._od()])
+        assert out.shape == (1, CFG.d8_m)
+
+    def test_departure_time_matters(self):
+        enc, _ = self._encoder(with_external=False)
+        enc.eval()
+        a = enc([self._od(t=8 * 3600.0)]).data
+        b = enc([self._od(t=3 * 3600.0)]).data
+        assert not np.allclose(a, b)
+
+    def test_tstamp_variant_uses_raw_timestamp(self):
+        cfg = CFG.with_overrides(use_timestamp_directly=True,
+                                 use_external_features=False)
+        road = RoadSegmentEmbedding(20, cfg.d_s,
+                                    rng=np.random.default_rng(2))
+        slot = TimeSlotEmbedding(SLOT_CFG, cfg.d_t,
+                                 rng=np.random.default_rng(1))
+        enc = ODEncoder(cfg, road, slot, None,
+                        rng=np.random.default_rng(7))
+        enc.eval()
+        out = enc([self._od(t=5000.0)])
+        assert out.shape == (1, cfg.d8_m)
+
+    def test_estimator_head_scalar(self):
+        head = TravelTimeEstimatorHead(CFG, rng=np.random.default_rng(8))
+        out = head(Tensor(RNG.random((4, CFG.d8_m))))
+        assert out.shape == (4, 1)

@@ -1,0 +1,58 @@
+"""Train/eval mode semantics of the Time Interval Encoder's BatchNorm and
+the encoder's slot-boundary behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core import DeepODConfig, TimeIntervalEncoder, TimeSlotEmbedding
+from repro.temporal import SECONDS_PER_WEEK, TimeSlotConfig
+
+
+CFG = DeepODConfig(d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8,
+                   d5_m=16, d6_m=8, d7_m=16, d9_m=16, d_h=16, d_traf=8)
+SLOT_CFG = TimeSlotConfig(base_timestamp=0.0, slot_seconds=300.0)
+
+
+@pytest.fixture
+def encoder():
+    emb = TimeSlotEmbedding(SLOT_CFG, CFG.d_t,
+                            rng=np.random.default_rng(3))
+    return TimeIntervalEncoder(CFG, emb, rng=np.random.default_rng(4))
+
+
+class TestModes:
+    def test_train_mode_updates_running_stats(self, encoder):
+        before = encoder.resnet.bn1.running_mean.copy()
+        encoder.train()
+        encoder([(0.0, 1200.0)] * 4)
+        after = encoder.resnet.bn1.running_mean
+        assert not np.allclose(before, after)
+
+    def test_eval_mode_is_deterministic_across_batsizes(self, encoder):
+        encoder.train()
+        for _ in range(3):
+            encoder([(0.0, 900.0), (300.0, 1500.0)])
+        encoder.eval()
+        single = encoder([(0.0, 900.0)]).data
+        repeated = encoder([(0.0, 900.0)] * 4).data
+        for row in repeated:
+            np.testing.assert_allclose(row, single[0], atol=1e-10)
+
+
+class TestSlotBoundaries:
+    def test_weekly_wraparound_interval(self, encoder):
+        """An interval near the end of the week maps onto wrapped nodes
+        without error."""
+        end_of_week = SECONDS_PER_WEEK - 100.0
+        out = encoder([(end_of_week, end_of_week + 400.0)])
+        assert np.isfinite(out.data).all()
+
+    def test_interval_spanning_many_slots(self, encoder):
+        out = encoder([(0.0, 20 * 300.0)])
+        assert out.shape == (1, CFG.d2_m)
+
+    def test_same_slot_different_remainders_differ(self, encoder):
+        encoder.eval()
+        a = encoder([(10.0, 20.0)]).data
+        b = encoder([(200.0, 290.0)]).data
+        assert not np.allclose(a, b)

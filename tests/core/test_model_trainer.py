@@ -1,0 +1,190 @@
+"""End-to-end tests for DeepOD assembly, training and prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepOD, DeepODConfig, DeepODTrainer, build_deepod, paper_scale,
+    variant_config,
+)
+from repro.datagen import strip_trajectories
+
+
+def small_config(**overrides):
+    base = dict(d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8,
+                d5_m=16, d6_m=8, d7_m=16, d9_m=16, d_h=16, d_traf=8,
+                batch_size=16, epochs=1, seed=0,
+                use_external_features=False)
+    base.update(overrides)
+    return DeepODConfig(**base)
+
+
+class TestConfig:
+    def test_d8_tied_to_d4(self):
+        cfg = small_config(d4_m=12)
+        assert cfg.d8_m == 12
+
+    def test_paper_scale_values(self):
+        cfg = paper_scale()
+        assert cfg.d_s == 64 and cfg.d_t == 64
+        assert cfg.d1_m == 128 and cfg.d2_m == 64
+        assert cfg.d_h == 128 and cfg.d_traf == 128
+        assert cfg.batch_size == 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeepODConfig(aux_weight=1.5)
+        with pytest.raises(ValueError):
+            DeepODConfig(d_s=0)
+        with pytest.raises(ValueError):
+            DeepODConfig(init_road_embedding="magic")
+        with pytest.raises(ValueError):
+            DeepODConfig(temporal_graph="hourly")
+
+    def test_with_overrides_copies(self):
+        cfg = small_config()
+        other = cfg.with_overrides(aux_weight=0.3)
+        assert cfg.aux_weight != 0.3
+        assert other.aux_weight == 0.3
+
+    def test_variant_configs(self):
+        base = small_config()
+        assert not variant_config(base, "N-st").use_trajectory_encoder
+        assert not variant_config(base, "N-sp").use_spatial_encoding
+        assert not variant_config(base, "N-tp").use_temporal_encoding
+        assert not variant_config(base, "N-other").use_external_features
+        assert variant_config(base, "T-one").init_slot_embedding == "onehot"
+        assert variant_config(base, "T-day").temporal_graph == "daily"
+        assert variant_config(base, "T-stamp").use_timestamp_directly
+        assert variant_config(base, "R-one").init_road_embedding == "onehot"
+        with pytest.raises(ValueError):
+            variant_config(base, "N-everything")
+
+
+class TestModelForward:
+    def test_build_and_predict_shapes(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config())
+        trips = tiny_dataset.split.test[:5]
+        preds = model.predict([t.od for t in trips])
+        assert preds.shape == (5,)
+        assert (preds > 0).all()
+
+    def test_training_losses_structure(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config())
+        batch = tiny_dataset.split.train[:8]
+        losses = model.training_losses(
+            [t.od for t in batch], [t.trajectory for t in batch],
+            np.array([t.travel_time for t in batch]))
+        assert losses.main >= 0
+        assert losses.auxiliary >= 0
+        w = model.config.aux_weight
+        assert losses.total.item() == pytest.approx(
+            w * losses.auxiliary + (1 - w) * losses.main, rel=1e-6)
+
+    def test_nst_variant_skips_auxiliary(self, tiny_dataset):
+        model = build_deepod(
+            tiny_dataset, small_config(use_trajectory_encoder=False))
+        batch = tiny_dataset.split.train[:4]
+        losses = model.training_losses(
+            [t.od for t in batch], [t.trajectory for t in batch],
+            np.array([t.travel_time for t in batch]))
+        assert losses.auxiliary == 0.0
+        with pytest.raises(RuntimeError):
+            model.encode_trajectories([batch[0].trajectory])
+
+    def test_target_stats_validation(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config())
+        with pytest.raises(ValueError):
+            model.set_target_stats(0.0, 0.0)
+
+    def test_code_and_stcode_same_width(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config())
+        batch = tiny_dataset.split.train[:4]
+        code = model.encode_od([t.od for t in batch])
+        stcode = model.encode_trajectories([t.trajectory for t in batch])
+        assert code.shape == stcode.shape
+
+
+class TestTraining:
+    def test_loss_decreases(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config(epochs=3))
+        trainer = DeepODTrainer(model, tiny_dataset, eval_every=1000)
+        history = trainer.fit(track_validation=False)
+        first = np.mean(history.train_loss[:3])
+        last = np.mean(history.train_loss[-3:])
+        assert last < first
+
+    def test_validation_tracking(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config(epochs=1))
+        trainer = DeepODTrainer(model, tiny_dataset, eval_every=2)
+        history = trainer.fit()
+        assert len(history.steps) == len(history.val_mae)
+        assert history.steps and history.wall_seconds > 0
+        assert history.convergence_step() >= history.steps[0]
+
+    def test_max_steps_cutoff(self, tiny_dataset):
+        model = build_deepod(tiny_dataset, small_config(epochs=10))
+        trainer = DeepODTrainer(model, tiny_dataset, eval_every=1000)
+        trainer.fit(max_steps=3, track_validation=False)
+        assert trainer._step == 3
+
+    def test_auxiliary_binds_codes(self, tiny_dataset):
+        """After training with w > 0, code should be closer to its own
+        trajectory's stcode than before training."""
+        cfg = small_config(aux_weight=0.8, epochs=2)
+        model = build_deepod(tiny_dataset, cfg)
+        batch = tiny_dataset.split.train[:16]
+
+        def mean_gap():
+            code = model.encode_od([t.od for t in batch]).data
+            st = model.encode_trajectories(
+                [t.trajectory for t in batch]).data
+            return float(np.linalg.norm(code - st, axis=1).mean())
+
+        before = mean_gap()
+        DeepODTrainer(model, tiny_dataset, eval_every=1000).fit(
+            track_validation=False)
+        assert mean_gap() < before
+
+    def test_beats_mean_predictor(self, tiny_dataset):
+        """DeepOD must beat the trivial predict-the-training-mean baseline
+        on held-out data."""
+        model = build_deepod(tiny_dataset, small_config(epochs=8))
+        trainer = DeepODTrainer(model, tiny_dataset, eval_every=1000)
+        trainer.fit(track_validation=False)
+        test = strip_trajectories(tiny_dataset.split.test)
+        preds = trainer.predict(test)
+        actual = np.array([t.travel_time for t in test])
+        mean_pred = np.mean(
+            [t.travel_time for t in tiny_dataset.split.train])
+        model_mae = np.mean(np.abs(preds - actual))
+        mean_mae = np.mean(np.abs(mean_pred - actual))
+        assert model_mae < mean_mae
+
+    def test_prediction_without_trajectories(self, tiny_dataset):
+        """The online protocol: test trips carry no trajectory."""
+        model = build_deepod(tiny_dataset, small_config())
+        trainer = DeepODTrainer(model, tiny_dataset, eval_every=1000)
+        trainer.fit(max_steps=2, track_validation=False)
+        stripped = strip_trajectories(tiny_dataset.split.test[:10])
+        preds = trainer.predict(stripped)
+        assert preds.shape == (10,)
+        assert np.isfinite(preds).all()
+
+    def test_deterministic_given_seed(self, tiny_dataset):
+        def run():
+            model = build_deepod(tiny_dataset, small_config(seed=3))
+            trainer = DeepODTrainer(model, tiny_dataset, eval_every=1000)
+            trainer.fit(max_steps=3, track_validation=False)
+            return trainer.predict(tiny_dataset.split.test[:5])
+
+        np.testing.assert_allclose(run(), run())
+
+    def test_external_features_path(self, tiny_dataset):
+        """Full pipeline including the speed-matrix CNN."""
+        cfg = small_config(use_external_features=True, epochs=1)
+        model = build_deepod(tiny_dataset, cfg)
+        trainer = DeepODTrainer(model, tiny_dataset, eval_every=1000)
+        trainer.fit(max_steps=2, track_validation=False)
+        preds = trainer.predict(tiny_dataset.split.test[:4])
+        assert np.isfinite(preds).all()

@@ -1,0 +1,112 @@
+"""Behavioural checks: each ablation/variant must change exactly the
+component it names (not just a config flag)."""
+
+import numpy as np
+import pytest
+
+from repro.core import build_deepod, variant_config
+from repro.core.config import DeepODConfig
+
+
+CFG = DeepODConfig(d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8,
+                   d5_m=16, d6_m=8, d7_m=16, d9_m=16, d_h=16, d_traf=8,
+                   batch_size=16, epochs=1, use_external_features=False,
+                   seed=0)
+
+
+class TestVariantWiring:
+    def test_tday_shrinks_slot_table(self, tiny_dataset):
+        full = build_deepod(tiny_dataset, CFG)
+        tday = build_deepod(tiny_dataset, variant_config(CFG, "T-day"))
+        slots_per_day = tiny_dataset.slot_config.slots_per_day
+        assert full.slot_embedding.num_embeddings == 7 * slots_per_day
+        assert tday.slot_embedding.num_embeddings == slots_per_day
+
+    def test_tone_skips_pretraining(self, tiny_dataset):
+        """T-one's Wt must differ from the node2vec-initialised Wt (same
+        rng stream otherwise)."""
+        full = build_deepod(tiny_dataset, CFG)
+        tone = build_deepod(tiny_dataset, variant_config(CFG, "T-one"))
+        assert not np.allclose(full.slot_embedding.weight.data,
+                               tone.slot_embedding.weight.data)
+
+    def test_rone_skips_pretraining(self, tiny_dataset):
+        full = build_deepod(tiny_dataset, CFG)
+        rone = build_deepod(tiny_dataset, variant_config(CFG, "R-one"))
+        assert not np.allclose(full.road_embedding.weight.data,
+                               rone.road_embedding.weight.data)
+
+    def test_nst_removes_trajectory_encoder(self, tiny_dataset):
+        nst = build_deepod(tiny_dataset, variant_config(CFG, "N-st"))
+        assert nst.trajectory_encoder is None
+
+    def test_nsp_insensitive_to_od_edges(self, tiny_dataset):
+        """With spatial encoding off, changing the matched edges must not
+        change the code."""
+        import dataclasses
+        nsp = build_deepod(tiny_dataset, variant_config(CFG, "N-sp"))
+        nsp.eval()
+        od = tiny_dataset.split.test[0].od
+        other = dataclasses.replace(od, origin_edge=(od.origin_edge + 1)
+                                    % tiny_dataset.net.num_edges)
+        a = nsp.encode_od([od]).data
+        b = nsp.encode_od([other]).data
+        np.testing.assert_allclose(a, b)
+
+    def test_ntp_insensitive_to_slot(self, tiny_dataset):
+        """With temporal encoding off, shifting the departure by whole
+        slots (same remainder) must not change the code."""
+        import dataclasses
+        ntp = build_deepod(tiny_dataset, variant_config(CFG, "N-tp"))
+        ntp.eval()
+        od = tiny_dataset.split.test[0].od
+        shift = 7 * tiny_dataset.slot_config.slot_seconds
+        other = dataclasses.replace(od, depart_time=od.depart_time + shift)
+        a = ntp.encode_od([od]).data
+        b = ntp.encode_od([other]).data
+        np.testing.assert_allclose(a, b)
+
+    def test_full_model_sensitive_to_both(self, tiny_dataset):
+        import dataclasses
+        full = build_deepod(tiny_dataset, CFG)
+        full.eval()
+        od = tiny_dataset.split.test[0].od
+        other_edge = dataclasses.replace(
+            od, origin_edge=(od.origin_edge + 1)
+            % tiny_dataset.net.num_edges)
+        shift = 7 * tiny_dataset.slot_config.slot_seconds
+        other_time = dataclasses.replace(od,
+                                         depart_time=od.depart_time + shift)
+        base = full.encode_od([od]).data
+        assert not np.allclose(base, full.encode_od([other_edge]).data)
+        assert not np.allclose(base, full.encode_od([other_time]).data)
+
+    def test_gru_variant_builds_and_runs(self, tiny_dataset):
+        cfg = CFG.with_overrides(sequence_encoder="gru")
+        model = build_deepod(tiny_dataset, cfg)
+        batch = tiny_dataset.split.train[:3]
+        out = model.encode_trajectories([t.trajectory for t in batch])
+        assert out.shape == (3, CFG.d4_m)
+
+    def test_mean_variant_order_insensitive(self, tiny_dataset):
+        """The mean sequence encoder must ignore element order (the
+        property the LSTM is supposed to add)."""
+        from repro.trajectory import MatchedTrajectory, PathElement
+        cfg = CFG.with_overrides(sequence_encoder="mean")
+        model = build_deepod(tiny_dataset, cfg)
+        model.eval()
+        path = [PathElement(0, 0.0, 30.0), PathElement(1, 30.0, 90.0)]
+        fwd = MatchedTrajectory(path, 0.5, 0.5)
+        rev_path = [PathElement(1, 0.0, 60.0), PathElement(0, 60.0, 90.0)]
+        rev = MatchedTrajectory(rev_path, 0.5, 0.5)
+        a = model.encode_trajectories([fwd]).data
+        b = model.encode_trajectories([rev]).data
+        # Spatial parts are identical sets; temporal parts differ by the
+        # interval split, so only the road-embedding contribution is
+        # strictly order-free.  Check via zeroed temporal encoding.
+        cfg2 = cfg.with_overrides(use_temporal_encoding=False)
+        model2 = build_deepod(tiny_dataset, cfg2)
+        model2.eval()
+        a2 = model2.encode_trajectories([fwd]).data
+        b2 = model2.encode_trajectories([rev]).data
+        np.testing.assert_allclose(a2, b2, atol=1e-10)

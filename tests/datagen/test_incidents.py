@@ -1,0 +1,101 @@
+"""Tests for the traffic-incident extension."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    Incident, IncidentConfig, IncidentProcess, IncidentTraffic,
+    TrafficModel, TripConfig, TripGenerator, WeatherProcess,
+)
+from repro.roadnet import grid_city
+from repro.temporal import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(5, 5, seed=1)
+
+
+class TestIncident:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Incident((1,), 100.0, 100.0, 0.5)
+        with pytest.raises(ValueError):
+            Incident((1,), 0.0, 10.0, 0.0)
+        with pytest.raises(ValueError):
+            Incident((), 0.0, 10.0, 0.5)
+
+    def test_active_window(self):
+        inc = Incident((1, 2), 100.0, 200.0, 0.5)
+        assert inc.active_at(100.0)
+        assert inc.active_at(199.9)
+        assert not inc.active_at(200.0)
+        assert not inc.active_at(50.0)
+
+
+class TestIncidentProcess:
+    def test_sampling_respects_horizon(self, city):
+        proc = IncidentProcess(city, 3 * SECONDS_PER_DAY, seed=2)
+        for inc in proc.incidents:
+            assert 0 <= inc.start < inc.end <= 3 * SECONDS_PER_DAY
+            assert all(0 <= e < city.num_edges for e in inc.edge_ids)
+
+    def test_expected_count_scales_with_rate(self, city):
+        low = IncidentProcess(city, 10 * SECONDS_PER_DAY,
+                              IncidentConfig(rate_per_day=1.0), seed=3)
+        high = IncidentProcess(city, 10 * SECONDS_PER_DAY,
+                               IncidentConfig(rate_per_day=20.0), seed=3)
+        assert len(high.incidents) > len(low.incidents)
+
+    def test_factor_composition(self, city):
+        proc = IncidentProcess(city, SECONDS_PER_DAY,
+                               IncidentConfig(rate_per_day=0.0), seed=4)
+        proc.incidents = [Incident((0,), 0.0, 100.0, 0.5),
+                          Incident((0, 1), 0.0, 100.0, 0.8)]
+        assert proc.factor(0, 50.0) == pytest.approx(0.4)
+        assert proc.factor(1, 50.0) == pytest.approx(0.8)
+        assert proc.factor(0, 150.0) == 1.0
+
+    def test_invalid_config(self, city):
+        with pytest.raises(ValueError):
+            IncidentConfig(rate_per_day=-1.0)
+        with pytest.raises(ValueError):
+            IncidentConfig(severity_range=(0.0, 0.5))
+        with pytest.raises(ValueError):
+            IncidentProcess(city, 0.0)
+
+
+class TestIncidentTraffic:
+    def test_slows_affected_edge_during_window(self, city):
+        base = TrafficModel(city, seed=5)
+        proc = IncidentProcess(city, SECONDS_PER_DAY,
+                               IncidentConfig(rate_per_day=0.0), seed=6)
+        proc.incidents = [Incident((3,), 1000.0, 2000.0, 0.3)]
+        overlay = IncidentTraffic(base, proc)
+        during = overlay.speed(3, 1500.0)
+        outside = overlay.speed(3, 5000.0)
+        assert during < outside
+        assert outside == pytest.approx(base.speed(3, 5000.0))
+        # Unaffected edges are untouched.
+        assert overlay.speed(4, 1500.0) == pytest.approx(
+            base.speed(4, 1500.0))
+
+    def test_travel_time_consistent(self, city):
+        base = TrafficModel(city, seed=5)
+        proc = IncidentProcess(city, SECONDS_PER_DAY, seed=7)
+        overlay = IncidentTraffic(base, proc)
+        t = 3600.0
+        assert overlay.travel_time(0, t) == pytest.approx(
+            city.edge(0).length / overlay.speed(0, t))
+
+    def test_trip_generator_accepts_overlay(self, city):
+        """The overlay is a drop-in TrafficModel for trip generation."""
+        base = TrafficModel(city, seed=8)
+        proc = IncidentProcess(city, SECONDS_PER_DAY,
+                               IncidentConfig(rate_per_day=10.0), seed=9)
+        overlay = IncidentTraffic(base, proc)
+        weather = WeatherProcess(SECONDS_PER_DAY, seed=10)
+        gen = TripGenerator(city, overlay, weather, TripConfig(), seed=11)
+        trips = gen.generate(5, num_days=1)
+        assert len(trips) == 5
+        assert all(t.travel_time > 0 for t in trips)

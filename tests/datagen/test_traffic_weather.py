@@ -1,0 +1,141 @@
+"""Tests for the traffic model and the weather process."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    N_WEATHER_TYPES, TrafficConfig, TrafficModel, WeatherConfig,
+    WeatherProcess,
+)
+from repro.roadnet import grid_city
+from repro.temporal import SECONDS_PER_DAY
+
+
+@pytest.fixture(scope="module")
+def city():
+    return grid_city(6, 6, seed=0)
+
+
+@pytest.fixture(scope="module")
+def traffic(city):
+    return TrafficModel(city, seed=1)
+
+
+def weekday_time(day: int, hour: float) -> float:
+    return day * SECONDS_PER_DAY + hour * 3600.0
+
+
+class TestTrafficModel:
+    def test_speed_positive_and_bounded(self, city, traffic):
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            eid = int(rng.integers(city.num_edges))
+            t = float(rng.uniform(0, 14 * SECONDS_PER_DAY))
+            speed = traffic.speed(eid, t)
+            limit = city.edge(eid).speed_limit
+            assert 0 < speed <= limit * 1.25 + 1e-9
+
+    def test_rush_hour_slower_than_night(self, city, traffic):
+        """Daily double-peak: 8am weekday traffic is slower than 3am."""
+        slower = 0
+        for eid in range(0, city.num_edges, 7):
+            rush = traffic.speed(eid, weekday_time(1, 8.0))
+            night = traffic.speed(eid, weekday_time(1, 3.0))
+            slower += rush < night
+        assert slower > 0.9 * len(range(0, city.num_edges, 7))
+
+    def test_weekly_periodicity(self, city, traffic):
+        """Same weekday+hour one week apart gives identical speeds; a
+        weekend differs from a weekday."""
+        eid = 5
+        a = traffic.speed(eid, weekday_time(1, 8.0))
+        b = traffic.speed(eid, weekday_time(8, 8.0))    # +7 days
+        assert a == pytest.approx(b)
+        weekend = traffic.speed(eid, weekday_time(5, 8.0))
+        assert weekend != pytest.approx(a)
+
+    def test_weekend_flat_profile(self, city, traffic):
+        """Weekends lack the commuter peak: 8am weekend is faster than
+        8am weekday for most edges."""
+        faster = sum(
+            traffic.speed(eid, weekday_time(5, 8.0))
+            > traffic.speed(eid, weekday_time(1, 8.0))
+            for eid in range(0, city.num_edges, 5))
+        assert faster > 0.8 * len(range(0, city.num_edges, 5))
+
+    def test_weather_factor_slows(self, city, traffic):
+        eid = 3
+        t = weekday_time(2, 10.0)
+        assert traffic.speed(eid, t, weather_factor=0.6) < \
+            traffic.speed(eid, t, weather_factor=1.0)
+
+    def test_travel_time_consistent(self, city, traffic):
+        eid = 3
+        t = weekday_time(2, 10.0)
+        assert traffic.travel_time(eid, t) == pytest.approx(
+            city.edge(eid).length / traffic.speed(eid, t))
+
+    def test_min_speed_floor(self, city):
+        cfg = TrafficConfig(weekday_peak_slowdown=0.95,
+                            centre_congestion=2.0, min_speed_factor=0.15)
+        model = TrafficModel(city, cfg, seed=2)
+        for eid in range(0, city.num_edges, 9):
+            factor = model.congestion_factor(eid, weekday_time(1, 8.0), 0.5)
+            assert factor >= 0.15
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrafficConfig(min_speed_factor=0.0)
+        with pytest.raises(ValueError):
+            TrafficConfig(weekday_peak_slowdown=1.0)
+
+    def test_deterministic_given_seed(self, city):
+        a = TrafficModel(city, seed=5)
+        b = TrafficModel(city, seed=5)
+        t = weekday_time(3, 17.5)
+        assert a.speed(0, t) == b.speed(0, t)
+
+
+class TestWeatherProcess:
+    def test_categories_in_range(self):
+        proc = WeatherProcess(3 * SECONDS_PER_DAY, seed=0)
+        for t in np.linspace(0, 3 * SECONDS_PER_DAY - 1, 50):
+            assert 0 <= proc.category(float(t)) < N_WEATHER_TYPES
+
+    def test_persistence(self):
+        """Consecutive hours usually share the same category."""
+        proc = WeatherProcess(10 * SECONDS_PER_DAY, seed=1)
+        hours = int(10 * 24)
+        same = sum(
+            proc.category(h * 3600.0) == proc.category((h + 1) * 3600.0)
+            for h in range(hours - 1))
+        assert same / (hours - 1) > 0.8
+
+    def test_one_hot_shape(self):
+        proc = WeatherProcess(SECONDS_PER_DAY, seed=2)
+        vec = proc.one_hot(1000.0)
+        assert vec.shape == (N_WEATHER_TYPES,)
+        assert vec.sum() == 1.0
+
+    def test_speed_factor_range(self):
+        proc = WeatherProcess(SECONDS_PER_DAY, seed=3)
+        for t in np.linspace(0, SECONDS_PER_DAY - 1, 24):
+            assert 0.5 <= proc.speed_factor(float(t)) <= 1.0
+
+    def test_labels_resolve(self):
+        proc = WeatherProcess(SECONDS_PER_DAY, seed=4)
+        assert isinstance(proc.label(0.0), str)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            WeatherProcess(0.0)
+        with pytest.raises(ValueError):
+            WeatherConfig(persistence=1.0)
+        proc = WeatherProcess(SECONDS_PER_DAY, seed=5)
+        with pytest.raises(ValueError):
+            proc.category(-1.0)
+
+    def test_beyond_horizon_clamps(self):
+        proc = WeatherProcess(SECONDS_PER_DAY, seed=6)
+        assert proc.category(100 * SECONDS_PER_DAY) == proc.category(
+            SECONDS_PER_DAY - 1.0)

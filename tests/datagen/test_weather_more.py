@@ -1,0 +1,45 @@
+"""Additional weather-process coverage: custom base weights, labels and
+determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import (
+    N_WEATHER_TYPES, WEATHER_TYPES, WeatherConfig, WeatherProcess,
+)
+from repro.temporal import SECONDS_PER_DAY
+
+
+class TestWeatherConfiguration:
+    def test_custom_base_weights_steer_distribution(self):
+        weights = np.zeros(N_WEATHER_TYPES)
+        weights[6] = 1.0    # storms only
+        proc = WeatherProcess(
+            5 * SECONDS_PER_DAY,
+            WeatherConfig(base_weights=weights, persistence=0.5), seed=0)
+        cats = {proc.category(h * 3600.0) for h in range(5 * 24)}
+        assert cats == {6}
+
+    def test_wrong_weight_length_rejected(self):
+        with pytest.raises(ValueError):
+            WeatherProcess(SECONDS_PER_DAY,
+                           WeatherConfig(base_weights=np.ones(3)))
+
+    def test_weather_types_table_consistent(self):
+        assert len(WEATHER_TYPES) == N_WEATHER_TYPES
+        for label, factor in WEATHER_TYPES:
+            assert isinstance(label, str)
+            assert 0 < factor <= 1.0
+
+    def test_deterministic_across_instances(self):
+        a = WeatherProcess(2 * SECONDS_PER_DAY, seed=9)
+        b = WeatherProcess(2 * SECONDS_PER_DAY, seed=9)
+        for h in range(48):
+            assert a.category(h * 3600.0) == b.category(h * 3600.0)
+
+    def test_severe_weather_slows_more_than_mild(self):
+        """Speed factors must order with severity within a family."""
+        factors = dict(WEATHER_TYPES)
+        assert factors["heavy_rain"] < factors["light_rain"]
+        assert factors["heavy_snow"] < factors["light_snow"]
+        assert factors["storm"] < factors["cloudy"]

@@ -1,0 +1,169 @@
+"""Tests for metrics, harness utilities, t-SNE and distributions."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    MethodResult, all_metrics, batched_mape, case_study_sample,
+    distribution_summary, evaluate_method, format_table, gaussian_kde_pdf,
+    mae, mape, mape_distribution, mare, run_comparison, slot_heatmap, tsne,
+    weekday_weekend_contrast, worst_cases,
+)
+
+
+class TestMetrics:
+    def test_mae(self):
+        assert mae([10, 20], [12, 16]) == pytest.approx(3.0)
+
+    def test_mape(self):
+        assert mape([10, 20], [12, 15]) == pytest.approx(
+            (0.2 + 0.25) / 2)
+
+    def test_mare(self):
+        assert mare([10, 20], [12, 15]) == pytest.approx(7 / 30)
+
+    def test_perfect_predictions(self):
+        y = [5.0, 6.0, 7.0]
+        assert mae(y, y) == 0.0
+        assert mape(y, y) == 0.0
+        assert mare(y, y) == 0.0
+
+    def test_mape_vs_mare_asymmetry(self):
+        """Same absolute errors weigh more in MAPE when the ground truth
+        is short — observation (6) of Section 6.4.2."""
+        y_true = [10.0, 1000.0]
+        y_pred = [20.0, 1010.0]
+        assert mape(y_true, y_pred) > mare(y_true, y_pred)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mae([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            mae([], [])
+        with pytest.raises(ValueError):
+            mape([0.0], [1.0])
+        with pytest.raises(ValueError):
+            mare([0.0], [1.0])
+
+    def test_all_metrics_keys(self):
+        out = all_metrics([10.0], [11.0])
+        assert set(out) == {"mae", "mape", "mare"}
+
+    def test_batched_mape(self):
+        y = np.array([10.0, 10.0, 20.0, 20.0])
+        p = np.array([11.0, 11.0, 30.0, 30.0])
+        batches = batched_mape(y, p, batch_size=2)
+        np.testing.assert_allclose(batches, [0.1, 0.5])
+
+    def test_batched_mape_validation(self):
+        with pytest.raises(ValueError):
+            batched_mape([1.0], [1.0], 0)
+
+
+def _fake_result(actuals, preds, name="fake"):
+    return MethodResult(
+        name=name, metrics=all_metrics(actuals, preds),
+        model_size_bytes=100, train_seconds=1.0,
+        predict_seconds_per_k=0.5,
+        predictions=np.asarray(preds, dtype=float),
+        actuals=np.asarray(actuals, dtype=float))
+
+
+class TestHarnessUtilities:
+    def test_case_study_sample_size_and_filter(self):
+        actuals = np.linspace(100, 5000, 200)
+        preds = actuals * 1.1
+        res = _fake_result(actuals, preds)
+        a, p = case_study_sample(res, k=50, max_actual=3600.0, seed=1)
+        assert len(a) == 50
+        assert (a < 3600.0).all()
+
+    def test_worst_cases_sorted(self):
+        actuals = np.array([100.0, 100.0, 100.0, 100.0])
+        preds = np.array([100.0, 150.0, 300.0, 110.0])
+        res = _fake_result(actuals, preds)
+        a, p = worst_cases(res, k=2)
+        np.testing.assert_allclose(p, [300.0, 150.0])
+
+    def test_mape_distribution(self):
+        actuals = np.full(64, 100.0)
+        preds = np.full(64, 110.0)
+        res = _fake_result(actuals, preds)
+        dist = mape_distribution(res, batch_size=16)
+        np.testing.assert_allclose(dist, 0.1)
+
+    def test_format_table_contains_methods(self):
+        res = _fake_result([100.0], [110.0], name="LR")
+        table = format_table({"LR": res})
+        assert "LR" in table and "MAE" in table
+
+    def test_evaluate_method_end_to_end(self):
+        from repro.baselines import LinearRegressionEstimator
+        from repro.datagen import load_city
+        ds = load_city("mini-chengdu", num_trips=80, num_days=14)
+        result = evaluate_method(LinearRegressionEstimator(), ds)
+        assert result.metrics["mae"] > 0
+        assert result.train_seconds > 0
+        assert result.predict_seconds_per_k > 0
+        assert result.model_size_bytes > 0
+        assert len(result.predictions) == len(ds.split.test)
+
+
+class TestTSNE:
+    def test_separates_two_clusters(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0, 0.3, size=(20, 5))
+        b = rng.normal(5, 0.3, size=(20, 5))
+        x = np.vstack([a, b])
+        y = tsne(x, n_components=1, perplexity=10, iterations=250, seed=0)
+        gap = abs(y[:20].mean() - y[20:].mean())
+        spread = y[:20].std() + y[20:].std()
+        assert gap > spread
+
+    def test_output_shape(self):
+        x = np.random.default_rng(1).normal(size=(30, 4))
+        y = tsne(x, n_components=2, iterations=50)
+        assert y.shape == (30, 2)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((2, 3)))
+
+
+class TestDistributions:
+    def test_kde_integrates_to_one(self):
+        samples = np.random.default_rng(2).normal(size=300)
+        grid, pdf = gaussian_kde_pdf(samples, num_points=400)
+        integral = np.trapezoid(pdf, grid)
+        assert integral == pytest.approx(1.0, abs=0.02)
+
+    def test_kde_peak_near_mean(self):
+        samples = np.random.default_rng(3).normal(5.0, 1.0, size=500)
+        grid, pdf = gaussian_kde_pdf(samples)
+        assert grid[np.argmax(pdf)] == pytest.approx(5.0, abs=0.5)
+
+    def test_kde_needs_samples(self):
+        with pytest.raises(ValueError):
+            gaussian_kde_pdf(np.array([1.0]))
+
+    def test_distribution_summary(self):
+        s = distribution_summary(np.array([1.0, 2.0, 3.0]))
+        assert s["mean"] == 2.0 and s["median"] == 2.0
+
+    def test_slot_heatmap_shape(self):
+        values = np.arange(7 * 288, dtype=float)
+        grid = slot_heatmap(values, slots_per_day=288, pool=12)
+        assert grid.shape == (7, 24)
+
+    def test_slot_heatmap_validation(self):
+        with pytest.raises(ValueError):
+            slot_heatmap(np.zeros(100), slots_per_day=288)
+        with pytest.raises(ValueError):
+            slot_heatmap(np.zeros(7 * 288), slots_per_day=288, pool=13)
+
+    def test_weekday_weekend_contrast(self):
+        heat = np.zeros((7, 24))
+        heat[5:] = 10.0   # weekends very different
+        assert weekday_weekend_contrast(heat) > 100
+        with pytest.raises(ValueError):
+            weekday_weekend_contrast(np.zeros((6, 24)))

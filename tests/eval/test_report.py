@@ -1,0 +1,71 @@
+"""Tests for the JSON/Markdown experiment report writer."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    MethodResult, all_metrics, compare_reports, load_report,
+    markdown_table, result_to_dict, save_report,
+)
+
+
+def _result(name="LR", err=10.0):
+    actuals = np.array([100.0, 200.0, 300.0])
+    preds = actuals + err
+    return MethodResult(
+        name=name, metrics=all_metrics(actuals, preds),
+        model_size_bytes=148, train_seconds=0.5,
+        predict_seconds_per_k=1.2, predictions=preds, actuals=actuals)
+
+
+class TestSerialization:
+    def test_result_to_dict_fields(self):
+        d = result_to_dict(_result())
+        assert d["name"] == "LR"
+        assert set(d["metrics"]) == {"mae", "mape", "mare"}
+        assert d["num_test_trips"] == 3
+        assert "predictions" not in d
+
+    def test_include_predictions(self):
+        d = result_to_dict(_result(), include_predictions=True)
+        assert len(d["predictions"]) == 3
+        assert d["actuals"] == [100.0, 200.0, 300.0]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run" / "report.json")
+        results = {"LR": _result("LR"), "GBM": _result("GBM", err=5.0)}
+        save_report(results, path, metadata={"city": "mini-chengdu"})
+        loaded = load_report(path)
+        assert loaded["metadata"]["city"] == "mini-chengdu"
+        assert set(loaded["methods"]) == {"LR", "GBM"}
+        assert loaded["methods"]["GBM"]["metrics"]["mae"] == \
+            pytest.approx(5.0)
+
+    def test_json_is_pure(self, tmp_path):
+        """No numpy scalars may leak into the JSON."""
+        import json
+        path = str(tmp_path / "r.json")
+        save_report({"LR": _result()}, path)
+        with open(path) as handle:
+            json.load(handle)   # raises on malformed output
+
+
+class TestMarkdown:
+    def test_table_structure(self):
+        text = markdown_table({"LR": _result()}, title="Table 4")
+        assert text.startswith("### Table 4")
+        assert "| LR |" in text
+        assert "MAPE" in text
+
+
+class TestCompare:
+    def test_deltas(self, tmp_path):
+        old_path = str(tmp_path / "old.json")
+        new_path = str(tmp_path / "new.json")
+        save_report({"LR": _result(err=10.0)}, old_path)
+        save_report({"LR": _result(err=20.0), "GBM": _result("GBM")},
+                    new_path)
+        deltas = compare_reports(load_report(old_path),
+                                 load_report(new_path))
+        assert "LR" in deltas and "GBM" not in deltas
+        assert deltas["LR"]["mae"] == pytest.approx(10.0)

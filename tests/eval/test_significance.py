@@ -1,0 +1,71 @@
+"""Tests for the paired bootstrap comparison."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    BootstrapComparison, MethodResult, all_metrics, comparison_summary,
+    paired_bootstrap,
+)
+
+
+def _result(preds, actuals, name="m"):
+    preds = np.asarray(preds, dtype=float)
+    actuals = np.asarray(actuals, dtype=float)
+    return MethodResult(
+        name=name, metrics=all_metrics(actuals, preds),
+        model_size_bytes=1, train_seconds=0.0,
+        predict_seconds_per_k=0.0, predictions=preds, actuals=actuals)
+
+
+class TestPairedBootstrap:
+    def test_clear_winner_detected(self):
+        rng = np.random.default_rng(0)
+        actual = rng.uniform(100, 500, size=300)
+        good = _result(actual * rng.uniform(0.97, 1.03, size=300), actual)
+        bad = _result(actual * rng.uniform(0.6, 1.4, size=300), actual)
+        cmpn = paired_bootstrap(good, bad, seed=1)
+        assert cmpn.point_difference < 0
+        assert cmpn.significant
+        assert cmpn.prob_a_better > 0.99
+
+    def test_identical_methods_not_significant(self):
+        rng = np.random.default_rng(2)
+        actual = rng.uniform(100, 500, size=200)
+        preds = actual * rng.uniform(0.8, 1.2, size=200)
+        a = _result(preds, actual)
+        b = _result(preds.copy(), actual)
+        cmpn = paired_bootstrap(a, b, seed=3)
+        assert cmpn.point_difference == pytest.approx(0.0)
+        assert not cmpn.significant
+
+    def test_mismatched_test_sets_rejected(self):
+        a = _result([10.0, 20.0], [10.0, 20.0])
+        b = _result([10.0, 20.0], [11.0, 20.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, b)
+
+    def test_parameter_validation(self):
+        a = _result([10.0, 20.0], [10.0, 20.0])
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, a, resamples=5)
+        with pytest.raises(ValueError):
+            paired_bootstrap(a, a, coverage=1.0)
+
+    def test_ci_ordering(self):
+        rng = np.random.default_rng(4)
+        actual = rng.uniform(100, 500, size=100)
+        a = _result(actual * 1.1, actual)
+        b = _result(actual * 1.2, actual)
+        cmpn = paired_bootstrap(a, b, resamples=200, seed=5)
+        assert cmpn.ci_low <= cmpn.point_difference <= cmpn.ci_high
+
+
+class TestSummary:
+    def test_verdict_text(self):
+        cmpn = BootstrapComparison(
+            metric="mape", point_difference=-0.05, ci_low=-0.08,
+            ci_high=-0.02, prob_a_better=0.99, resamples=1000)
+        text = comparison_summary(cmpn, "DeepOD", "LR")
+        assert "DeepOD is better than LR" in text
+        assert "significant" in text

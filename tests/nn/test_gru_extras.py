@@ -1,0 +1,164 @@
+"""Tests for GRU, the extra optimisers/schedulers and gradcheck utils."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    AdaGrad, Adam, CosineDecay, EarlyStopping, GRU, GRUCell, Parameter,
+    RMSProp, Tensor, TwoLayerMLP, check_gradient, check_module_gradients,
+    numeric_gradient,
+)
+
+
+RNG = np.random.default_rng(41)
+
+
+class TestGRU:
+    def test_cell_shapes(self):
+        cell = GRUCell(5, 3, rng=RNG)
+        h = cell(Tensor(RNG.normal(size=(2, 5))),
+                 Tensor(np.zeros((2, 3))))
+        assert h.shape == (2, 3)
+
+    def test_cell_equations(self):
+        """Verify the GRU update against a hand-rolled reference."""
+        cell = GRUCell(3, 2, rng=np.random.default_rng(7))
+        x = RNG.normal(size=(1, 3))
+        h0 = RNG.normal(size=(1, 2))
+
+        def sigmoid(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        z_in = np.concatenate([x, h0], axis=-1)
+        gates = sigmoid(z_in @ cell.weight_gates.data.T
+                        + cell.bias_gates.data)
+        z, r = gates[:, :2], gates[:, 2:]
+        cand_in = np.concatenate([x, r * h0], axis=-1)
+        h_tilde = np.tanh(cand_in @ cell.weight_cand.data.T
+                          + cell.bias_cand.data)
+        expected = (1 - z) * h0 + z * h_tilde
+        out = cell(Tensor(x), Tensor(h0))
+        np.testing.assert_allclose(out.data, expected, atol=1e-12)
+
+    def test_sequence_interface_matches_lstm(self):
+        gru = GRU(4, 3, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 4)))
+        outputs, final = gru(x, lengths=[3, 5])
+        assert outputs.shape == (2, 5, 3)
+        assert final.shape == (2, 3)
+        np.testing.assert_allclose(outputs.data[1, -1], final.data[1])
+
+    def test_padding_frozen(self):
+        gru = GRU(4, 3, rng=RNG)
+        x = RNG.normal(size=(1, 6, 4))
+        noisy = x.copy()
+        noisy[:, 2:, :] = 1e5
+        _, a = gru(Tensor(x), lengths=[2])
+        _, b = gru(Tensor(noisy), lengths=[2])
+        np.testing.assert_allclose(a.data, b.data)
+
+    def test_invalid_lengths(self):
+        gru = GRU(4, 3, rng=RNG)
+        with pytest.raises(ValueError):
+            gru(Tensor(np.zeros((2, 3, 4))), lengths=[0, 2])
+
+    def test_gradients_flow(self):
+        gru = GRU(3, 2, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 3, 3)), requires_grad=True)
+        _, final = gru(x)
+        final.sum().backward()
+        assert gru.cell.weight_gates.grad is not None
+        assert x.grad is not None
+
+
+class TestExtraOptimizers:
+    def _problem(self):
+        target = np.array([1.0, -4.0])
+        param = Parameter(np.zeros(2))
+
+        def loss():
+            return ((param - Tensor(target)) ** 2).sum()
+
+        return param, target, loss
+
+    def test_rmsprop_converges(self):
+        param, target, loss = self._problem()
+        opt = RMSProp([param], lr=0.05)
+        for _ in range(500):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_adagrad_converges(self):
+        param, target, loss = self._problem()
+        opt = AdaGrad([param], lr=1.0)
+        for _ in range(500):
+            opt.zero_grad()
+            loss().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-2)
+
+    def test_rmsprop_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], alpha=1.0)
+
+
+class TestCosineDecay:
+    def test_monotone_to_min(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=0.1)
+        sched = CosineDecay(opt, total_epochs=10, min_lr=0.001)
+        lrs = [sched.epoch_end() for _ in range(10)]
+        assert all(b <= a + 1e-12 for a, b in zip(lrs, lrs[1:]))
+        assert lrs[-1] == pytest.approx(0.001)
+
+    def test_invalid(self):
+        opt = Adam([Parameter(np.zeros(1))], lr=0.1)
+        with pytest.raises(ValueError):
+            CosineDecay(opt, total_epochs=0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience(self):
+        stopper = EarlyStopping(patience=2)
+        assert stopper.update(1.0)
+        assert not stopper.update(1.5)
+        assert not stopper.should_stop()
+        assert not stopper.update(1.4)
+        assert stopper.should_stop()
+
+    def test_snapshot_best_state(self):
+        mlp = TwoLayerMLP(2, 2, 1, rng=RNG)
+        stopper = EarlyStopping(patience=1)
+        stopper.update(5.0, mlp)
+        snapshot = stopper.best_state["fc1.weight"].copy()
+        mlp.fc1.weight.data[:] = 0.0
+        np.testing.assert_allclose(stopper.best_state["fc1.weight"],
+                                   snapshot)
+
+    def test_invalid_patience(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+
+
+class TestGradcheckUtilities:
+    def test_numeric_gradient_quadratic(self):
+        x = RNG.normal(size=(3,))
+        grad = numeric_gradient(lambda a: float((a ** 2).sum()), x.copy())
+        np.testing.assert_allclose(grad, 2 * x, atol=1e-5)
+
+    def test_check_gradient_passes_for_correct_op(self):
+        assert check_gradient(lambda t: (t * t).tanh(),
+                              RNG.normal(size=(2, 3)))
+
+    def test_check_gradient_catches_missing_grad(self):
+        with pytest.raises(AssertionError):
+            check_gradient(lambda t: Tensor(t.data * 2.0),
+                           RNG.normal(size=(2,)))
+
+    def test_check_module_gradients(self):
+        mlp = TwoLayerMLP(3, 4, 2, rng=np.random.default_rng(2))
+        x = RNG.normal(size=(4, 3))
+        # Avoid ReLU kinks: shift activations away from zero.
+        mlp.fc1.bias.data += 1.0
+        assert check_module_gradients(mlp, x)

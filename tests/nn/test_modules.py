@@ -1,0 +1,171 @@
+"""Tests for Module system, Linear/MLP/Embedding, state dicts and sizing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Embedding, Linear, Module, Parameter, Sequential, Tensor, TwoLayerMLP,
+    LayerNorm, Dropout, ReLU,
+)
+
+
+RNG = np.random.default_rng(11)
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(5, 3, rng=RNG)
+        out = layer(Tensor(RNG.normal(size=(7, 5))))
+        assert out.shape == (7, 3)
+
+    def test_matches_manual_affine(self):
+        layer = Linear(4, 2, rng=RNG)
+        x = RNG.normal(size=(3, 4))
+        out = layer(Tensor(x))
+        expected = x @ layer.weight.data.T + layer.bias.data
+        np.testing.assert_allclose(out.data, expected)
+
+    def test_no_bias(self):
+        layer = Linear(4, 2, bias=False, rng=RNG)
+        assert layer.bias is None
+        x = RNG.normal(size=(3, 4))
+        np.testing.assert_allclose(layer(Tensor(x)).data,
+                                   x @ layer.weight.data.T)
+
+    def test_gradients_flow(self):
+        layer = Linear(4, 2, rng=RNG)
+        x = Tensor(RNG.normal(size=(3, 4)), requires_grad=True)
+        layer(x).sum().backward()
+        assert layer.weight.grad is not None
+        assert layer.bias.grad is not None
+        assert x.grad is not None
+
+    def test_init_normal_scheme(self):
+        layer = Linear(100, 100, rng=np.random.default_rng(0), init="normal")
+        assert abs(float(layer.weight.data.std()) - 0.01) < 0.005
+
+
+class TestTwoLayerMLP:
+    def test_structure_eq11(self):
+        """out = W2 ReLU(W1 x + b1) + b2 exactly."""
+        mlp = TwoLayerMLP(6, 4, 2, rng=RNG)
+        x = RNG.normal(size=(5, 6))
+        hidden = np.maximum(x @ mlp.fc1.weight.data.T + mlp.fc1.bias.data, 0)
+        expected = hidden @ mlp.fc2.weight.data.T + mlp.fc2.bias.data
+        np.testing.assert_allclose(mlp(Tensor(x)).data, expected)
+
+    def test_parameter_count(self):
+        mlp = TwoLayerMLP(6, 4, 2, rng=RNG)
+        assert mlp.num_parameters() == (6 * 4 + 4) + (4 * 2 + 2)
+
+
+class TestEmbedding:
+    def test_lookup_equals_onehot_product(self):
+        """Eq. 1: D = O^T Ws — a row lookup is the one-hot matmul."""
+        emb = Embedding(10, 4, rng=RNG)
+        idx = np.array([3, 7, 3])
+        one_hot = np.zeros((3, 10))
+        one_hot[np.arange(3), idx] = 1.0
+        np.testing.assert_allclose(emb(idx).data, one_hot @ emb.weight.data)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(10, 4, rng=RNG)
+        with pytest.raises(IndexError):
+            emb([10])
+        with pytest.raises(IndexError):
+            emb([-1])
+
+    def test_gradient_accumulates_on_repeats(self):
+        emb = Embedding(5, 3, rng=RNG)
+        emb(np.array([2, 2, 2])).sum().backward()
+        np.testing.assert_allclose(emb.weight.grad[2], np.full(3, 3.0))
+        np.testing.assert_allclose(emb.weight.grad[0], np.zeros(3))
+
+    def test_load_pretrained(self):
+        emb = Embedding(5, 3, rng=RNG)
+        matrix = RNG.normal(size=(5, 3))
+        emb.load_pretrained(matrix)
+        np.testing.assert_allclose(emb.weight.data, matrix)
+
+    def test_load_pretrained_shape_mismatch(self):
+        emb = Embedding(5, 3, rng=RNG)
+        with pytest.raises(ValueError):
+            emb.load_pretrained(np.zeros((4, 3)))
+
+
+class TestModuleSystem:
+    def test_named_parameters_nested(self):
+        mlp = TwoLayerMLP(3, 2, 1, rng=RNG)
+        names = dict(mlp.named_parameters())
+        assert set(names) == {"fc1.weight", "fc1.bias",
+                              "fc2.weight", "fc2.bias"}
+
+    def test_state_dict_roundtrip(self):
+        src = TwoLayerMLP(3, 4, 2, rng=np.random.default_rng(1))
+        dst = TwoLayerMLP(3, 4, 2, rng=np.random.default_rng(2))
+        dst.load_state_dict(src.state_dict())
+        x = RNG.normal(size=(2, 3))
+        np.testing.assert_allclose(dst(Tensor(x)).data, src(Tensor(x)).data)
+
+    def test_load_state_dict_rejects_unknown(self):
+        mlp = TwoLayerMLP(3, 4, 2, rng=RNG)
+        with pytest.raises(KeyError):
+            mlp.load_state_dict({"nope.weight": np.zeros((4, 3))})
+
+    def test_load_state_dict_rejects_bad_shape(self):
+        mlp = TwoLayerMLP(3, 4, 2, rng=RNG)
+        state = mlp.state_dict()
+        state["fc1.weight"] = np.zeros((1, 1))
+        with pytest.raises(ValueError):
+            mlp.load_state_dict(state)
+
+    def test_zero_grad_clears(self):
+        mlp = TwoLayerMLP(3, 4, 2, rng=RNG)
+        mlp(Tensor(RNG.normal(size=(2, 3)))).sum().backward()
+        assert mlp.fc1.weight.grad is not None
+        mlp.zero_grad()
+        assert mlp.fc1.weight.grad is None
+
+    def test_train_eval_mode_propagates(self):
+        seq = Sequential(Linear(3, 3, rng=RNG), Dropout(0.5), ReLU())
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+        seq.train()
+        assert all(m.training for m in seq.modules())
+
+    def test_size_bytes_float32_accounting(self):
+        layer = Linear(10, 5, rng=RNG)
+        assert layer.size_bytes() == 4 * (10 * 5 + 5)
+
+
+class TestSequentialAndMisc:
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(Linear(3, 3, rng=RNG), ReLU())
+        x = RNG.normal(size=(4, 3))
+        out = seq(Tensor(x))
+        assert (out.data >= 0).all()
+        assert len(seq) == 2
+
+    def test_layernorm_normalises(self):
+        ln = LayerNorm(8)
+        x = Tensor(RNG.normal(size=(5, 8)) * 10 + 3)
+        out = ln(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0, atol=1e-6)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1, atol=1e-3)
+
+    def test_dropout_eval_identity(self):
+        drop = Dropout(0.9, rng=np.random.default_rng(0))
+        drop.eval()
+        x = Tensor(RNG.normal(size=(4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_scales(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((2000,)))
+        out = drop(x)
+        # Inverted dropout keeps the expectation roughly 1.
+        assert abs(float(out.data.mean()) - 1.0) < 0.1
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)

@@ -1,0 +1,174 @@
+"""Tests for optimisers, schedules, losses and serialization."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam, Linear, Parameter, SGD, StepDecay, Tensor, TwoLayerMLP,
+    euclidean_loss, load_state, mae_loss, mse_loss, save_state, softmax,
+    log_softmax, smooth_l1_loss, state_dict_bytes,
+)
+
+
+RNG = np.random.default_rng(17)
+
+
+class TestLosses:
+    def test_mae_value(self):
+        pred = Tensor(np.array([1.0, 2.0, 5.0]))
+        target = np.array([1.0, 4.0, 2.0])
+        assert mae_loss(pred, target).item() == pytest.approx((0 + 2 + 3) / 3)
+
+    def test_mse_value(self):
+        pred = Tensor(np.array([0.0, 2.0]))
+        assert mse_loss(pred, np.array([1.0, 0.0])).item() == pytest.approx(2.5)
+
+    def test_euclidean_loss_value(self):
+        a = Tensor(np.array([[3.0, 0.0], [0.0, 0.0]]))
+        b = Tensor(np.array([[0.0, 4.0], [0.0, 0.0]]))
+        # Row distances are 5 and 0; batch mean is 2.5.
+        assert euclidean_loss(a, b).item() == pytest.approx(2.5, abs=1e-5)
+
+    def test_euclidean_loss_differentiable_at_zero(self):
+        a = Tensor(np.zeros((2, 3)), requires_grad=True)
+        loss = euclidean_loss(a, Tensor(np.zeros((2, 3))))
+        loss.backward()
+        assert np.isfinite(a.grad).all()
+
+    def test_mae_gradient_is_sign(self):
+        pred = Tensor(np.array([2.0, -1.0]), requires_grad=True)
+        mae_loss(pred, np.array([0.0, 0.0])).backward()
+        np.testing.assert_allclose(pred.grad, [0.5, -0.5])
+
+    def test_smooth_l1_quadratic_region(self):
+        pred = Tensor(np.array([0.5]))
+        loss = smooth_l1_loss(pred, np.array([0.0]), beta=1.0)
+        assert loss.item() == pytest.approx(0.125)
+
+    def test_softmax_sums_to_one(self):
+        x = Tensor(RNG.normal(size=(4, 6)))
+        np.testing.assert_allclose(softmax(x).data.sum(axis=-1), 1.0)
+
+    def test_log_softmax_consistent(self):
+        x = Tensor(RNG.normal(size=(3, 5)))
+        np.testing.assert_allclose(log_softmax(x).data,
+                                   np.log(softmax(x).data), atol=1e-10)
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        target = np.array([3.0, -2.0])
+        param = Parameter(np.zeros(2))
+
+        def loss_fn():
+            return ((param - Tensor(target)) ** 2).sum()
+
+        return param, target, loss_fn
+
+    def test_sgd_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.1)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-4)
+
+    def test_sgd_momentum_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = SGD([param], lr=0.05, momentum=0.9)
+        for _ in range(200):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_converges(self):
+        param, target, loss_fn = self._quadratic_problem()
+        opt = Adam([param], lr=0.1)
+        for _ in range(300):
+            opt.zero_grad()
+            loss_fn().backward()
+            opt.step()
+        np.testing.assert_allclose(param.data, target, atol=1e-3)
+
+    def test_adam_skips_gradless_params(self):
+        p1 = Parameter(np.zeros(2))
+        p2 = Parameter(np.ones(2))
+        opt = Adam([p1, p2], lr=0.1)
+        (p1.sum()).backward()
+        opt.step()
+        np.testing.assert_allclose(p2.data, np.ones(2))
+
+    def test_adam_grad_clipping(self):
+        param = Parameter(np.zeros(3))
+        opt = Adam([param], lr=0.1, clip_norm=1.0)
+        param.grad = np.full(3, 100.0)
+        opt._clip_gradients()
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_weight_decay_shrinks(self):
+        param = Parameter(np.array([10.0]))
+        opt = SGD([param], lr=0.1, weight_decay=0.5)
+        param.grad = np.array([0.0])
+        opt.step()
+        assert float(param.data[0]) < 10.0
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_nonpositive_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=0.0)
+
+
+class TestStepDecay:
+    def test_paper_schedule(self):
+        """lr 0.01 divided by 5 every 2 epochs (Section 6.1)."""
+        opt = Adam([Parameter(np.zeros(1))], lr=0.01)
+        sched = StepDecay(opt, step_epochs=2, factor=5.0)
+        lrs = [sched.epoch_end() for _ in range(6)]
+        np.testing.assert_allclose(
+            lrs, [0.01, 0.002, 0.002, 0.0004, 0.0004, 0.00008])
+
+    def test_invalid_args(self):
+        opt = SGD([Parameter(np.zeros(1))], lr=0.1)
+        with pytest.raises(ValueError):
+            StepDecay(opt, step_epochs=0)
+        with pytest.raises(ValueError):
+            StepDecay(opt, factor=1.0)
+
+
+class TestSerialization:
+    def test_save_load_roundtrip(self, tmp_path):
+        src = TwoLayerMLP(4, 3, 2, rng=np.random.default_rng(1))
+        path = str(tmp_path / "model.npz")
+        save_state(src, path)
+        dst = TwoLayerMLP(4, 3, 2, rng=np.random.default_rng(9))
+        load_state(dst, path)
+        x = RNG.normal(size=(2, 4))
+        np.testing.assert_allclose(dst(Tensor(x)).data, src(Tensor(x)).data)
+
+    def test_state_dict_bytes(self):
+        layer = Linear(10, 5, rng=RNG)
+        assert state_dict_bytes(layer.state_dict()) == 4 * (50 + 5)
+
+    def test_training_reduces_real_regression_loss(self):
+        """End-to-end sanity: a small MLP fits y = x1 - 2*x2 + 1."""
+        rng = np.random.default_rng(23)
+        x = rng.normal(size=(256, 2))
+        y = (x[:, 0] - 2 * x[:, 1] + 1.0)[:, None]
+        model = TwoLayerMLP(2, 16, 1, rng=rng)
+        opt = Adam(list(model.parameters()), lr=0.01)
+        first = None
+        for step in range(400):
+            opt.zero_grad()
+            loss = mse_loss(model(Tensor(x)), Tensor(y))
+            if first is None:
+                first = loss.item()
+            loss.backward()
+            opt.step()
+        assert loss.item() < first * 0.01

@@ -1,0 +1,242 @@
+"""Tests for LSTM (Eq. 12-16) and the CNN/BatchNorm/ResNet stack (Eq. 5-8)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d, Conv2d, ConvBNReLU, IntervalResNetBlock, LSTM, LSTMCell,
+    Tensor,
+)
+
+
+RNG = np.random.default_rng(13)
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+class TestLSTMCell:
+    def test_output_shapes(self):
+        cell = LSTMCell(6, 4, rng=RNG)
+        h = Tensor(np.zeros((3, 4)))
+        c = Tensor(np.zeros((3, 4)))
+        h1, c1 = cell(Tensor(RNG.normal(size=(3, 6))), (h, c))
+        assert h1.shape == (3, 4)
+        assert c1.shape == (3, 4)
+
+    def test_equations_12_to_16(self):
+        """The cell must compute exactly the paper's gate equations."""
+        cell = LSTMCell(3, 2, rng=RNG)
+        x = RNG.normal(size=(1, 3))
+        h0 = RNG.normal(size=(1, 2))
+        c0 = RNG.normal(size=(1, 2))
+        h1, c1 = cell(Tensor(x), (Tensor(h0), Tensor(c0)))
+
+        def sigmoid(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        z = np.concatenate([x, h0], axis=-1)
+        gates = z @ cell.weight.data.T + cell.bias.data
+        f = sigmoid(gates[:, 0:2])
+        i = sigmoid(gates[:, 2:4])
+        o = sigmoid(gates[:, 4:6])
+        g = np.tanh(gates[:, 6:8])
+        c_expected = f * c0 + i * g
+        h_expected = o * np.tanh(c_expected)
+        np.testing.assert_allclose(c1.data, c_expected, atol=1e-10)
+        np.testing.assert_allclose(h1.data, h_expected, atol=1e-10)
+
+    def test_gradcheck_through_cell(self):
+        cell = LSTMCell(3, 2, rng=np.random.default_rng(3))
+        x0 = RNG.normal(size=(2, 3))
+
+        def scalar_fn(arr):
+            h = Tensor(np.zeros((2, 2)))
+            c = Tensor(np.zeros((2, 2)))
+            h1, _ = cell(Tensor(arr), (h, c))
+            return float(h1.sum().data)
+
+        t = Tensor(x0.copy(), requires_grad=True)
+        h = Tensor(np.zeros((2, 2)))
+        c = Tensor(np.zeros((2, 2)))
+        h1, _ = cell(t, (h, c))
+        h1.sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(scalar_fn, x0.copy()),
+                                   atol=1e-6)
+
+
+class TestLSTM:
+    def test_final_state_equals_last_output(self):
+        lstm = LSTM(4, 3, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 4)))
+        outputs, final = lstm(x)
+        np.testing.assert_allclose(outputs.data[:, -1, :], final.data)
+
+    def test_variable_lengths_freeze_state(self):
+        lstm = LSTM(4, 3, rng=RNG)
+        x = RNG.normal(size=(2, 5, 4))
+        # Row 0 has true length 2: outputs at steps >= 2 must equal step 1.
+        _, final = lstm(Tensor(x), lengths=[2, 5])
+        _, final_short = lstm(Tensor(x[:1, :2, :]), lengths=[2])
+        np.testing.assert_allclose(final.data[0], final_short.data[0],
+                                   atol=1e-12)
+
+    def test_padding_values_do_not_affect_result(self):
+        lstm = LSTM(4, 3, rng=RNG)
+        x = RNG.normal(size=(1, 6, 4))
+        x_noisy = x.copy()
+        x_noisy[:, 3:, :] = 999.0
+        _, f1 = lstm(Tensor(x), lengths=[3])
+        _, f2 = lstm(Tensor(x_noisy), lengths=[3])
+        np.testing.assert_allclose(f1.data, f2.data)
+
+    def test_invalid_lengths_raise(self):
+        lstm = LSTM(4, 3, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 5, 4)))
+        with pytest.raises(ValueError):
+            lstm(x, lengths=[0, 5])
+        with pytest.raises(ValueError):
+            lstm(x, lengths=[6, 5])
+        with pytest.raises(ValueError):
+            lstm(x, lengths=[5])
+
+    def test_gradients_reach_parameters(self):
+        lstm = LSTM(4, 3, rng=RNG)
+        x = Tensor(RNG.normal(size=(2, 4, 4)), requires_grad=True)
+        _, final = lstm(x, lengths=[2, 4])
+        final.sum().backward()
+        assert lstm.cell.weight.grad is not None
+        assert x.grad is not None
+        # Padded steps of row 0 must receive zero input gradient.
+        np.testing.assert_allclose(x.grad[0, 2:], 0.0)
+        assert np.abs(x.grad[0, :2]).sum() > 0
+
+
+class TestConv2d:
+    def test_output_shape(self):
+        conv = Conv2d(2, 5, kernel_size=3, padding=1, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(3, 2, 8, 8))))
+        assert out.shape == (3, 5, 8, 8)
+
+    def test_stride(self):
+        conv = Conv2d(1, 1, kernel_size=3, stride=2, rng=RNG)
+        out = conv(Tensor(RNG.normal(size=(1, 1, 9, 9))))
+        assert out.shape == (1, 1, 4, 4)
+
+    def test_matches_direct_convolution(self):
+        conv = Conv2d(2, 3, kernel_size=(3, 2), rng=RNG)
+        x = RNG.normal(size=(1, 2, 5, 4))
+        out = conv(Tensor(x)).data
+        # Direct nested-loop reference.
+        kh, kw = 3, 2
+        ref = np.zeros((1, 3, 5 - kh + 1, 4 - kw + 1))
+        for oc in range(3):
+            for i in range(ref.shape[2]):
+                for j in range(ref.shape[3]):
+                    patch = x[0, :, i:i + kh, j:j + kw]
+                    ref[0, oc, i, j] = np.sum(
+                        patch * conv.weight.data[oc]) + conv.bias.data[oc]
+        np.testing.assert_allclose(out, ref, atol=1e-10)
+
+    def test_gradcheck(self):
+        conv = Conv2d(1, 2, kernel_size=2, rng=np.random.default_rng(5))
+        x0 = RNG.normal(size=(1, 1, 4, 4))
+
+        def scalar_fn(arr):
+            return float(conv(Tensor(arr)).sum().data)
+
+        t = Tensor(x0.copy(), requires_grad=True)
+        conv(t).sum().backward()
+        np.testing.assert_allclose(t.grad, numeric_grad(scalar_fn, x0.copy()),
+                                   atol=1e-6)
+
+    def test_kernel_too_large_raises(self):
+        conv = Conv2d(1, 1, kernel_size=5, rng=RNG)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 1, 3, 3))))
+
+    def test_wrong_ndim_raises(self):
+        conv = Conv2d(1, 1, kernel_size=1, rng=RNG)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((3, 3))))
+
+
+class TestBatchNorm2d:
+    def test_training_normalises_batch(self):
+        bn = BatchNorm2d(3)
+        x = Tensor(RNG.normal(size=(8, 3, 4, 4)) * 5 + 2)
+        out = bn(x)
+        np.testing.assert_allclose(out.data.mean(axis=(0, 2, 3)), 0, atol=1e-8)
+        np.testing.assert_allclose(out.data.std(axis=(0, 2, 3)), 1, atol=1e-2)
+
+    def test_running_stats_update(self):
+        bn = BatchNorm2d(2, momentum=0.5)
+        x = Tensor(np.ones((4, 2, 2, 2)) * 3.0)
+        bn(x)
+        np.testing.assert_allclose(bn.running_mean, [1.5, 1.5])
+
+    def test_eval_uses_running_stats(self):
+        bn = BatchNorm2d(1, momentum=1.0)
+        train_x = Tensor(RNG.normal(size=(16, 1, 3, 3)) + 4.0)
+        bn(train_x)
+        bn.eval()
+        x = Tensor(np.zeros((2, 1, 3, 3)))
+        out = bn(x)
+        expected = (0.0 - bn.running_mean[0]) / np.sqrt(
+            bn.running_var[0] + bn.eps)
+        np.testing.assert_allclose(out.data, expected, atol=1e-10)
+
+    def test_buffers_in_state_dict(self):
+        bn = BatchNorm2d(2)
+        bn(Tensor(RNG.normal(size=(4, 2, 2, 2))))
+        state = bn.state_dict()
+        assert "buffer::running_mean" in state
+        fresh = BatchNorm2d(2)
+        fresh.load_state_dict(state)
+        np.testing.assert_allclose(fresh.running_mean, bn.running_mean)
+
+
+class TestIntervalResNetBlock:
+    def test_shape_preserved(self):
+        """Eq. 8 requires Z3 to have the same (Δd, d_t) shape as the input."""
+        block = IntervalResNetBlock(rng=RNG)
+        for delta_d in (1, 2, 5, 9):
+            x = Tensor(RNG.normal(size=(2, 1, delta_d, 8)))
+            out = block(x)
+            assert out.shape == (2, 1, delta_d, 8)
+
+    def test_residual_connection(self):
+        """Zeroing the final conv must reduce the block to identity."""
+        block = IntervalResNetBlock(rng=RNG)
+        block.conv3.weight.data[:] = 0.0
+        block.conv3.bias.data[:] = 0.0
+        x = Tensor(RNG.normal(size=(1, 1, 4, 6)))
+        np.testing.assert_allclose(block(x).data, x.data, atol=1e-12)
+
+    def test_channel_progression(self):
+        block = IntervalResNetBlock(rng=RNG)
+        assert block.conv1.out_channels == 4
+        assert block.conv2.out_channels == 8
+        assert block.conv3.out_channels == 1
+
+    def test_rejects_multichannel_input(self):
+        block = IntervalResNetBlock(rng=RNG)
+        with pytest.raises(ValueError):
+            block(Tensor(np.zeros((1, 2, 4, 6))))
+
+    def test_convbnrelu_nonnegative(self):
+        blk = ConvBNReLU(1, 4, rng=RNG)
+        out = blk(Tensor(RNG.normal(size=(2, 1, 6, 6))))
+        assert (out.data >= 0).all()

@@ -1,0 +1,82 @@
+"""Regression tests for parameter sharing across modules.
+
+DeepOD shares its road-segment embedding between the OD encoder and the
+Trajectory Encoder, and its interval encoder (with BatchNorm buffers)
+between modules; a naive traversal yields shared parameters repeatedly,
+which made Adam apply duplicate updates.  These tests pin the dedupe
+semantics.
+"""
+
+import numpy as np
+
+from repro.nn import Adam, Embedding, Linear, Module, Tensor
+
+
+class Shared(Module):
+    """Two heads sharing one embedding."""
+
+    def __init__(self):
+        super().__init__()
+        self.emb = Embedding(4, 3, rng=np.random.default_rng(0))
+        self.head_a = HeadWith(self.emb)
+        self.head_b = HeadWith(self.emb)
+
+
+class HeadWith(Module):
+    def __init__(self, emb):
+        super().__init__()
+        self.emb = emb
+        self.fc = Linear(3, 1, rng=np.random.default_rng(1))
+
+    def forward(self, idx):
+        return self.fc(self.emb(idx)).sum()
+
+
+class TestSharedParameters:
+    def test_each_parameter_yielded_once(self):
+        model = Shared()
+        params = list(model.parameters())
+        ids = [id(p) for p in params]
+        assert len(ids) == len(set(ids))
+        # emb.weight + two heads' (weight, bias) = 5 parameters.
+        assert len(params) == 5
+
+    def test_num_parameters_no_double_count(self):
+        model = Shared()
+        expected = 4 * 3 + 2 * (3 * 1 + 1)
+        assert model.num_parameters() == expected
+
+    def test_optimizer_updates_shared_once(self):
+        """With symmetric heads, the shared embedding's update must equal
+        exactly -lr * accumulated gradient (no duplicate application)."""
+        model = Shared()
+        from repro.nn import SGD
+        opt = SGD(list(model.parameters()), lr=1.0)
+        idx = np.array([2])
+        loss = model.head_a(idx) + model.head_b(idx)
+        before = model.emb.weight.data.copy()
+        loss.backward()
+        grad = model.emb.weight.grad.copy()
+        opt.step()
+        np.testing.assert_allclose(model.emb.weight.data,
+                                   before - grad)
+
+    def test_state_dict_loads_into_sharing_model(self):
+        src = Shared()
+        dst = Shared()
+        dst.load_state_dict(src.state_dict())
+        np.testing.assert_allclose(dst.emb.weight.data,
+                                   src.emb.weight.data)
+        # Sharing is preserved: both heads see the same object.
+        assert dst.head_a.emb is dst.head_b.emb
+
+    def test_gradient_accumulates_from_both_heads(self):
+        model = Shared()
+        idx = np.array([1])
+        (model.head_a(idx) + model.head_b(idx)).backward()
+        grad_two_heads = model.emb.weight.grad.copy()
+        model.zero_grad()
+        model.head_a(idx).backward()
+        grad_one_head = model.emb.weight.grad.copy()
+        # fc weights differ between heads, but both contribute gradient.
+        assert np.abs(grad_two_heads).sum() > np.abs(grad_one_head).sum()

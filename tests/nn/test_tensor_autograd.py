@@ -1,0 +1,259 @@
+"""Autograd correctness: analytic gradients vs. central finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, stack, unbroadcast
+
+
+RNG = np.random.default_rng(7)
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    """Central finite-difference gradient of scalar fn at array x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    flat = x.reshape(-1)
+    gflat = grad.reshape(-1)
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        up = fn(x)
+        flat[i] = orig - eps
+        down = fn(x)
+        flat[i] = orig
+        gflat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_grad(build, shape, atol=1e-6):
+    """Compare backward() against numeric gradients for op ``build``."""
+    x = RNG.normal(size=shape)
+
+    def scalar_fn(arr):
+        t = Tensor(arr.copy(), requires_grad=True)
+        return float(build(t).sum().data)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = build(t).sum()
+    out.backward()
+    expected = numeric_grad(scalar_fn, x.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestElementwiseOps:
+    def test_add(self):
+        check_grad(lambda t: t + 3.0, (4, 3))
+
+    def test_sub(self):
+        check_grad(lambda t: 5.0 - t, (4, 3))
+
+    def test_mul(self):
+        check_grad(lambda t: t * t, (4, 3))
+
+    def test_div(self):
+        check_grad(lambda t: 1.0 / (t * t + 2.0), (4, 3))
+
+    def test_pow(self):
+        check_grad(lambda t: (t * t + 1.0) ** 1.5, (3, 3))
+
+    def test_neg(self):
+        check_grad(lambda t: -t * 2.0, (5,))
+
+    def test_exp(self):
+        check_grad(lambda t: t.exp(), (4, 2))
+
+    def test_log(self):
+        check_grad(lambda t: (t * t + 1.0).log(), (4, 2))
+
+    def test_sqrt(self):
+        check_grad(lambda t: (t * t + 1.0).sqrt(), (4, 2))
+
+    def test_abs(self):
+        # Keep away from the non-differentiable point at 0.
+        x = RNG.normal(size=(4, 3))
+        x[np.abs(x) < 0.2] = 0.5
+        t = Tensor(x, requires_grad=True)
+        t.abs().sum().backward()
+        np.testing.assert_allclose(t.grad, np.sign(x))
+
+    def test_relu(self):
+        x = RNG.normal(size=(4, 3))
+        x[np.abs(x) < 0.2] = 0.5
+        t = Tensor(x, requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_allclose(t.grad, (x > 0).astype(float))
+
+    def test_sigmoid(self):
+        check_grad(lambda t: t.sigmoid(), (4, 3))
+
+    def test_tanh(self):
+        check_grad(lambda t: t.tanh(), (4, 3))
+
+
+class TestMatmul:
+    def test_matmul_2d(self):
+        b = RNG.normal(size=(3, 5))
+        check_grad(lambda t: t @ Tensor(b), (4, 3))
+
+    def test_matmul_rhs_grad(self):
+        a = RNG.normal(size=(4, 3))
+        check_grad(lambda t: Tensor(a) @ t, (3, 5))
+
+    def test_matmul_vector_rhs(self):
+        v = RNG.normal(size=(3,))
+        check_grad(lambda t: t @ Tensor(v), (4, 3))
+
+    def test_matmul_batched(self):
+        b = RNG.normal(size=(2, 3, 5))
+        check_grad(lambda t: t @ Tensor(b), (2, 4, 3))
+
+    def test_matmul_chain(self):
+        w1 = RNG.normal(size=(3, 4))
+        w2 = RNG.normal(size=(4, 2))
+        check_grad(lambda t: (t @ Tensor(w1)).tanh() @ Tensor(w2), (5, 3))
+
+
+class TestBroadcasting:
+    def test_unbroadcast_axis(self):
+        grad = np.ones((4, 3))
+        out = unbroadcast(grad, (1, 3))
+        assert out.shape == (1, 3)
+        np.testing.assert_allclose(out, np.full((1, 3), 4.0))
+
+    def test_unbroadcast_leading(self):
+        grad = np.ones((2, 4, 3))
+        out = unbroadcast(grad, (3,))
+        assert out.shape == (3,)
+        np.testing.assert_allclose(out, np.full(3, 8.0))
+
+    def test_broadcast_add_grad(self):
+        bias = Tensor(RNG.normal(size=(3,)), requires_grad=True)
+        x = Tensor(RNG.normal(size=(5, 3)), requires_grad=True)
+        (x + bias).sum().backward()
+        np.testing.assert_allclose(bias.grad, np.full(3, 5.0))
+        np.testing.assert_allclose(x.grad, np.ones((5, 3)))
+
+    def test_broadcast_mul_grad(self):
+        scale = Tensor(np.array(2.0), requires_grad=True)
+        x = Tensor(RNG.normal(size=(4, 2)), requires_grad=True)
+        (x * scale).sum().backward()
+        np.testing.assert_allclose(scale.grad, x.data.sum())
+
+
+class TestReductionsAndShape:
+    def test_sum_axis(self):
+        check_grad(lambda t: t.sum(axis=0), (4, 3))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda t: t.sum(axis=1, keepdims=True) * t, (4, 3))
+
+    def test_mean(self):
+        check_grad(lambda t: t.mean(), (4, 3))
+
+    def test_mean_axis(self):
+        check_grad(lambda t: t.mean(axis=1), (4, 3))
+
+    def test_mean_multi_axis(self):
+        check_grad(lambda t: t.mean(axis=(1, 2)), (2, 3, 4))
+
+    def test_max(self):
+        x = RNG.normal(size=(4, 3))
+        t = Tensor(x, requires_grad=True)
+        t.max(axis=1).sum().backward()
+        # One gradient unit flows to each row's argmax.
+        expected = np.zeros_like(x)
+        expected[np.arange(4), x.argmax(axis=1)] = 1.0
+        np.testing.assert_allclose(t.grad, expected)
+
+    def test_reshape(self):
+        check_grad(lambda t: (t.reshape(2, 6) ** 2.0), (4, 3))
+
+    def test_transpose(self):
+        m = Tensor(RNG.normal(size=(4, 2)))
+        check_grad(lambda t: t.transpose((1, 0)) @ m, (4, 3))
+
+    def test_getitem_slice(self):
+        check_grad(lambda t: t[1:3, :] * 2.0, (4, 3))
+
+    def test_getitem_fancy(self):
+        idx = np.array([0, 2, 2])
+        check_grad(lambda t: t[idx], (4, 3))
+
+    def test_getitem_fancy_repeated_accumulates(self):
+        x = RNG.normal(size=(3, 2))
+        t = Tensor(x, requires_grad=True)
+        t[np.array([1, 1, 1])].sum().backward()
+        np.testing.assert_allclose(t.grad[1], np.full(2, 3.0))
+        np.testing.assert_allclose(t.grad[0], np.zeros(2))
+
+
+class TestConcatStack:
+    def test_concat_grad(self):
+        a = Tensor(RNG.normal(size=(2, 3)), requires_grad=True)
+        b = Tensor(RNG.normal(size=(2, 5)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        assert out.shape == (2, 8)
+        (out * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, np.full((2, 3), 2.0))
+        np.testing.assert_allclose(b.grad, np.full((2, 5), 2.0))
+
+    def test_stack_grad(self):
+        tensors = [Tensor(RNG.normal(size=(3,)), requires_grad=True)
+                   for _ in range(4)]
+        out = stack(tensors, axis=0)
+        assert out.shape == (4, 3)
+        out.sum().backward()
+        for t in tensors:
+            np.testing.assert_allclose(t.grad, np.ones(3))
+
+
+class TestGraphMechanics:
+    def test_reused_node_accumulates(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x * 3.0
+        y.backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 + 3.0])
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([1.5]), requires_grad=True)
+        a = x * 2.0
+        b = x + 1.0
+        y = a * b
+        y.backward()
+        # dy/dx = 2*(x+1) + 2x = 4x + 2
+        np.testing.assert_allclose(x.grad, [4 * 1.5 + 2.0])
+
+    def test_backward_requires_scalar(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        with pytest.raises(ValueError):
+            (x * 2.0).backward()
+
+    def test_detach_cuts_graph(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = (x * 2.0).detach()
+        z = (y * 3.0)
+        assert not z.requires_grad
+        assert x.grad is None
+
+    def test_grad_accumulates_across_backwards(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        (x * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 4.0))
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x * 2.0).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_no_grad_tracking_when_not_required(self):
+        x = Tensor(np.ones(3))
+        y = x * 2.0
+        assert not y.requires_grad
+        assert y._backward is None
+
+    def test_item_and_numpy(self):
+        t = Tensor(np.array([[3.5]]))
+        assert t.item() == 3.5
+        assert t.numpy() is t.data

@@ -1,0 +1,130 @@
+"""Tests for path (known-route) travel-time estimation."""
+
+import numpy as np
+import pytest
+
+from repro.datagen import load_city
+from repro.eval import mape
+from repro.pathtte import (
+    EdgeTimeProfile, PerEdgePathEstimator, ProfileConfig, SubPathConfig,
+    SubPathPathEstimator, SubPathTable,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_city("mini-chengdu", num_trips=400, num_days=14)
+
+
+class TestEdgeTimeProfile:
+    def test_fit_and_query(self, dataset):
+        profile = EdgeTimeProfile(dataset.net).fit(dataset.split.train)
+        speed = profile.speed(0, 8 * 3600.0)
+        assert 0 < speed < 40
+
+    def test_fallback_for_unseen_bin(self, dataset):
+        profile = EdgeTimeProfile(
+            dataset.net, ProfileConfig(min_observations=10**6))
+        profile.fit(dataset.split.train)
+        # Every query must fall back to the global mean.
+        g = profile.speed(0, 0.0)
+        assert g == pytest.approx(profile.speed(5, 3600.0))
+
+    def test_rush_hour_slower(self, dataset):
+        """The profile must recover the daily congestion pattern."""
+        profile = EdgeTimeProfile(dataset.net).fit(dataset.split.train)
+        # Average over many edges to smooth sampling noise; weekday bins.
+        day = 86400.0
+        rush = np.mean([profile.speed(e, day + 8 * 3600.0)
+                        for e in range(0, dataset.net.num_edges, 5)])
+        night = np.mean([profile.speed(e, day + 3 * 3600.0)
+                         for e in range(0, dataset.net.num_edges, 5)])
+        assert rush < night
+
+    def test_coverage_fraction(self, dataset):
+        profile = EdgeTimeProfile(dataset.net).fit(dataset.split.train)
+        assert 0.0 < profile.coverage() < 1.0
+
+    def test_empty_fit_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            EdgeTimeProfile(dataset.net).fit([])
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ProfileConfig(bin_seconds=0.0)
+        with pytest.raises(ValueError):
+            ProfileConfig(bin_seconds=7 * 3601.0)
+
+
+class TestSubPathTable:
+    def test_harvests_subpaths(self, dataset):
+        table = SubPathTable(SubPathConfig(max_subpath_len=3))
+        table.fit(dataset.split.train)
+        assert len(table) > 0
+
+    def test_lookup_known_path(self, dataset):
+        table = SubPathTable(
+            SubPathConfig(max_subpath_len=3, min_observations=1))
+        table.fit(dataset.split.train)
+        trip = dataset.split.train[0]
+        sub = tuple(trip.trajectory.edge_ids[:2])
+        t = trip.trajectory.path[0].enter_time
+        observed = table.lookup(sub, t)
+        assert observed is not None and observed > 0
+
+    def test_lookup_unknown_returns_none(self, dataset):
+        table = SubPathTable().fit(dataset.split.train)
+        assert table.lookup((999999,), 0.0) is None
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SubPathConfig(max_subpath_len=0)
+
+
+class TestPathEstimators:
+    def test_per_edge_estimator_accuracy(self, dataset):
+        """Knowing the route should give decent accuracy out of the box."""
+        est = PerEdgePathEstimator().fit(dataset)
+        test = dataset.split.test
+        preds = est.predict(test)
+        actual = np.array([t.travel_time for t in test])
+        assert mape(actual, preds) < 0.40
+
+    def test_subpath_estimator_runs(self, dataset):
+        est = SubPathPathEstimator().fit(dataset)
+        test = dataset.split.test[:40]
+        preds = est.predict(test)
+        actual = np.array([t.travel_time for t in test])
+        assert np.isfinite(preds).all()
+        assert mape(actual, preds) < 0.50
+
+    def test_route_knowledge_beats_od_blindness(self, dataset):
+        """The known-route estimator should beat a mean predictor by a
+        wide margin — quantifying the information in the route."""
+        est = PerEdgePathEstimator().fit(dataset)
+        test = dataset.split.test
+        actual = np.array([t.travel_time for t in test])
+        preds = est.predict(test)
+        mean_pred = np.mean([t.travel_time for t in dataset.split.train])
+        assert (np.abs(preds - actual).mean()
+                < 0.7 * np.abs(mean_pred - actual).mean())
+
+    def test_requires_route(self, dataset):
+        from repro.datagen import strip_trajectories
+        est = PerEdgePathEstimator().fit(dataset)
+        with pytest.raises(ValueError):
+            est.predict(strip_trajectories(dataset.split.test[:1]))
+
+    def test_predict_before_fit(self, dataset):
+        with pytest.raises(RuntimeError):
+            PerEdgePathEstimator().predict(dataset.split.test[:1])
+        with pytest.raises(RuntimeError):
+            SubPathPathEstimator().predict_path([0], 0.0)
+
+    def test_partial_edges_shorten_estimate(self, dataset):
+        est = PerEdgePathEstimator().fit(dataset)
+        trip = dataset.split.test[0]
+        edges = trip.trajectory.edge_ids
+        full = est.predict_path(edges, trip.od.depart_time, 0.0, 1.0)
+        partial = est.predict_path(edges, trip.od.depart_time, 0.5, 0.5)
+        assert partial < full

@@ -1,0 +1,137 @@
+"""Tests for the road-network graph model."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet import RoadNetwork, grid_city
+
+
+@pytest.fixture
+def small_net():
+    """A 2x2 block: four vertices in a square, two-way edges around it."""
+    net = RoadNetwork()
+    net.add_vertex(0, 0.0, 0.0)
+    net.add_vertex(1, 100.0, 0.0)
+    net.add_vertex(2, 100.0, 100.0)
+    net.add_vertex(3, 0.0, 100.0)
+    for a, b in [(0, 1), (1, 2), (2, 3), (3, 0)]:
+        net.add_edge(a, b)
+        net.add_edge(b, a)
+    return net
+
+
+class TestConstruction:
+    def test_counts(self, small_net):
+        assert small_net.num_vertices == 4
+        assert small_net.num_edges == 8
+
+    def test_default_length_is_euclidean(self, small_net):
+        assert small_net.edge(0).length == pytest.approx(100.0)
+
+    def test_duplicate_vertex_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.add_vertex(0, 5.0, 5.0)
+
+    def test_duplicate_edge_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.add_edge(0, 1)
+
+    def test_self_loop_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.add_edge(0, 0)
+
+    def test_unknown_endpoint_rejected(self, small_net):
+        with pytest.raises(KeyError):
+            small_net.add_edge(0, 99)
+
+    def test_nonpositive_length_rejected(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.add_edge(0, 2, length=0.0)
+
+    def test_edge_ids_dense(self, small_net):
+        ids = [e.edge_id for e in small_net.edges()]
+        assert ids == list(range(8))
+
+
+class TestAdjacency:
+    def test_out_edges(self, small_net):
+        outs = {e.end for e in small_net.out_edges(0)}
+        assert outs == {1, 3}
+
+    def test_in_edges(self, small_net):
+        ins = {e.start for e in small_net.in_edges(0)}
+        assert ins == {1, 3}
+
+    def test_successors_follow_end_vertex(self, small_net):
+        e01 = small_net.edge_between(0, 1)
+        succ_ends = {e.end for e in small_net.successors(e01.edge_id)}
+        assert succ_ends == {0, 2}
+
+    def test_edge_between_missing(self, small_net):
+        assert small_net.edge_between(0, 2) is None
+
+
+class TestGeometry:
+    def test_point_at_ratio(self, small_net):
+        e01 = small_net.edge_between(0, 1)
+        assert small_net.point_at_ratio(e01.edge_id, 0.5) == (50.0, 0.0)
+
+    def test_point_at_ratio_bounds(self, small_net):
+        with pytest.raises(ValueError):
+            small_net.point_at_ratio(0, 1.5)
+
+    def test_project_point_interior(self, small_net):
+        e01 = small_net.edge_between(0, 1)
+        dist, ratio = small_net.project_point(e01.edge_id, 30.0, 40.0)
+        assert dist == pytest.approx(40.0)
+        assert ratio == pytest.approx(0.3)
+
+    def test_project_point_clamps(self, small_net):
+        e01 = small_net.edge_between(0, 1)
+        dist, ratio = small_net.project_point(e01.edge_id, -50.0, 0.0)
+        assert ratio == 0.0
+        assert dist == pytest.approx(50.0)
+
+    def test_bounding_box(self, small_net):
+        assert small_net.bounding_box() == (0.0, 0.0, 100.0, 100.0)
+
+    def test_total_length(self, small_net):
+        assert small_net.total_length() == pytest.approx(800.0)
+
+
+class TestGridCity:
+    def test_sizes(self):
+        net = grid_city(5, 6, seed=1)
+        assert net.num_vertices == 30
+        assert net.num_edges > 30
+
+    def test_deterministic(self):
+        a = grid_city(4, 4, seed=7)
+        b = grid_city(4, 4, seed=7)
+        assert a.num_edges == b.num_edges
+        assert [e.length for e in a.edges()] == [e.length for e in b.edges()]
+
+    def test_seed_changes_layout(self):
+        a = grid_city(4, 4, seed=1)
+        b = grid_city(4, 4, seed=2)
+        assert ([round(e.length, 3) for e in a.edges()]
+                != [round(e.length, 3) for e in b.edges()])
+
+    def test_strongly_connected(self):
+        from repro.roadnet.generators import _reachable_from, _reaching_to
+        net = grid_city(6, 6, oneway_fraction=0.3, removal_fraction=0.1,
+                        seed=3)
+        assert len(_reachable_from(net, 0)) == net.num_vertices
+        assert len(_reaching_to(net, 0)) == net.num_vertices
+
+    def test_has_arterials(self):
+        net = grid_city(9, 9, arterial_every=4, seed=0)
+        classes = {e.road_class for e in net.edges()}
+        assert "arterial" in classes
+        arterial_speed = max(e.speed_limit for e in net.edges())
+        street_speed = min(e.speed_limit for e in net.edges())
+        assert arterial_speed > street_speed
+
+    def test_too_small_grid_rejected(self):
+        with pytest.raises(ValueError):
+            grid_city(1, 5)

@@ -1,0 +1,122 @@
+"""Tests for routing: Dijkstra, A*, time-dependent and perturbed variants."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    NoPathError, RoadNetwork, astar, dijkstra, grid_city, is_connected_path,
+    path_length, perturbed_route, time_dependent_dijkstra,
+)
+
+
+@pytest.fixture
+def line_net():
+    """0 -> 1 -> 2 -> 3 in a straight line, plus a slow shortcut 0 -> 3."""
+    net = RoadNetwork()
+    for i in range(4):
+        net.add_vertex(i, i * 100.0, 0.0)
+    net.add_vertex(4, 150.0, 200.0)
+    net.add_edge(0, 1)
+    net.add_edge(1, 2)
+    net.add_edge(2, 3)
+    net.add_edge(0, 4)   # detour via vertex 4
+    net.add_edge(4, 3)
+    return net
+
+
+class TestDijkstra:
+    def test_shortest_route(self, line_net):
+        edges, cost = dijkstra(line_net, 0, 3)
+        assert cost == pytest.approx(300.0)
+        assert [line_net.edge(e).end for e in edges] == [1, 2, 3]
+
+    def test_trivial_route(self, line_net):
+        edges, cost = dijkstra(line_net, 0, 0)
+        assert edges == []
+        assert cost == 0.0
+
+    def test_no_path_raises(self, line_net):
+        with pytest.raises(NoPathError):
+            dijkstra(line_net, 3, 0)
+
+    def test_custom_cost_changes_route(self, line_net):
+        # Make the middle edge prohibitively expensive.
+        def cost(eid):
+            edge = line_net.edge(eid)
+            if edge.start == 1 and edge.end == 2:
+                return 1e9
+            return edge.length
+
+        edges, _ = dijkstra(line_net, 0, 3, edge_cost=cost)
+        assert [line_net.edge(e).end for e in edges] == [4, 3]
+
+    def test_negative_cost_rejected(self, line_net):
+        with pytest.raises(ValueError):
+            dijkstra(line_net, 0, 3, edge_cost=lambda e: -1.0)
+
+
+class TestAStar:
+    def test_agrees_with_dijkstra(self):
+        net = grid_city(7, 7, seed=5)
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            s, t = rng.integers(0, net.num_vertices, size=2)
+            d_edges, d_cost = dijkstra(net, int(s), int(t))
+            a_edges, a_cost = astar(net, int(s), int(t))
+            assert a_cost == pytest.approx(d_cost)
+
+    def test_returns_connected_path(self):
+        net = grid_city(6, 6, seed=2)
+        edges, _ = astar(net, 0, net.num_vertices - 1)
+        assert is_connected_path(net, edges)
+
+
+class TestTimeDependent:
+    def test_constant_speed_matches_static(self, line_net):
+        def tt(eid, t):
+            return line_net.edge(eid).length / 10.0
+
+        edges, total = time_dependent_dijkstra(line_net, 0, 3, 0.0, tt)
+        assert total == pytest.approx(30.0)
+        assert [line_net.edge(e).end for e in edges] == [1, 2, 3]
+
+    def test_congestion_diverts_route(self, line_net):
+        # The middle edge becomes extremely slow after t=5.
+        def tt(eid, t):
+            edge = line_net.edge(eid)
+            base = edge.length / 10.0
+            if edge.start == 1 and edge.end == 2 and t > 5:
+                return base * 100
+            return base
+
+        edges, _ = time_dependent_dijkstra(line_net, 0, 3, 0.0, tt)
+        assert [line_net.edge(e).end for e in edges] == [4, 3]
+
+    def test_nonpositive_travel_time_rejected(self, line_net):
+        with pytest.raises(ValueError):
+            time_dependent_dijkstra(line_net, 0, 3, 0.0, lambda e, t: 0.0)
+
+
+class TestPerturbedRoute:
+    def test_path_valid_and_length_true(self):
+        net = grid_city(6, 6, seed=4)
+        rng = np.random.default_rng(1)
+        edges, length = perturbed_route(net, 0, net.num_vertices - 1, rng)
+        assert is_connected_path(net, edges)
+        assert length == pytest.approx(path_length(net, edges))
+
+    def test_diverse_routes_for_same_od(self):
+        """Example 1 of the paper: the same OD pair can take different
+        trajectories; the perturbed router must produce route diversity."""
+        net = grid_city(8, 8, seed=9)
+        rng = np.random.default_rng(3)
+        routes = {tuple(perturbed_route(net, 0, 62, rng, noise=0.5)[0])
+                  for _ in range(20)}
+        assert len(routes) > 1
+
+    def test_zero_noise_equals_shortest(self):
+        net = grid_city(6, 6, seed=4)
+        rng = np.random.default_rng(1)
+        edges, length = perturbed_route(net, 0, 30, rng, noise=0.0)
+        _, best = dijkstra(net, 0, 30)
+        assert length == pytest.approx(best)

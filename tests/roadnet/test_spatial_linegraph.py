@@ -1,0 +1,135 @@
+"""Tests for the spatial index and the line-graph conversion (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet import (
+    RoadNetwork, SpatialIndex, WeightedDigraph, build_line_graph, grid_city,
+)
+
+
+@pytest.fixture
+def city():
+    return grid_city(6, 6, seed=0)
+
+
+class TestSpatialIndex:
+    def test_nearest_edge_brute_force_agreement(self, city):
+        index = SpatialIndex(city, cell_size=150.0)
+        rng = np.random.default_rng(2)
+        min_x, min_y, max_x, max_y = city.bounding_box()
+        for _ in range(25):
+            x = rng.uniform(min_x, max_x)
+            y = rng.uniform(min_y, max_y)
+            eid, dist, _ = index.nearest_edge(x, y)
+            brute = min(city.project_point(e.edge_id, x, y)[0]
+                        for e in city.edges())
+            assert dist == pytest.approx(brute)
+
+    def test_k_nearest_sorted(self, city):
+        index = SpatialIndex(city)
+        hits = index.k_nearest_edges(300.0, 300.0, k=5)
+        assert len(hits) == 5
+        dists = [h[1] for h in hits]
+        assert dists == sorted(dists)
+
+    def test_edges_within_radius(self, city):
+        index = SpatialIndex(city)
+        hits = index.edges_within(400.0, 400.0, radius=120.0)
+        assert hits
+        assert all(dist <= 120.0 for _, dist, _ in hits)
+        # Must agree with brute force on membership.
+        brute = {e.edge_id for e in city.edges()
+                 if city.project_point(e.edge_id, 400.0, 400.0)[0] <= 120.0}
+        assert {eid for eid, _, _ in hits} == brute
+
+    def test_query_outside_bbox_still_works(self, city):
+        index = SpatialIndex(city)
+        eid, dist, _ = index.nearest_edge(-5000.0, -5000.0)
+        assert dist > 0
+        brute = min(city.project_point(e.edge_id, -5000.0, -5000.0)[0]
+                    for e in city.edges())
+        assert dist == pytest.approx(brute)
+
+    def test_invalid_parameters(self, city):
+        with pytest.raises(ValueError):
+            SpatialIndex(city, cell_size=0.0)
+        index = SpatialIndex(city)
+        with pytest.raises(ValueError):
+            index.k_nearest_edges(0, 0, k=0)
+        with pytest.raises(ValueError):
+            index.edges_within(0, 0, radius=-1.0)
+
+    def test_ratio_matches_projection(self, city):
+        index = SpatialIndex(city)
+        eid, _, ratio = index.nearest_edge(410.0, 195.0)
+        _, expected_ratio = city.project_point(eid, 410.0, 195.0)
+        assert ratio == pytest.approx(expected_ratio)
+
+
+class TestWeightedDigraph:
+    def test_add_and_query(self):
+        g = WeightedDigraph(3)
+        g.add_edge(0, 1, 2.0)
+        g.add_edge(0, 1, 3.0)   # accumulates
+        assert g.weight(0, 1) == 5.0
+        assert g.out_degree(0) == 1
+        assert g.num_edges() == 1
+
+    def test_bounds_checked(self):
+        g = WeightedDigraph(2)
+        with pytest.raises(IndexError):
+            g.add_edge(0, 5)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1, -1.0)
+
+
+class TestLineGraph:
+    def test_structural_links_follow_connectivity(self):
+        """Figure 4: <v_ik, v_kj> exists iff segment k-j follows i-k."""
+        net = RoadNetwork()
+        for i, (x, y) in enumerate([(0, 0), (100, 0), (200, 0), (100, 100)]):
+            net.add_vertex(i, float(x), float(y))
+        e01 = net.add_edge(0, 1)
+        e12 = net.add_edge(1, 2)
+        e13 = net.add_edge(1, 3)
+        line = build_line_graph(net)
+        assert line.weight(e01.edge_id, e12.edge_id) == 1.0
+        assert line.weight(e01.edge_id, e13.edge_id) == 1.0
+        assert line.weight(e12.edge_id, e13.edge_id) == 0.0
+
+    def test_cooccurrence_weights(self):
+        """Two trajectories co-passing a pair yield weight smoothing+2."""
+        net = RoadNetwork()
+        for i in range(3):
+            net.add_vertex(i, i * 100.0, 0.0)
+        e01 = net.add_edge(0, 1)
+        e12 = net.add_edge(1, 2)
+        trajs = [[e01.edge_id, e12.edge_id], [e01.edge_id, e12.edge_id]]
+        line = build_line_graph(net, trajs, smoothing=1.0)
+        assert line.weight(e01.edge_id, e12.edge_id) == 3.0
+
+    def test_disconnected_trajectory_rejected(self):
+        net = RoadNetwork()
+        for i in range(4):
+            net.add_vertex(i, i * 100.0, 0.0)
+        e01 = net.add_edge(0, 1)
+        e23 = net.add_edge(2, 3)
+        with pytest.raises(ValueError):
+            build_line_graph(net, [[e01.edge_id, e23.edge_id]])
+
+    def test_no_self_links(self):
+        city = grid_city(4, 4, seed=1)
+        line = build_line_graph(city)
+        assert all(u != v for u, v, _ in line.edges())
+
+    def test_reverse_edge_is_a_link(self):
+        """A two-way street yields u-turn links e->e_rev; they are allowed
+        (vehicles can legally u-turn) but never self-links."""
+        net = RoadNetwork()
+        net.add_vertex(0, 0.0, 0.0)
+        net.add_vertex(1, 100.0, 0.0)
+        fwd = net.add_edge(0, 1)
+        rev = net.add_edge(1, 0)
+        line = build_line_graph(net)
+        assert line.weight(fwd.edge_id, rev.edge_id) == 1.0

@@ -1,0 +1,115 @@
+"""Tests for time-slot arithmetic (Eq. 2-4) and the temporal graph (Fig 5b)."""
+
+import numpy as np
+import pytest
+
+from repro.temporal import (
+    SECONDS_PER_DAY, SECONDS_PER_WEEK, TimeSlotConfig, build_daily_graph,
+    build_weekly_graph,
+)
+
+
+@pytest.fixture
+def cfg():
+    return TimeSlotConfig(base_timestamp=0.0, slot_seconds=300.0)
+
+
+class TestSlotArithmetic:
+    def test_paper_sizes(self, cfg):
+        """Δt = 5 min gives 288 slots/day, 2016 slots/week."""
+        assert cfg.slots_per_day == 288
+        assert cfg.slots_per_week == 2016
+
+    def test_eq2_slot(self, cfg):
+        assert cfg.slot_of(0.0) == 0
+        assert cfg.slot_of(299.9) == 0
+        assert cfg.slot_of(300.0) == 1
+        assert cfg.slot_of(3600.0) == 12
+
+    def test_eq3_remainder(self, cfg):
+        assert cfg.remainder_of(301.5) == pytest.approx(1.5)
+        assert cfg.remainder_of(0.0) == 0.0
+
+    def test_reconstruction_identity(self, cfg):
+        """t = t0 + t_p*Δt + t_r must hold exactly."""
+        rng = np.random.default_rng(0)
+        for t in rng.uniform(0, 10 * SECONDS_PER_WEEK, size=50):
+            t_p, t_r = cfg.normalize(float(t))
+            assert t_p * 300.0 + t_r == pytest.approx(t)
+            assert 0 <= t_r < 300.0
+
+    def test_pre_base_timestamp_rejected(self):
+        cfg = TimeSlotConfig(base_timestamp=1000.0)
+        with pytest.raises(ValueError):
+            cfg.slot_of(999.0)
+
+    def test_weekly_node_wraps(self, cfg):
+        assert cfg.weekly_node(0) == 0
+        assert cfg.weekly_node(2016) == 0
+        assert cfg.weekly_node(2017) == 1
+        assert cfg.weekly_node(2015) == 2015
+
+    def test_daily_node_wraps(self, cfg):
+        assert cfg.daily_node(288) == 0
+        assert cfg.daily_node(289) == 1
+
+    def test_interval_slots_eq4(self, cfg):
+        """Δd = t_p[-1] - t_p[1] + 1 slots."""
+        slots = cfg.interval_slots(10.0, 910.0)
+        assert list(slots) == [0, 1, 2, 3]
+
+    def test_interval_single_slot(self, cfg):
+        assert list(cfg.interval_slots(10.0, 20.0)) == [0]
+
+    def test_interval_reversed_rejected(self, cfg):
+        with pytest.raises(ValueError):
+            cfg.interval_slots(100.0, 50.0)
+
+    def test_slot_size_must_divide_day(self):
+        with pytest.raises(ValueError):
+            TimeSlotConfig(slot_seconds=7 * 60.0)
+
+    def test_various_paper_slot_sizes(self):
+        """Fig 14(a) sweeps Δt over 1, 5, 10, 30, 60 minutes."""
+        for minutes in (1, 5, 10, 30, 60):
+            cfg = TimeSlotConfig(slot_seconds=minutes * 60.0)
+            assert cfg.slots_per_day == 24 * 60 // minutes
+
+    def test_day_and_hour_helpers(self, cfg):
+        t = 2 * SECONDS_PER_DAY + 3 * 3600.0
+        assert cfg.day_of_week(t) == 2
+        assert cfg.hour_of_day(t) == pytest.approx(3.0)
+
+    def test_slot_start_time(self, cfg):
+        assert cfg.slot_start_time(12) == 3600.0
+
+
+class TestTemporalGraph:
+    def test_weekly_graph_size(self, cfg):
+        graph = build_weekly_graph(cfg)
+        assert graph.num_nodes == 2016
+        # Two outgoing edges per node: next slot + same slot next day.
+        assert graph.num_edges() == 2 * 2016
+
+    def test_neighbouring_slot_edges(self, cfg):
+        graph = build_weekly_graph(cfg)
+        assert graph.weight(0, 1) == 1.0
+        assert graph.weight(2015, 0) == 1.0   # wraps at week end
+
+    def test_neighbouring_day_edges(self, cfg):
+        graph = build_weekly_graph(cfg)
+        assert graph.weight(0, 288) == 1.0
+        # Sunday slot s connects to Monday slot s.
+        assert graph.weight(6 * 288 + 5, 5) == 1.0
+
+    def test_directedness(self, cfg):
+        """The paper's graph is directed (unlike MURAT's): no reverse edge."""
+        graph = build_weekly_graph(cfg)
+        assert graph.weight(1, 0) == 0.0
+        assert graph.weight(288, 0) == 0.0
+
+    def test_daily_graph_for_tday_variant(self, cfg):
+        graph = build_daily_graph(cfg)
+        assert graph.num_nodes == 288
+        assert graph.weight(287, 0) == 1.0
+        assert graph.num_edges() == 288

@@ -1,0 +1,74 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_stats_defaults(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.city == "mini-chengdu"
+        assert args.trips == 1000
+
+    def test_unknown_city_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stats", "--city", "atlantis"])
+
+    def test_compare_methods_list(self):
+        args = build_parser().parse_args(
+            ["compare", "--methods", "LR", "GBM"])
+        assert args.methods == ["LR", "GBM"]
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_stats_runs(self, capsys):
+        assert main(["stats", "--trips", "40", "--days", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "num_orders" in out
+        assert "40.00" in out
+
+    def test_train_runs_and_saves(self, tmp_path, capsys):
+        path = str(tmp_path / "model.npz")
+        code = main(["train", "--trips", "60", "--days", "7",
+                     "--epochs", "1", "--save", path,
+                     "--eval-every", "0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "test MAPE" in out
+        import os
+        assert os.path.exists(path)
+
+    def test_compare_runs(self, capsys):
+        code = main(["compare", "--trips", "60", "--days", "7",
+                     "--epochs", "1", "--methods", "LR", "TEMP"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "LR" in out and "TEMP" in out
+
+    def test_compare_writes_report(self, tmp_path, capsys):
+        out_path = str(tmp_path / "report.json")
+        code = main(["compare", "--trips", "60", "--days", "7",
+                     "--epochs", "1", "--methods", "LR",
+                     "--out", out_path])
+        assert code == 0
+        from repro.eval import load_report
+        report = load_report(out_path)
+        assert report["metadata"]["city"] == "mini-chengdu"
+        assert "LR" in report["methods"]
+
+    def test_unknown_method_exits(self):
+        with pytest.raises(SystemExit):
+            main(["compare", "--trips", "60", "--days", "7",
+                  "--methods", "SVM"])
+
+    def test_sweep_w_runs(self, capsys):
+        code = main(["sweep-w", "--trips", "60", "--days", "7",
+                     "--epochs", "1", "--weights", "0.3"])
+        assert code == 0
+        assert "MAPE" in capsys.readouterr().out

@@ -1,0 +1,47 @@
+"""Smoke tests: the fast examples must run end-to-end.
+
+Only the examples without heavyweight training runs are exercised here
+(the training ones are covered functionally by the core test suites).
+"""
+
+import os
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "examples")
+
+
+def run_example(name, argv=()):
+    path = os.path.abspath(os.path.join(EXAMPLES_DIR, name))
+    old_argv = sys.argv
+    sys.argv = [path, *argv]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+
+
+class TestExamples:
+    def test_map_matching_pipeline(self, capsys):
+        run_example("map_matching_pipeline.py")
+        out = capsys.readouterr().out
+        assert "HMM matcher recovered" in out
+        assert "Spatio-temporal path" in out
+
+    def test_examples_exist_and_have_docstrings(self):
+        expected = {
+            "quickstart.py", "method_comparison.py",
+            "map_matching_pipeline.py", "ablation_study.py",
+            "temporal_analysis.py", "serving_predictor.py",
+        }
+        present = set(os.listdir(EXAMPLES_DIR))
+        assert expected <= present
+        for name in expected:
+            with open(os.path.join(EXAMPLES_DIR, name)) as handle:
+                source = handle.read()
+            assert '"""' in source.split("\n", 2)[-1] or \
+                source.lstrip().startswith(('#!', '"""'))
+            assert "def main(" in source

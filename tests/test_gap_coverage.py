@@ -1,0 +1,130 @@
+"""Coverage for corners the main suites skip: river generation, pretrained
+rescaling, tensor odds and ends, speed-matrix imputation."""
+
+import numpy as np
+import pytest
+
+from repro.core.embeddings import rescale_pretrained
+from repro.datagen import load_city
+from repro.nn import Tensor
+from repro.roadnet import NoPathError, dijkstra, grid_city
+
+
+class TestRiverGeneration:
+    def test_crossings_only_at_bridges(self):
+        rows, cols, river, bridges = 8, 8, 3, (2, 6)
+        net = grid_city(rows, cols, river_row=river, bridge_cols=bridges,
+                        seed=5)
+
+        def row_of(v):
+            return v // cols
+
+        crossings = {e.edge_id for e in net.edges()
+                     if {row_of(e.start), row_of(e.end)} == {river,
+                                                             river + 1}}
+        cols_used = {net.edge(e).start % cols for e in crossings}
+        assert cols_used <= set(bridges)
+        assert crossings, "bridges must exist"
+
+    def test_bridges_marked(self):
+        net = grid_city(8, 8, river_row=3, bridge_cols=(2, 6), seed=5)
+        assert any(e.road_class == "bridge" for e in net.edges())
+
+    def test_still_strongly_connected(self):
+        from repro.roadnet.generators import _reachable_from, _reaching_to
+        net = grid_city(8, 8, river_row=3, bridge_cols=(4,), seed=7,
+                        oneway_fraction=0.2, removal_fraction=0.1)
+        assert len(_reachable_from(net, 0)) == net.num_vertices
+        assert len(_reaching_to(net, 0)) == net.num_vertices
+
+    def test_river_lengthens_crossing_routes(self):
+        plain = grid_city(8, 8, seed=5, removal_fraction=0.0,
+                          oneway_fraction=0.0)
+        rivered = grid_city(8, 8, river_row=3, bridge_cols=(0,), seed=5,
+                            removal_fraction=0.0, oneway_fraction=0.0)
+        # A trip crossing the river far from the single bridge detours.
+        source, target = 7, 63 - 8 + 7   # column 7, rows 0 and 6
+        _, plain_cost = dijkstra(plain, source, target)
+        _, rivered_cost = dijkstra(rivered, source, target)
+        assert rivered_cost > plain_cost * 1.5
+
+    def test_river_validation(self):
+        with pytest.raises(ValueError):
+            grid_city(6, 6, river_row=10, bridge_cols=(1,))
+        with pytest.raises(ValueError):
+            grid_city(6, 6, river_row=2, bridge_cols=())
+        with pytest.raises(ValueError):
+            grid_city(6, 6, river_row=2, bridge_cols=(9,))
+
+
+class TestRescalePretrained:
+    def test_target_std(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(3.0, 5.0, size=(50, 8))
+        out = rescale_pretrained(matrix, target_std=0.1)
+        assert out.std() == pytest.approx(0.1)
+        assert np.abs(out.mean(axis=0)).max() < 1e-10
+
+    def test_geometry_preserved(self):
+        """Relative distances survive up to a single scale factor."""
+        rng = np.random.default_rng(1)
+        matrix = rng.normal(size=(20, 4)) * 7.0
+        out = rescale_pretrained(matrix)
+        d_in = np.linalg.norm(matrix[0] - matrix[1])
+        d_in2 = np.linalg.norm(matrix[2] - matrix[3])
+        d_out = np.linalg.norm(out[0] - out[1])
+        d_out2 = np.linalg.norm(out[2] - out[3])
+        assert d_in / d_in2 == pytest.approx(d_out / d_out2)
+
+    def test_degenerate_constant_matrix(self):
+        out = rescale_pretrained(np.full((5, 3), 9.0))
+        np.testing.assert_allclose(out, 0.0)
+
+
+class TestTensorCorners:
+    def test_negative_index(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        t[-1].sum().backward()
+        np.testing.assert_allclose(t.grad, [[0, 0, 0], [1, 1, 1]])
+
+    def test_default_transpose(self):
+        t = Tensor(np.arange(6.0).reshape(2, 3))
+        assert t.T.shape == (3, 2)
+
+    def test_comparison_ops_give_masks(self):
+        t = Tensor(np.array([1.0, -2.0, 3.0]))
+        gt = t > 0
+        lt = t < 0
+        np.testing.assert_allclose(gt.data, [True, False, True])
+        np.testing.assert_allclose(lt.data, [False, True, False])
+
+    def test_len_and_repr(self):
+        t = Tensor(np.zeros((4, 2)), requires_grad=True)
+        assert len(t) == 4
+        assert "requires_grad" in repr(t)
+
+    def test_rsub_rdiv(self):
+        t = Tensor(np.array([2.0]), requires_grad=True)
+        (10.0 - t).backward()
+        np.testing.assert_allclose(t.grad, [-1.0])
+        t2 = Tensor(np.array([2.0]), requires_grad=True)
+        (8.0 / t2).backward()
+        np.testing.assert_allclose(t2.grad, [-2.0])
+
+    def test_pow_requires_scalar(self):
+        t = Tensor(np.ones(3))
+        with pytest.raises(TypeError):
+            t ** np.ones(3)
+
+
+class TestSpeedMatrixImputation:
+    def test_unobserved_cells_take_global_mean(self):
+        ds = load_city("mini-chengdu", num_trips=30, num_days=7)
+        store = ds.speed_store
+        mat = store.matrix_before(3600.0)
+        # With 30 trips most cells are empty: they must equal the global
+        # mean exactly, and no cell may be zero/NaN.
+        assert np.isfinite(mat).all()
+        assert (mat > 0).all()
+        global_mean = store.global_mean_speed
+        assert (np.isclose(mat, global_mean)).any()

@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) over core data structures and
+invariants: autograd rules, time-slot arithmetic, interval interpolation,
+metrics, spatial indexing and the LSTM's masking semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.eval import mae, mape, mare
+from repro.nn import LSTM, Tensor, concat, unbroadcast
+from repro.temporal import TimeSlotConfig
+
+
+finite_floats = st.floats(min_value=-100.0, max_value=100.0,
+                          allow_nan=False, allow_infinity=False)
+
+
+def small_arrays(max_side=4):
+    return hnp.arrays(
+        dtype=np.float64,
+        shape=hnp.array_shapes(min_dims=1, max_dims=3, max_side=max_side),
+        elements=finite_floats)
+
+
+class TestAutogradProperties:
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_sum_gradient_is_ones(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x))
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_linearity_of_gradients(self, x):
+        """grad of (a*f + b*f) equals grad of (a+b)*f."""
+        t1 = Tensor(x.copy(), requires_grad=True)
+        (t1 * 2.0 + t1 * 3.0).sum().backward()
+        t2 = Tensor(x.copy(), requires_grad=True)
+        (t2 * 5.0).sum().backward()
+        np.testing.assert_allclose(t1.grad, t2.grad, atol=1e-12)
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_tanh_gradient_bounded(self, x):
+        t = Tensor(x, requires_grad=True)
+        t.tanh().sum().backward()
+        assert (np.abs(t.grad) <= 1.0 + 1e-12).all()
+
+    @given(small_arrays())
+    @settings(max_examples=40, deadline=None)
+    def test_relu_plus_negrelu_is_identity_gradient(self, x):
+        assume(np.all(np.abs(x) > 1e-6))
+        t = Tensor(x, requires_grad=True)
+        (t.relu() - (-t).relu()).sum().backward()
+        np.testing.assert_allclose(t.grad, np.ones_like(x), atol=1e-12)
+
+    @given(small_arrays(max_side=3), small_arrays(max_side=3))
+    @settings(max_examples=40, deadline=None)
+    def test_unbroadcast_inverts_broadcast(self, a, b):
+        try:
+            broadcast_shape = np.broadcast_shapes(a.shape, b.shape)
+        except ValueError:
+            assume(False)
+        grad = np.ones(broadcast_shape)
+        out = unbroadcast(grad, a.shape)
+        assert out.shape == a.shape
+        # Total gradient mass is conserved.
+        assert out.sum() == pytest.approx(grad.size)
+
+    @given(hnp.array_shapes(min_dims=1, max_dims=3, max_side=3),
+           st.integers(min_value=2, max_value=4),
+           st.integers(min_value=0, max_value=10**6))
+    @settings(max_examples=30, deadline=None)
+    def test_concat_preserves_values(self, shape, count, seed):
+        rng = np.random.default_rng(seed)
+        arrays = [rng.normal(size=shape) for _ in range(count)]
+        out = concat([Tensor(a) for a in arrays], axis=0)
+        np.testing.assert_allclose(out.data,
+                                   np.concatenate(arrays, axis=0))
+
+
+class TestTimeSlotProperties:
+    @given(st.floats(min_value=0, max_value=1e8, allow_nan=False),
+           st.sampled_from([60.0, 300.0, 900.0, 1800.0, 3600.0]))
+    @settings(max_examples=100, deadline=None)
+    def test_normalize_roundtrip(self, t, slot_seconds):
+        cfg = TimeSlotConfig(base_timestamp=0.0, slot_seconds=slot_seconds)
+        t_p, t_r = cfg.normalize(t)
+        assert 0 <= t_r < slot_seconds
+        assert t_p * slot_seconds + t_r == pytest.approx(t, abs=1e-6)
+
+    @given(st.integers(min_value=0, max_value=10**7),
+           st.sampled_from([300.0, 1800.0]))
+    @settings(max_examples=100, deadline=None)
+    def test_weekly_node_in_range(self, slot, slot_seconds):
+        cfg = TimeSlotConfig(slot_seconds=slot_seconds)
+        node = cfg.weekly_node(slot)
+        assert 0 <= node < cfg.slots_per_week
+        assert cfg.weekly_node(slot + cfg.slots_per_week) == node
+
+    @given(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+           st.floats(min_value=0, max_value=1e5, allow_nan=False))
+    @settings(max_examples=100, deadline=None)
+    def test_interval_slot_count_matches_eq4(self, start, duration):
+        cfg = TimeSlotConfig(slot_seconds=300.0)
+        end = start + duration
+        slots = list(cfg.interval_slots(start, end))
+        assert len(slots) == cfg.slot_of(end) - cfg.slot_of(start) + 1
+        assert slots == sorted(slots)
+
+
+class TestMetricProperties:
+    times = st.lists(st.floats(min_value=1.0, max_value=1e5,
+                               allow_nan=False),
+                     min_size=1, max_size=30)
+
+    @given(times)
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_prediction_zero_error(self, y):
+        y = np.array(y)
+        assert mae(y, y) == 0.0
+        assert mape(y, y) == 0.0
+        assert mare(y, y) == 0.0
+
+    @given(times, st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mape_scale_invariance(self, y, scale):
+        """Scaling ground truth and predictions together leaves MAPE and
+        MARE unchanged; MAE scales linearly."""
+        y = np.array(y)
+        pred = y * 1.1
+        assert mape(y * scale, pred * scale) == pytest.approx(mape(y, pred))
+        assert mare(y * scale, pred * scale) == pytest.approx(mare(y, pred))
+        assert mae(y * scale, pred * scale) == pytest.approx(
+            scale * mae(y, pred))
+
+    @given(times)
+    @settings(max_examples=50, deadline=None)
+    def test_mare_at_most_mape(self, y):
+        """For over-estimates by a fixed ratio, MAPE == MARE; generally
+        both are non-negative."""
+        y = np.array(y)
+        pred = y * 1.25
+        assert mape(y, pred) == pytest.approx(0.25)
+        assert mare(y, pred) == pytest.approx(0.25)
+
+
+class TestInterpolationProperties:
+    @given(st.lists(st.floats(min_value=10.0, max_value=500.0),
+                    min_size=1, max_size=8),
+           st.floats(min_value=0.01, max_value=0.99),
+           st.floats(min_value=0.01, max_value=0.99),
+           st.floats(min_value=1.0, max_value=3600.0))
+    @settings(max_examples=50, deadline=None)
+    def test_intervals_partition_trip(self, lengths, r1, r2, duration):
+        """Edge intervals are contiguous and exactly cover the trip."""
+        from repro.roadnet import RoadNetwork
+        from repro.trajectory import intervals_from_endpoint_times
+        net = RoadNetwork()
+        net.add_vertex(0, 0.0, 0.0)
+        x = 0.0
+        for i, length in enumerate(lengths):
+            x += length
+            net.add_vertex(i + 1, x, 0.0)
+            net.add_edge(i, i + 1, length=length)
+        els = intervals_from_endpoint_times(
+            net, list(range(len(lengths))), 100.0, 100.0 + duration,
+            r1, r2)
+        assert els[0].enter_time == pytest.approx(100.0)
+        assert els[-1].exit_time == pytest.approx(100.0 + duration)
+        for prev, nxt in zip(els, els[1:]):
+            assert nxt.enter_time == pytest.approx(prev.exit_time)
+        assert all(el.duration >= 0 for el in els)
+
+
+class TestLSTMProperties:
+    @given(st.integers(min_value=1, max_value=5),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_padding_never_changes_output(self, batch, max_len, seed):
+        """For any lengths, padded garbage beyond each length must not
+        change the final state."""
+        rng = np.random.default_rng(seed)
+        lstm = LSTM(3, 4, rng=np.random.default_rng(1))
+        lengths = rng.integers(1, max_len + 1, size=batch)
+        x = rng.normal(size=(batch, max_len, 3))
+        x_garbage = x.copy()
+        for i, n in enumerate(lengths):
+            x_garbage[i, n:, :] = 1e6
+        _, clean = lstm(Tensor(x), lengths=list(lengths))
+        _, dirty = lstm(Tensor(x_garbage), lengths=list(lengths))
+        np.testing.assert_allclose(clean.data, dirty.data)
+
+
+class TestSpatialIndexProperties:
+    @given(st.floats(min_value=-3000, max_value=3000),
+           st.floats(min_value=-3000, max_value=3000))
+    @settings(max_examples=40, deadline=None)
+    def test_nearest_edge_agrees_with_bruteforce(self, x, y):
+        from repro.roadnet import SpatialIndex, grid_city
+        net = _CITY
+        index = _INDEX
+        eid, dist, ratio = index.nearest_edge(x, y)
+        brute = min(net.project_point(e.edge_id, x, y)[0]
+                    for e in net.edges())
+        assert dist == pytest.approx(brute)
+        assert 0.0 <= ratio <= 1.0
+
+
+from repro.roadnet import SpatialIndex as _SI, grid_city as _gc  # noqa: E402
+
+_CITY = _gc(5, 5, seed=3)
+_INDEX = _SI(_CITY, cell_size=200.0)

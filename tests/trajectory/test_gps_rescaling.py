@@ -1,0 +1,63 @@
+"""Tests for the GPS-anchored interpolation's boundary rescaling."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet import RoadNetwork
+from repro.trajectory import intervals_from_gps_times
+
+
+@pytest.fixture
+def line_net():
+    net = RoadNetwork()
+    for i in range(4):
+        net.add_vertex(i, i * 100.0, 0.0)
+    for i in range(3):
+        net.add_edge(i, i + 1)
+    return net
+
+
+class TestBoundaryRescaling:
+    def test_endpoints_pin_to_first_last_fix(self, line_net):
+        """Even when the observed positions disagree slightly with the
+        geometric boundaries, the first/last interval timestamps must pin
+        to the first/last GPS fixes."""
+        # Observed positions span 290 m although geometry says 300 m.
+        positions = [0.0, 145.0, 290.0]
+        times = [100.0, 130.0, 160.0]
+        els = intervals_from_gps_times(
+            line_net, [0, 1, 2], times, positions, 0.0, 1.0)
+        assert els[0].enter_time == pytest.approx(100.0)
+        assert els[-1].exit_time == pytest.approx(160.0)
+
+    def test_offset_positions_handled(self, line_net):
+        """Positions not starting at zero (matcher quirk) still work."""
+        positions = [10.0, 160.0, 310.0]
+        times = [0.0, 15.0, 30.0]
+        els = intervals_from_gps_times(
+            line_net, [0, 1, 2], times, positions, 0.0, 1.0)
+        assert els[0].enter_time == pytest.approx(0.0)
+        assert els[-1].exit_time == pytest.approx(30.0)
+        for prev, nxt in zip(els, els[1:]):
+            assert nxt.enter_time == pytest.approx(prev.exit_time)
+
+    def test_stationary_head_fixes(self, line_net):
+        """Repeated zero positions (vehicle waiting) must not crash and
+        must keep intervals ordered."""
+        positions = [0.0, 0.0, 0.0, 150.0, 300.0]
+        times = [0.0, 3.0, 6.0, 20.0, 34.0]
+        els = intervals_from_gps_times(
+            line_net, [0, 1, 2], times, positions, 0.0, 1.0)
+        assert all(el.duration >= 0 for el in els)
+        assert els[-1].exit_time == pytest.approx(34.0)
+
+    def test_proportionality_preserved(self, line_net):
+        """After rescaling, interval durations stay proportional to the
+        per-edge distances under constant observed speed."""
+        positions = np.array([0.0, 100.0, 200.0, 300.0]) * 0.9
+        times = [0.0, 10.0, 20.0, 30.0]
+        els = intervals_from_gps_times(
+            line_net, [0, 1, 2], times, positions, 0.0, 1.0)
+        durations = [el.duration for el in els]
+        np.testing.assert_allclose(durations, [10.0, 10.0, 10.0],
+                                   atol=1e-9)

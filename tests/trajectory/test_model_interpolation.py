@@ -1,0 +1,164 @@
+"""Tests for the trajectory data model and interval interpolation."""
+
+import numpy as np
+import pytest
+
+from repro.roadnet import RoadNetwork
+from repro.trajectory import (
+    GPSPoint, MatchedTrajectory, ODInput, PathElement, RawTrajectory,
+    TripRecord, build_matched_trajectory, intervals_from_endpoint_times,
+    intervals_from_gps_times,
+)
+
+
+@pytest.fixture
+def line_net():
+    net = RoadNetwork()
+    for i in range(4):
+        net.add_vertex(i, i * 100.0, 0.0)
+    net.add_edge(0, 1)
+    net.add_edge(1, 2)
+    net.add_edge(2, 3)
+    return net
+
+
+class TestDataModel:
+    def test_raw_trajectory_basics(self):
+        pts = [GPSPoint(0, 0, 0.0), GPSPoint(10, 0, 5.0), GPSPoint(20, 0, 9.0)]
+        traj = RawTrajectory(pts)
+        assert traj.travel_time == 9.0
+        assert traj.origin.xy == (0, 0)
+        assert len(traj) == 3
+
+    def test_raw_trajectory_needs_two_points(self):
+        with pytest.raises(ValueError):
+            RawTrajectory([GPSPoint(0, 0, 0.0)])
+
+    def test_raw_trajectory_time_ordering(self):
+        with pytest.raises(ValueError):
+            RawTrajectory([GPSPoint(0, 0, 5.0), GPSPoint(1, 0, 4.0)])
+
+    def test_path_element_validation(self):
+        with pytest.raises(ValueError):
+            PathElement(0, 10.0, 5.0)
+        el = PathElement(0, 5.0, 10.0)
+        assert el.duration == 5.0
+        assert el.interval == (5.0, 10.0)
+
+    def test_matched_trajectory_properties(self):
+        path = [PathElement(0, 0.0, 10.0), PathElement(1, 10.0, 30.0)]
+        traj = MatchedTrajectory(path, 0.2, 0.8)
+        assert traj.travel_time == 30.0
+        assert traj.edge_ids == [0, 1]
+        assert traj.depart_time == 0.0
+
+    def test_matched_trajectory_ratio_bounds(self):
+        path = [PathElement(0, 0.0, 1.0)]
+        with pytest.raises(ValueError):
+            MatchedTrajectory(path, -0.1, 0.5)
+        with pytest.raises(ValueError):
+            MatchedTrajectory(path, 0.5, 1.2)
+
+    def test_matched_trajectory_interval_ordering(self):
+        path = [PathElement(0, 0.0, 10.0), PathElement(1, 5.0, 30.0)]
+        with pytest.raises(ValueError):
+            MatchedTrajectory(path, 0.0, 1.0)
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            MatchedTrajectory([], 0.0, 1.0)
+
+    def test_od_input_matched_flag(self):
+        od = ODInput((0, 0), (1, 1), 100.0)
+        assert not od.is_matched
+        od.origin_edge = 3
+        od.destination_edge = 7
+        assert od.is_matched
+
+    def test_trip_record_requires_positive_time(self):
+        od = ODInput((0, 0), (1, 1), 100.0)
+        with pytest.raises(ValueError):
+            TripRecord(od, travel_time=0.0)
+
+
+class TestEndpointInterpolation:
+    def test_full_edges_proportional_split(self, line_net):
+        els = intervals_from_endpoint_times(
+            line_net, [0, 1, 2], depart_time=0.0, arrive_time=30.0,
+            ratio_start=0.0, ratio_end=1.0)
+        assert [e.duration for e in els] == pytest.approx([10.0, 10.0, 10.0])
+        assert els[0].enter_time == 0.0
+        assert els[-1].exit_time == 30.0
+
+    def test_partial_first_last_edges(self, line_net):
+        """r[1]=0.5 halves the first edge's distance share; r[-1]=0.5 the
+        last's."""
+        els = intervals_from_endpoint_times(
+            line_net, [0, 1, 2], 0.0, 20.0, ratio_start=0.5, ratio_end=0.5)
+        # Distances travelled: 50, 100, 50 -> times 5, 10, 5.
+        assert [e.duration for e in els] == pytest.approx([5.0, 10.0, 5.0])
+
+    def test_single_edge_trip(self, line_net):
+        els = intervals_from_endpoint_times(
+            line_net, [1], 10.0, 20.0, ratio_start=0.2, ratio_end=0.9)
+        assert len(els) == 1
+        assert els[0].enter_time == 10.0
+        assert els[0].exit_time == 20.0
+
+    def test_degenerate_zero_distance(self, line_net):
+        els = intervals_from_endpoint_times(
+            line_net, [1], 0.0, 10.0, ratio_start=0.5, ratio_end=0.5)
+        assert els[0].duration == pytest.approx(10.0)
+
+    def test_contiguity(self, line_net):
+        els = intervals_from_endpoint_times(
+            line_net, [0, 1, 2], 3.0, 47.0, 0.3, 0.7)
+        for prev, nxt in zip(els, els[1:]):
+            assert nxt.enter_time == pytest.approx(prev.exit_time)
+
+    def test_arrival_before_departure_rejected(self, line_net):
+        with pytest.raises(ValueError):
+            intervals_from_endpoint_times(line_net, [0], 10.0, 5.0, 0, 1)
+
+    def test_empty_edges_rejected(self, line_net):
+        with pytest.raises(ValueError):
+            intervals_from_endpoint_times(line_net, [], 0.0, 10.0, 0, 1)
+
+
+class TestGPSAnchoredInterpolation:
+    def test_uniform_speed_recovery(self, line_net):
+        """With fixes every 50 m at constant speed, edge intervals must come
+        out proportional to length."""
+        positions = np.arange(0.0, 300.1, 50.0)
+        times = positions / 10.0          # 10 m/s
+        els = intervals_from_gps_times(
+            line_net, [0, 1, 2], times, positions, 0.0, 1.0)
+        assert [e.duration for e in els] == pytest.approx([10.0, 10.0, 10.0])
+
+    def test_variable_speed_respected(self, line_net):
+        """Slow first half, fast second half shifts interval boundaries."""
+        positions = [0.0, 150.0, 300.0]
+        times = [0.0, 30.0, 40.0]   # 5 m/s then 15 m/s
+        els = intervals_from_gps_times(
+            line_net, [0, 1, 2], times, positions, 0.0, 1.0)
+        assert els[0].duration == pytest.approx(20.0)   # 100m at 5 m/s
+        assert els[2].duration == pytest.approx(100 / 15, rel=1e-6)
+
+    def test_alignment_validation(self, line_net):
+        with pytest.raises(ValueError):
+            intervals_from_gps_times(line_net, [0], [0.0, 1.0], [0.0], 0, 1)
+        with pytest.raises(ValueError):
+            intervals_from_gps_times(line_net, [0], [0.0], [0.0], 0, 1)
+        with pytest.raises(ValueError):
+            intervals_from_gps_times(
+                line_net, [0], [0.0, 1.0], [10.0, 5.0], 0, 1)
+
+
+class TestBuildMatchedTrajectory:
+    def test_roundtrip(self, line_net):
+        traj = build_matched_trajectory(line_net, [0, 1, 2], 5.0, 65.0,
+                                        0.25, 0.75)
+        assert isinstance(traj, MatchedTrajectory)
+        assert traj.travel_time == pytest.approx(60.0)
+        assert traj.ratio_start == 0.25
+        assert traj.edge_ids == [0, 1, 2]
