@@ -20,6 +20,9 @@ Subpackages
     Synthetic taxi-city simulator producing Table 2-style datasets.
 ``repro.core``
     The DeepOD model, trainer (Algorithm 1) and ablation variants.
+``repro.serving``
+    Production-style serving: model artifacts, micro-batching, caching,
+    fallback, metrics, HTTP/JSON-lines front-ends.
 ``repro.baselines``
     TEMP, LR, GBM, STNN and MURAT comparison methods.
 ``repro.eval``

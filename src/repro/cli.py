@@ -4,18 +4,23 @@ Subcommands::
 
     python -m repro.cli stats   --city mini-chengdu --trips 500
     python -m repro.cli train   --city mini-chengdu --trips 2000 \\
-                                --epochs 8 --save model.npz
+                                --epochs 8 --save model/
+    python -m repro.cli serve   --artifact model/ --port 8321
     python -m repro.cli compare --city mini-xian --trips 2000 \\
                                 --methods TEMP LR GBM DeepOD
     python -m repro.cli sweep-w --city mini-chengdu --trips 2000
 
-Everything runs on synthetic city presets (see ``repro.datagen.cities``);
-results print as plain text tables.
+``train --save`` writes a self-contained serving artifact (directory:
+weights + config + calibration + dataset fingerprint) that ``serve``
+reloads with no retraining; a path ending in ``.npz`` falls back to a
+bare weights file.  Everything runs on synthetic city presets (see
+``repro.datagen.cities``); results print as plain text tables.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -25,7 +30,9 @@ from .baselines import (
     DeepODEstimator, GBMEstimator, LinearRegressionEstimator,
     MURATEstimator, STNNEstimator, TEMPEstimator,
 )
-from .core import DeepODConfig, DeepODTrainer, build_deepod
+from .core import (
+    DeepODConfig, DeepODTrainer, TravelTimePredictor, build_deepod,
+)
 from .datagen import PRESETS, load_city, strip_trajectories
 from .eval import format_table, mape, run_comparison
 from .nn import save_state
@@ -81,8 +88,53 @@ def cmd_train(args) -> int:
     actual = np.array([t.travel_time for t in test])
     print(f"test MAPE {100 * mape(actual, preds):.2f}%")
     if args.save:
-        save_state(model, args.save)
-        print(f"model saved to {args.save}")
+        if args.save.endswith(".npz"):
+            # Bare weights only — not reloadable into a predictor; kept
+            # for size measurements and low-level tooling.
+            written = save_state(model, args.save)
+            print(f"model weights saved to {written}")
+        else:
+            from .serving import save_artifact
+            predictor = TravelTimePredictor(trainer, coverage=args.coverage)
+            artifact_dir = save_artifact(args.save, predictor)
+            print(f"serving artifact saved to {artifact_dir}")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    from .serving import (
+        ArtifactError, ServiceConfig, TravelTimeService, load_artifact,
+        run_jsonl_loop, serve_http,
+    )
+    service_config = ServiceConfig(max_batch=args.max_batch,
+                                   max_wait_s=args.max_wait_ms / 1000.0)
+    try:
+        predictor = load_artifact(args.artifact)
+        service = TravelTimeService(predictor, config=service_config)
+    except ArtifactError as exc:
+        if not args.fallback_city:
+            raise SystemExit(f"invalid artifact: {exc}")
+        # Degraded mode: no model, historical-average answers only.
+        print(f"artifact rejected ({exc}); serving degraded from "
+              f"{args.fallback_city}", file=sys.stderr)
+        dataset = load_city(args.fallback_city, num_trips=args.trips,
+                            num_days=args.days)
+        service = TravelTimeService(dataset=dataset, config=service_config)
+
+    if args.query:
+        try:
+            payload = json.loads(args.query)
+        except json.JSONDecodeError as exc:
+            raise SystemExit(f"--query is not valid JSON: {exc}")
+        from .serving import parse_query
+        response = service.query(*parse_query(payload))
+        print(json.dumps(response.to_dict()))
+        return 0
+    if args.stdin:
+        run_jsonl_loop(service, sys.stdin, sys.stdout)
+        return 0
+    serve_http(service, host=args.host, port=args.port,
+               verbose=args.verbose)
     return 0
 
 
@@ -137,10 +189,41 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_train = sub.add_parser("train", help="train DeepOD")
     common(p_train)
-    p_train.add_argument("--save", default="")
+    p_train.add_argument("--save", default="",
+                         help="serving-artifact directory (or a bare "
+                              "weights file if the path ends in .npz)")
+    p_train.add_argument("--coverage", type=float, default=0.8,
+                         help="confidence-band coverage baked into the "
+                              "saved artifact")
     p_train.add_argument("--eval-every", type=int, default=50,
                          dest="eval_every")
     p_train.set_defaults(func=cmd_train)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve a trained artifact (HTTP or JSON lines)")
+    p_serve.add_argument("--artifact", required=True,
+                         help="artifact directory from train --save")
+    p_serve.add_argument("--query", default="",
+                         help="answer this one JSON query and exit")
+    p_serve.add_argument("--stdin", action="store_true",
+                         help="answer JSON-lines queries from stdin")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8321)
+    p_serve.add_argument("--max-batch", type=int, default=128,
+                         dest="max_batch")
+    p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                         dest="max_wait_ms",
+                         help="micro-batcher latency bound")
+    p_serve.add_argument("--fallback-city", default="",
+                         dest="fallback_city",
+                         help="serve degraded from this city preset if "
+                              "the artifact fails validation")
+    p_serve.add_argument("--trips", type=int, default=1000,
+                         help="fallback dataset size")
+    p_serve.add_argument("--days", type=int, default=14,
+                         help="fallback dataset days")
+    p_serve.add_argument("--verbose", action="store_true")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare methods (Table 4)")
     common(p_cmp)

@@ -48,9 +48,15 @@ class TravelTimePredictor:
     coverage:
         Central coverage of the confidence band (default 0.8 → the band
         spans the 10th-90th percentile of validation relative residuals).
+    quantiles:
+        Pre-computed ``(lo, hi)`` residual-ratio quantiles.  When given,
+        the validation-split calibration pass is skipped entirely — this
+        is how a serving artifact restores a predictor without re-running
+        inference over the validation split (see ``repro.serving.artifact``).
     """
 
-    def __init__(self, trainer: DeepODTrainer, coverage: float = 0.8):
+    def __init__(self, trainer: DeepODTrainer, coverage: float = 0.8,
+                 quantiles: Optional[Tuple[float, float]] = None):
         if not 0.0 < coverage < 1.0:
             raise ValueError("coverage must be in (0, 1)")
         self.trainer = trainer
@@ -58,7 +64,18 @@ class TravelTimePredictor:
         self.model: DeepOD = trainer.model
         self.index = SpatialIndex(self.dataset.net)
         self.coverage = coverage
-        self._lo_q, self._hi_q = self._calibrate()
+        if quantiles is not None:
+            lo, hi = float(quantiles[0]), float(quantiles[1])
+            if not lo <= hi:
+                raise ValueError("quantiles must satisfy lo <= hi")
+            self._lo_q, self._hi_q = min(lo, 1.0), max(hi, 1.0)
+        else:
+            self._lo_q, self._hi_q = self._calibrate()
+
+    @property
+    def quantiles(self) -> Tuple[float, float]:
+        """The calibrated ``(lo, hi)`` band ratios (artifact state)."""
+        return (self._lo_q, self._hi_q)
 
     # ------------------------------------------------------------------
     def _calibrate(self) -> Tuple[float, float]:
@@ -109,8 +126,21 @@ class TravelTimePredictor:
         if not len(queries):
             return []
         ods = [self.match_query(o, d, t) for o, d, t in queries]
-        mats = None
-        if self.model.config.use_external_features:
+        return self.estimate_from_ods(ods)
+
+    def estimate_from_ods(self, ods: Sequence[ODInput],
+                          speed_matrices: Optional[np.ndarray] = None
+                          ) -> List[Estimate]:
+        """Estimate pre-matched OD inputs.
+
+        The serving layer uses this entry point so it can supply its own
+        (cached) map matches and speed-matrix slices; ``estimate_batch``
+        funnels through it after matching from raw coordinates.
+        """
+        if not len(ods):
+            return []
+        mats = speed_matrices
+        if mats is None and self.model.config.use_external_features:
             store = self.dataset.speed_store
             mats = np.stack([store.normalized_matrix_before(od.depart_time)
                              for od in ods])

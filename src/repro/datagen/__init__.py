@@ -8,8 +8,8 @@ from .weather import (
 from .trips import TripConfig, TripGenerator, sample_departure_time
 from .speed_matrix import SpeedGridConfig, SpeedMatrixStore
 from .dataset import (
-    DatasetSplit, TaxiDataset, chronological_split, strip_trajectories,
-    subsample_training,
+    DatasetSplit, TaxiDataset, chronological_split, dataset_fingerprint,
+    strip_trajectories, subsample_training,
 )
 from .cities import PRESETS, CityPreset, build_city, load_city
 from .incidents import (
@@ -22,7 +22,7 @@ __all__ = [
     "TripConfig", "TripGenerator", "sample_departure_time",
     "SpeedGridConfig", "SpeedMatrixStore",
     "DatasetSplit", "TaxiDataset", "chronological_split",
-    "strip_trajectories", "subsample_training",
+    "dataset_fingerprint", "strip_trajectories", "subsample_training",
     "PRESETS", "CityPreset", "build_city", "load_city",
     "Incident", "IncidentConfig", "IncidentProcess", "IncidentTraffic",
 ]

@@ -112,7 +112,9 @@ def build_city(preset: CityPreset, num_trips: Optional[int] = None,
     return TaxiDataset(
         name=preset.name, net=net, trips=trips, split=split,
         slot_config=slot_config, weather=weather, traffic=traffic,
-        speed_store=speed_store, horizon_seconds=horizon)
+        speed_store=speed_store, horizon_seconds=horizon,
+        build_params={"city": preset.name, "num_trips": trips_n,
+                      "num_days": days})
 
 
 def load_city(name: str, num_trips: Optional[int] = None,

@@ -9,6 +9,7 @@ trajectory, average travel time, average segments, average length).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -54,6 +55,10 @@ class TaxiDataset:
     traffic: TrafficModel
     speed_store: SpeedMatrixStore
     horizon_seconds: float
+    # Generation provenance (city preset + overrides) recorded by
+    # ``build_city`` so a serving artifact can regenerate the exact same
+    # dataset later; ``None`` for hand-assembled datasets.
+    build_params: Optional[Dict[str, object]] = None
 
     def statistics(self) -> Dict[str, float]:
         """Table 2-style statistics."""
@@ -74,6 +79,29 @@ class TaxiDataset:
             "num_vertices": float(self.net.num_vertices),
             "num_edges": float(self.net.num_edges),
         }
+
+
+def dataset_fingerprint(dataset: "TaxiDataset") -> str:
+    """Stable content hash of a dataset's identity.
+
+    Built from the generation-invariant facts a model bakes in — network
+    size, trip count, split sizes and the travel-time distribution — so a
+    serving artifact can detect that the dataset regenerated at load time
+    is the one the model was trained on.  Deterministic across processes
+    (no ``hash()``; float fields are rounded to microseconds).
+    """
+    digest = hashlib.sha256()
+    digest.update(dataset.name.encode())
+    digest.update(f"|v{dataset.net.num_vertices}|e{dataset.net.num_edges}"
+                  f"|n{len(dataset.trips)}"
+                  f"|s{dataset.split.sizes}"
+                  f"|h{dataset.horizon_seconds:.6f}".encode())
+    for trip in dataset.trips[:64]:
+        digest.update(f"{trip.od.depart_time:.6f},"
+                      f"{trip.travel_time:.6f};".encode())
+    total = sum(t.travel_time for t in dataset.trips)
+    digest.update(f"|T{total:.6f}".encode())
+    return digest.hexdigest()
 
 
 def chronological_split(trips: Sequence[TripRecord],

@@ -17,12 +17,18 @@ import numpy as np
 from .modules import Module
 
 
-def save_state(module: Module, path: str) -> None:
-    """Serialise ``module.state_dict()`` into a compressed ``.npz`` file."""
+def save_state(module: Module, path: str) -> str:
+    """Serialise ``module.state_dict()`` into a compressed ``.npz`` file.
+
+    Returns the path actually written: ``np.savez_compressed`` silently
+    appends ``.npz`` when the given path lacks the suffix, so callers that
+    echo the filename must use the return value, not their argument.
+    """
     state = module.state_dict()
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     np.savez_compressed(path, **state)
+    return path if path.endswith(".npz") else path + ".npz"
 
 
 def load_state(module: Module, path: str) -> None:

@@ -1,0 +1,43 @@
+"""Production-style serving stack for trained DeepOD models.
+
+The paper's deployment story (Algorithm 1, Table 5) is that online
+estimation runs only M_O and M_E, cheaply, per query.  This package is
+the operational half of that story:
+
+``artifact``
+    Self-contained model bundles (weights + config + calibration +
+    dataset fingerprint) that round-trip to a ready predictor.
+``batcher``
+    Micro-batching of single queries into vectorised model calls.
+``cache``
+    LRU caches for map matches and speed-matrix slices.
+``fallback``
+    TEMP-style historical-average degradation when the model path fails.
+``metrics``
+    Counters and latency histograms with a JSON snapshot.
+``service`` / ``server``
+    The wired :class:`TravelTimeService` plus stdlib HTTP / JSON-lines
+    front-ends (``python -m repro.cli serve``).
+"""
+
+from .artifact import (
+    ArtifactError, load_artifact, read_manifest, save_artifact,
+    validate_artifact,
+)
+from .batcher import MicroBatcher
+from .cache import LRUCache, ODMatchCache, SpeedSliceCache
+from .fallback import HistoricalAverageFallback
+from .metrics import Counter, Histogram, MetricsRegistry
+from .server import ServingHTTPServer, parse_query, run_jsonl_loop, serve_http
+from .service import ServiceConfig, ServingResponse, TravelTimeService
+
+__all__ = [
+    "ArtifactError", "load_artifact", "read_manifest", "save_artifact",
+    "validate_artifact",
+    "MicroBatcher",
+    "LRUCache", "ODMatchCache", "SpeedSliceCache",
+    "HistoricalAverageFallback",
+    "Counter", "Histogram", "MetricsRegistry",
+    "ServingHTTPServer", "parse_query", "run_jsonl_loop", "serve_http",
+    "ServiceConfig", "ServingResponse", "TravelTimeService",
+]

@@ -1,0 +1,146 @@
+"""Serving caches with hit/miss accounting.
+
+Two query-path costs dominate a served OD estimate: snapping the raw
+coordinates onto road segments (a spatial-index walk per endpoint) and
+assembling the "current traffic condition" speed matrix (Section 4.5 —
+one matrix per Δt period, shared by every query departing in that
+period).  Both are highly repetitive in production traffic — popular
+pickup points recur, and all queries inside one 5-minute period need the
+same matrix — so both sit behind LRU caches here.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..datagen.speed_matrix import SpeedMatrixStore
+from ..roadnet.spatial_index import SpatialIndex
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Thread-safe; counts hits and misses so the service can export cache
+    effectiveness in its metrics snapshot.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Hashable, default=None):
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self.misses += 1
+                return default
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: Hashable, value) -> None:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            if len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.evictions += 1
+
+    def get_or_compute(self, key: Hashable, compute):
+        """Cached value for ``key``, calling ``compute()`` on a miss."""
+        value = self.get(key, _MISSING)
+        if value is not _MISSING:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {"size": len(self._data), "capacity": self.capacity,
+                "hits": self.hits, "misses": self.misses,
+                "evictions": self.evictions, "hit_rate": self.hit_rate}
+
+
+class SpeedSliceCache:
+    """Normalised speed-matrix slices keyed by time-slot (period) index.
+
+    ``SpeedMatrixStore.normalized_matrix_before`` recomputes the clip and
+    scale on every call; all queries departing inside the same Δt period
+    share one slice, so the cache key is the period index itself.
+    """
+
+    def __init__(self, store: SpeedMatrixStore, capacity: int = 64):
+        self.store = store
+        self._lru = LRUCache(capacity)
+
+    def period_of(self, t: float) -> int:
+        if t < 0:
+            raise ValueError("time must be non-negative")
+        p = int(t // self.store.config.period_seconds) - 1
+        return int(np.clip(p, 0, self.store.periods - 1))
+
+    def normalized_matrix_before(self, t: float) -> np.ndarray:
+        period = self.period_of(t)
+        return self._lru.get_or_compute(
+            period, lambda: self.store.normalized_matrix_before(t))
+
+    def stats(self) -> Dict[str, float]:
+        return self._lru.stats()
+
+
+class ODMatchCache:
+    """Nearest-edge map matches keyed per endpoint coordinate.
+
+    Caching per *endpoint* rather than per OD pair doubles reuse: a
+    popular pickup point hits the cache no matter where the trip goes.
+    Keys are exact coordinates by default (lossless); an optional
+    ``quantize_metres`` snaps keys to a grid, trading a bounded match
+    perturbation for a much higher hit rate under GPS jitter.
+    """
+
+    def __init__(self, index: SpatialIndex, capacity: int = 4096,
+                 quantize_metres: float = 0.0):
+        if quantize_metres < 0:
+            raise ValueError("quantize_metres must be >= 0")
+        self.index = index
+        self.quantize_metres = quantize_metres
+        self._lru = LRUCache(capacity)
+
+    def _key(self, x: float, y: float) -> Tuple[float, float]:
+        q = self.quantize_metres
+        if q > 0:
+            return (round(x / q) * q, round(y / q) * q)
+        return (float(x), float(y))
+
+    def nearest_edge(self, x: float, y: float) -> Tuple[int, float, float]:
+        """(edge_id, distance, ratio) as in ``SpatialIndex.nearest_edge``."""
+        key = self._key(x, y)
+        return self._lru.get_or_compute(
+            key, lambda: self.index.nearest_edge(key[0], key[1]))
+
+    def stats(self) -> Dict[str, float]:
+        return self._lru.stats()

@@ -1,0 +1,54 @@
+"""Graceful degradation: a historical-average fallback estimator.
+
+A serving stack must answer even when the model path cannot — the
+artifact failed validation, the weights are corrupt, or a prediction
+raises at runtime.  The fallback is a TEMP-style neighbour average
+(Wang et al., SIGSPATIAL 2016 — the paper's non-learning baseline): it
+needs only the historical trip table, cannot fail on any input, and is
+exactly what ran in production before learned estimators existed.
+Responses served this way are flagged ``degraded`` so callers and
+dashboards can tell model answers from fallback answers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..baselines.temp import TEMPEstimator
+from ..datagen.dataset import TaxiDataset
+from ..trajectory.model import ODInput, TripRecord
+
+Query = Tuple[Tuple[float, float], Tuple[float, float], float]
+
+
+class HistoricalAverageFallback:
+    """TEMP-backed estimator answering raw-coordinate queries.
+
+    The band attached to fallback estimates is a fixed wide ratio band
+    (default [0.5p, 2p]) — honest about the fact that no calibration
+    backs a degraded answer.
+    """
+
+    def __init__(self, dataset: TaxiDataset,
+                 band_ratios: Tuple[float, float] = (0.5, 2.0)):
+        lo, hi = band_ratios
+        if not 0.0 < lo <= 1.0 <= hi:
+            raise ValueError("band ratios must straddle 1.0")
+        self.band_ratios = (float(lo), float(hi))
+        self._temp = TEMPEstimator().fit(dataset)
+
+    def estimate_seconds(self, queries: Sequence[Query]) -> np.ndarray:
+        """Point estimates (seconds) for (origin, destination, t) queries."""
+        trips = [TripRecord(od=ODInput(origin_xy=tuple(o),
+                                       destination_xy=tuple(d),
+                                       depart_time=float(t)),
+                            travel_time=1.0)   # dummy; TEMP reads only od
+                 for o, d, t in queries]
+        return self._temp.predict(trips)
+
+    def bands(self, seconds: np.ndarray
+              ) -> List[Tuple[float, float]]:
+        lo, hi = self.band_ratios
+        return [(float(s * lo), float(s * hi)) for s in seconds]

@@ -1,0 +1,235 @@
+"""TravelTimeService: the operable serving stack around a predictor.
+
+Wires the pieces of ``repro.serving`` into one query-facing object:
+
+* cached map matching (``ODMatchCache``) and cached speed-matrix slices
+  (``SpeedSliceCache``) in front of the model path;
+* a :class:`MicroBatcher` coalescing concurrent single queries into
+  vectorised ``estimate_from_ods`` calls;
+* graceful degradation to :class:`HistoricalAverageFallback` when the
+  model path raises or no valid model artifact is available;
+* a :class:`MetricsRegistry` tracking traffic, latency percentiles,
+  batch sizes and cache hit rates.
+
+Per the paper's prediction-time design, the model path exercises only
+M_O and M_E — no trajectory ever enters a served query.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.predictor import TravelTimePredictor
+from ..datagen.dataset import TaxiDataset
+from ..trajectory.model import ODInput
+from .batcher import MicroBatcher
+from .cache import ODMatchCache, SpeedSliceCache
+from .fallback import HistoricalAverageFallback, Query
+from .metrics import MetricsRegistry
+
+
+@dataclass
+class ServiceConfig:
+    """Operational knobs of the serving stack."""
+
+    max_batch: int = 128
+    max_wait_s: float = 0.005
+    od_cache_size: int = 4096
+    slice_cache_size: int = 64
+    match_quantize_metres: float = 0.0
+    fallback_band_ratios: Tuple[float, float] = (0.5, 2.0)
+
+    def __post_init__(self):
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.max_wait_s < 0:
+            raise ValueError("max_wait_s must be >= 0")
+
+
+@dataclass
+class ServingResponse:
+    """One answered query, with provenance."""
+
+    seconds: float
+    lower: float
+    upper: float
+    origin_edge: int
+    destination_edge: int
+    degraded: bool
+    source: str                 # "model" | "fallback"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seconds": round(self.seconds, 3),
+            "lower": round(self.lower, 3),
+            "upper": round(self.upper, 3),
+            "origin_edge": self.origin_edge,
+            "destination_edge": self.destination_edge,
+            "degraded": self.degraded,
+            "source": self.source,
+        }
+
+
+class TravelTimeService:
+    """Production-style front door over a (possibly absent) predictor.
+
+    Parameters
+    ----------
+    predictor:
+        A ready :class:`TravelTimePredictor`, typically from
+        ``repro.serving.artifact.load_artifact``.  ``None`` starts the
+        service in permanently degraded (fallback-only) mode.
+    dataset:
+        Required only when ``predictor`` is ``None`` (the fallback needs
+        the historical trip table); otherwise taken from the predictor.
+    """
+
+    def __init__(self, predictor: Optional[TravelTimePredictor] = None,
+                 dataset: Optional[TaxiDataset] = None,
+                 config: Optional[ServiceConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if predictor is None and dataset is None:
+            raise ValueError("need a predictor or a dataset")
+        self.config = config or ServiceConfig()
+        self.predictor = predictor
+        self.dataset = dataset if dataset is not None else predictor.dataset
+        self.metrics = metrics or MetricsRegistry()
+        self.fallback = HistoricalAverageFallback(
+            self.dataset, band_ratios=self.config.fallback_band_ratios)
+
+        self.od_cache: Optional[ODMatchCache] = None
+        self.slice_cache: Optional[SpeedSliceCache] = None
+        if predictor is not None:
+            self.od_cache = ODMatchCache(
+                predictor.index, capacity=self.config.od_cache_size,
+                quantize_metres=self.config.match_quantize_metres)
+            self.metrics.register_gauge("od_match_cache",
+                                        self.od_cache.stats)
+            if predictor.model.config.use_external_features:
+                self.slice_cache = SpeedSliceCache(
+                    self.dataset.speed_store,
+                    capacity=self.config.slice_cache_size)
+                self.metrics.register_gauge("speed_slice_cache",
+                                            self.slice_cache.stats)
+
+        self.batcher = MicroBatcher(
+            self._answer_batch,
+            max_batch=self.config.max_batch,
+            max_wait_s=self.config.max_wait_s,
+            on_batch=lambda n: self.metrics.histogram("batch_size")
+                                   .observe(n))
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> "TravelTimeService":
+        """Start the micro-batcher worker (needed for ``submit``)."""
+        self.batcher.start()
+        return self
+
+    def stop(self) -> None:
+        self.batcher.stop()
+
+    @property
+    def degraded(self) -> bool:
+        """True when no model path exists (fallback-only service)."""
+        return self.predictor is None
+
+    # -- query paths -----------------------------------------------------
+    def query(self, origin_xy: Tuple[float, float],
+              destination_xy: Tuple[float, float],
+              depart_time: float) -> ServingResponse:
+        """Answer one query synchronously (no batching)."""
+        return self.query_batch(
+            [(origin_xy, destination_xy, depart_time)])[0]
+
+    def query_batch(self, queries: Sequence[Query]
+                    ) -> List[ServingResponse]:
+        """Answer many queries in one vectorised pass."""
+        start = time.perf_counter()
+        responses = self._answer_batch(list(queries))
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        hist = self.metrics.histogram("latency_ms")
+        for _ in responses:
+            hist.observe(elapsed_ms / max(len(responses), 1))
+        return responses
+
+    def submit(self, origin_xy: Tuple[float, float],
+               destination_xy: Tuple[float, float],
+               depart_time: float):
+        """Enqueue one query on the micro-batcher; returns a future.
+
+        The batcher worker must be running (see :meth:`start`); the
+        future resolves to a :class:`ServingResponse`.
+        """
+        enqueued = time.perf_counter()
+        future = self.batcher.submit(
+            (tuple(origin_xy), tuple(destination_xy), float(depart_time)))
+        future.add_done_callback(
+            lambda f: self.metrics.histogram("latency_ms").observe(
+                (time.perf_counter() - enqueued) * 1000.0))
+        return future
+
+    # -- internals -------------------------------------------------------
+    def _answer_batch(self, queries: List[Query]) -> List[ServingResponse]:
+        if not queries:
+            return []
+        self.metrics.counter("queries_total").inc(len(queries))
+        if self.predictor is not None:
+            try:
+                responses = self._model_answers(queries)
+                self.metrics.counter("model_answers").inc(len(queries))
+                return responses
+            except Exception:
+                self.metrics.counter("model_failures").inc()
+        return self._fallback_answers(queries)
+
+    def _match(self, origin_xy, destination_xy, depart_time) -> ODInput:
+        if depart_time < 0:
+            raise ValueError("departure time must be non-negative")
+        cache = self.od_cache
+        o_edge, _, o_ratio = cache.nearest_edge(*origin_xy)
+        d_edge, _, d_ratio = cache.nearest_edge(*destination_xy)
+        weather = self.dataset.weather.category(
+            min(depart_time, self.dataset.horizon_seconds - 1.0))
+        return ODInput(
+            origin_xy=tuple(origin_xy), destination_xy=tuple(destination_xy),
+            depart_time=depart_time,
+            origin_edge=o_edge, destination_edge=d_edge,
+            ratio_start=o_ratio, ratio_end=d_ratio,
+            weather=weather)
+
+    def _model_answers(self, queries: List[Query]
+                       ) -> List[ServingResponse]:
+        ods = [self._match(o, d, t) for o, d, t in queries]
+        mats = None
+        if self.slice_cache is not None:
+            mats = np.stack([
+                self.slice_cache.normalized_matrix_before(od.depart_time)
+                for od in ods])
+        estimates = self.predictor.estimate_from_ods(ods, mats)
+        return [ServingResponse(
+                    seconds=e.seconds, lower=e.lower, upper=e.upper,
+                    origin_edge=e.origin_edge,
+                    destination_edge=e.destination_edge,
+                    degraded=False, source="model")
+                for e in estimates]
+
+    def _fallback_answers(self, queries: List[Query]
+                          ) -> List[ServingResponse]:
+        self.metrics.counter("fallback_answers").inc(len(queries))
+        seconds = self.fallback.estimate_seconds(queries)
+        bands = self.fallback.bands(seconds)
+        return [ServingResponse(
+                    seconds=float(s), lower=lo, upper=hi,
+                    origin_edge=-1, destination_edge=-1,
+                    degraded=True, source="fallback")
+                for s, (lo, hi) in zip(seconds, bands)]
+
+    # -- observability ---------------------------------------------------
+    def metrics_snapshot(self) -> Dict[str, object]:
+        snap = self.metrics.snapshot()
+        snap["degraded"] = self.degraded
+        return snap

@@ -25,6 +25,17 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve", "--artifact", "m/"])
+        assert args.artifact == "m/"
+        assert args.port == 8321
+        assert args.max_batch == 128
+        assert not args.stdin
+
+    def test_serve_requires_artifact(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
+
 
 class TestCommands:
     def test_stats_runs(self, capsys):

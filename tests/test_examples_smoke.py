@@ -36,6 +36,7 @@ class TestExamples:
             "quickstart.py", "method_comparison.py",
             "map_matching_pipeline.py", "ablation_study.py",
             "temporal_analysis.py", "serving_predictor.py",
+            "serving_service.py",
         }
         present = set(os.listdir(EXAMPLES_DIR))
         assert expected <= present
