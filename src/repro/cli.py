@@ -8,13 +8,23 @@ Subcommands::
     python -m repro.cli serve   --artifact model/ --port 8321
     python -m repro.cli compare --city mini-xian --trips 2000 \\
                                 --methods TEMP LR GBM DeepOD
-    python -m repro.cli sweep-w --city mini-chengdu --trips 2000
+    python -m repro.cli sweep-w --city mini-chengdu --trips 2000 \\
+                                --jobs 4 --out sweep_w.json
+    python -m repro.cli exp run     --runs-dir runs/ --checkpoint-every 50
+    python -m repro.cli exp sweep   --runs-dir runs/ --jobs 4 \\
+                                    --grid aux_weight=0.1,0.5,0.9 --seeds 0 1
+    python -m repro.cli exp list    --runs-dir runs/
+    python -m repro.cli exp promote --runs-dir runs/ --deploy deploy/
 
 ``train --save`` writes a self-contained serving artifact (directory:
 weights + config + calibration + dataset fingerprint) that ``serve``
 reloads with no retraining; a path ending in ``.npz`` falls back to a
-bare weights file.  Everything runs on synthetic city presets (see
-``repro.datagen.cities``); results print as plain text tables.
+bare weights file.  The ``exp`` group drives the experiment pipeline
+(``repro.experiments``): checkpointed registry runs, parallel sweep
+grids, and gated promotion of the best artifact into a deployment
+directory that ``serve --artifact <deploy>/current`` picks up.
+Everything runs on synthetic city presets (see ``repro.datagen.cities``);
+results print as plain text tables.
 """
 
 from __future__ import annotations
@@ -155,16 +165,178 @@ def cmd_compare(args) -> int:
 
 
 def cmd_sweep_w(args) -> int:
-    dataset = load_city(args.city, num_trips=args.trips,
-                        num_days=args.days)
-    test = strip_trajectories(dataset.split.test)
-    actual = np.array([t.travel_time for t in test])
+    """Fig 9's loss-weight sweep, rebuilt on the sweep executor: the
+    dataset is built once, the points run in parallel (``--jobs``), and
+    ``--out`` captures a machine-readable results JSON."""
+    from .experiments import SweepSpec, run_sweep
+    spec = SweepSpec(
+        base_config=_default_config(args),
+        grid={"aux_weight": list(args.weights)},
+        seeds=(args.seed,), cities=(args.city,),
+        trips=args.trips, days=args.days, eval_every=0)
+    sweep = run_sweep(spec, jobs=args.jobs)
     print(f"{'w':>6}{'MAPE(%)':>10}")
-    for w in args.weights:
-        cfg = _default_config(args).with_overrides(aux_weight=w)
-        est = DeepODEstimator(cfg, eval_every=0).fit(dataset)
-        print(f"{w:6.1f}{100 * mape(actual, est.predict(test)):10.2f}")
+    for result in sweep.results:
+        w = result["overrides"]["aux_weight"]
+        if result["status"] == "completed":
+            print(f"{w:6.1f}{100 * result['metrics']['test_mape']:10.2f}")
+        else:
+            print(f"{w:6.1f}{'FAILED':>10}")
+    if sweep.failed:
+        print(f"{len(sweep.failed)} point(s) failed", file=sys.stderr)
+    if args.out:
+        sweep.to_json(args.out)
+        print(f"\nresults written to {args.out}")
+    return 0 if not sweep.failed else 1
+
+
+# ---------------------------------------------------------------------------
+# ``exp`` group: the experiment-orchestration pipeline.
+def _exp_config(args) -> "DeepODConfig":
+    config = _default_config(args)
+    if args.paper_scale:
+        from .core.config import paper_scale
+        config = paper_scale().with_overrides(
+            epochs=args.epochs, aux_weight=args.aux_weight,
+            use_external_features=args.external, seed=args.seed)
+    return config
+
+
+def _parse_grid_value(raw: str):
+    for cast in (int, float):
+        try:
+            return cast(raw)
+        except ValueError:
+            continue
+    if raw.lower() in ("true", "false"):
+        return raw.lower() == "true"
+    return raw
+
+
+def _parse_grid(entries) -> dict:
+    grid = {}
+    for entry in entries or []:
+        if "=" not in entry:
+            raise SystemExit(
+                f"--grid expects field=v1,v2,... (got {entry!r})")
+        name, _, values = entry.partition("=")
+        grid[name.strip()] = [_parse_grid_value(v)
+                              for v in values.split(",") if v]
+        if not grid[name.strip()]:
+            raise SystemExit(f"--grid {entry!r} has no values")
+    return grid
+
+
+def cmd_exp_run(args) -> int:
+    from .experiments import RunRegistry, RunSpec, execute_run
+    registry = RunRegistry(args.runs_dir)
+    spec = RunSpec(
+        city=args.city, config=_exp_config(args), seed=args.seed,
+        trips=args.trips, days=args.days, eval_every=args.eval_every,
+        checkpoint_every=args.checkpoint_every, coverage=args.coverage,
+        save_artifact=not args.no_artifact)
+    result = execute_run(spec, registry=registry,
+                         resume=not args.fresh)
+    metrics = result.metrics
+    print(f"run {result.run_id}: {result.status}")
+    print(f"  test MAE  {metrics['test_mae']:8.2f}s")
+    print(f"  test MAPE {100 * metrics['test_mape']:8.2f}%")
+    print(f"  steps     {metrics['steps']:8d}")
+    if result.artifact_dir:
+        print(f"  artifact  {result.artifact_dir}")
     return 0
+
+
+def cmd_exp_sweep(args) -> int:
+    from .experiments import SweepSpec, run_sweep
+    grid = _parse_grid(args.grid)
+    spec = SweepSpec(
+        base_config=_exp_config(args), grid=grid,
+        seeds=tuple(args.seeds), cities=tuple(args.cities or [args.city]),
+        trips=args.trips, days=args.days, eval_every=args.eval_every,
+        checkpoint_every=args.checkpoint_every,
+        coverage=args.coverage, save_artifacts=args.artifacts)
+    sweep = run_sweep(spec, jobs=args.jobs,
+                      registry_root=args.runs_dir or None)
+    print(f"{'#':>4} {'city':<14}{'seed':>5} {'overrides':<32}"
+          f"{'MAE(s)':>9}{'MAPE(%)':>9}  status")
+    for result in sweep.results:
+        overrides = ",".join(f"{k}={v}"
+                             for k, v in sorted(result["overrides"].items()))
+        metrics = result.get("metrics") or {}
+        mae_s = (f"{metrics['test_mae']:9.2f}"
+                 if "test_mae" in metrics else f"{'-':>9}")
+        mape_pc = (f"{100 * metrics['test_mape']:9.2f}"
+                   if "test_mape" in metrics else f"{'-':>9}")
+        print(f"{result['index']:>4} {result['city']:<14}"
+              f"{result['seed']:>5} {overrides:<32}"
+              f"{mae_s}{mape_pc}  {result['status']}")
+    best = sweep.best()
+    if best is not None:
+        print(f"\nbest: point {best['index']} "
+              f"(run {best.get('run_id') or '<unregistered>'}) "
+              f"test MAE {best['metrics']['test_mae']:.2f}s")
+    if sweep.failed:
+        print(f"{len(sweep.failed)} point(s) failed after retry",
+              file=sys.stderr)
+    if args.out:
+        sweep.to_json(args.out)
+        print(f"results written to {args.out}")
+    return 0 if not sweep.failed else 1
+
+
+def cmd_exp_list(args) -> int:
+    from .experiments import RunRegistry
+    registry = RunRegistry(args.runs_dir)
+    runs = registry.list_runs(status=args.status or None)
+    if not runs:
+        print("no runs recorded")
+        return 0
+    print(f"{'run':<42} {'status':<10}{'MAE(s)':>9}{'MAPE(%)':>9}"
+          f"{'steps':>7}")
+    for run in runs:
+        record = run.record
+        metrics = record.metrics or {}
+        mae_s = (f"{metrics['test_mae']:9.2f}"
+                 if "test_mae" in metrics else f"{'-':>9}")
+        mape_pc = (f"{100 * metrics['test_mape']:9.2f}"
+                   if "test_mape" in metrics else f"{'-':>9}")
+        steps = (f"{metrics['steps']:7d}"
+                 if "steps" in metrics else f"{'-':>7}")
+        print(f"{record.run_id:<42} {record.status:<10}"
+              f"{mae_s}{mape_pc}{steps}")
+    best = registry.best_run()
+    if best is not None:
+        print(f"\nbest completed run: {best.run_id} "
+              f"(test MAE {best.record.metrics['test_mae']:.2f}s)")
+    return 0
+
+
+def cmd_exp_promote(args) -> int:
+    from .experiments import RunRegistry, promote
+    candidate = args.candidate
+    if not candidate:
+        registry = RunRegistry(args.runs_dir)
+        if args.run:
+            run = registry.get(args.run)
+        else:
+            run = registry.best_run()
+            if run is None:
+                raise SystemExit("no completed runs to promote; pass "
+                                 "--run or --candidate")
+        candidate = run.artifact_dir
+        print(f"candidate: run {run.run_id}")
+    decision = promote(candidate, args.deploy,
+                       min_improvement=args.min_improvement)
+    for reason in decision.reasons:
+        print(f"  {reason}")
+    if decision.promoted:
+        print(f"promoted -> {decision.deployed_path}")
+        print(f"serve it with: python -m repro.cli serve --artifact "
+              f"{args.deploy}/current")
+        return 0
+    print("promotion refused")
+    return 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -238,7 +410,80 @@ def build_parser() -> argparse.ArgumentParser:
     common(p_sweep)
     p_sweep.add_argument("--weights", nargs="+", type=float,
                          default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    p_sweep.add_argument("--jobs", type=int, default=1,
+                         help="worker processes for the sweep")
+    p_sweep.add_argument("--out", default="",
+                         help="write machine-readable results JSON here")
     p_sweep.set_defaults(func=cmd_sweep_w)
+
+    p_exp = sub.add_parser(
+        "exp", help="experiment pipeline: run / sweep / list / promote")
+    exp_sub = p_exp.add_subparsers(dest="exp_command", required=True)
+
+    def exp_common(p):
+        common(p)
+        p.add_argument("--runs-dir", default="runs", dest="runs_dir",
+                       help="run-registry root directory")
+        p.add_argument("--eval-every", type=int, default=20,
+                       dest="eval_every")
+        p.add_argument("--checkpoint-every", type=int, default=0,
+                       dest="checkpoint_every",
+                       help="checkpoint every N steps (0 disables)")
+        p.add_argument("--coverage", type=float, default=0.8)
+        p.add_argument("--paper-scale", action="store_true",
+                       dest="paper_scale",
+                       help="use the paper's Section 6.2 model sizes")
+
+    p_exp_run = exp_sub.add_parser(
+        "run", help="one registered, checkpointed training run")
+    exp_common(p_exp_run)
+    p_exp_run.add_argument("--fresh", action="store_true",
+                           help="ignore existing checkpoints")
+    p_exp_run.add_argument("--no-artifact", action="store_true",
+                           dest="no_artifact",
+                           help="skip writing the serving artifact")
+    p_exp_run.set_defaults(func=cmd_exp_run)
+
+    p_exp_sweep = exp_sub.add_parser(
+        "sweep", help="parallel sweep over a declarative grid")
+    exp_common(p_exp_sweep)
+    p_exp_sweep.add_argument("--grid", action="append", default=[],
+                             metavar="FIELD=V1,V2,...",
+                             help="config axis to sweep (repeatable)")
+    p_exp_sweep.add_argument("--seeds", nargs="+", type=int, default=[0])
+    p_exp_sweep.add_argument("--cities", nargs="+", default=[],
+                             choices=sorted(PRESETS),
+                             help="cities to sweep (default: --city)")
+    p_exp_sweep.add_argument("--jobs", type=int, default=1)
+    p_exp_sweep.add_argument("--artifacts", action="store_true",
+                             help="save a serving artifact per run")
+    p_exp_sweep.add_argument("--out", default="",
+                             help="write results JSON here")
+    p_exp_sweep.set_defaults(func=cmd_exp_sweep)
+
+    p_exp_list = exp_sub.add_parser("list", help="list registry runs")
+    p_exp_list.add_argument("--runs-dir", default="runs", dest="runs_dir")
+    p_exp_list.add_argument("--status", default="",
+                            choices=["", "running", "completed", "failed"])
+    p_exp_list.set_defaults(func=cmd_exp_list)
+
+    p_exp_promote = exp_sub.add_parser(
+        "promote", help="gate the best run against the deployed artifact")
+    p_exp_promote.add_argument("--runs-dir", default="runs",
+                               dest="runs_dir")
+    p_exp_promote.add_argument("--run", default="",
+                               help="promote this run id (default: best "
+                                    "completed run by test MAE)")
+    p_exp_promote.add_argument("--candidate", default="",
+                               help="promote this artifact directory "
+                                    "(bypasses the registry)")
+    p_exp_promote.add_argument("--deploy", required=True,
+                               help="deployment root (current -> versions/)")
+    p_exp_promote.add_argument("--min-improvement", type=float,
+                               default=0.0, dest="min_improvement",
+                               help="required fractional MAE improvement "
+                                    "over the incumbent")
+    p_exp_promote.set_defaults(func=cmd_exp_promote)
     return parser
 
 

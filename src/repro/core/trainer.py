@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -87,6 +87,12 @@ class DeepODTrainer:
         self.history = TrainingHistory()
         self._rng = np.random.default_rng(cfg.seed + 1)
         self._step = 0
+        # Resumable position in the training stream: completed epochs,
+        # the current epoch's shuffle order and the cursor into it.
+        # ``_order is None`` means "draw a fresh permutation next".
+        self._epoch = 0
+        self._order: Optional[np.ndarray] = None
+        self._cursor = 0
         # Normalisation statistics from the training targets.
         times = np.array([t.travel_time for t in dataset.split.train])
         model.set_target_stats(float(times.mean()),
@@ -118,36 +124,128 @@ class DeepODTrainer:
 
     def fit(self, epochs: Optional[int] = None,
             max_steps: Optional[int] = None,
-            track_validation: bool = True) -> TrainingHistory:
-        """Full offline training loop (Algorithm 1 lines 6-7)."""
+            track_validation: bool = True,
+            checkpoint_every: int = 0,
+            checkpoint_dir: Optional[str] = None,
+            keep_checkpoints: int = 3,
+            on_eval: Optional[Callable[[int, float, float], None]] = None
+            ) -> TrainingHistory:
+        """Full offline training loop (Algorithm 1 lines 6-7).
+
+        ``epochs`` is the *total* epoch target: a trainer restored from a
+        checkpoint continues from its saved position until the target is
+        reached, so ``fit(epochs=E)`` after a resume replays exactly the
+        tail of an uninterrupted ``fit(epochs=E)``.
+
+        ``checkpoint_every`` > 0 writes a full training checkpoint (model,
+        optimiser, scheduler, RNG, shuffle position, history) into
+        ``checkpoint_dir`` every that-many steps; ``keep_checkpoints``
+        bounds how many are retained.  ``on_eval`` is invoked after every
+        validation evaluation with ``(step, val_mae, lr)`` — the run
+        registry uses it to stream metrics to disk.
+        """
         cfg = self.model.config
         epochs = epochs if epochs is not None else cfg.epochs
+        if checkpoint_every > 0 and not checkpoint_dir:
+            raise ValueError("checkpoint_every > 0 requires checkpoint_dir")
+        save_checkpoint = None
+        if checkpoint_every > 0:
+            # Imported lazily: repro.experiments depends on this module.
+            from ..experiments.checkpoint import save_checkpoint
         train = list(self.dataset.split.train)
+        base_wall = self.history.wall_seconds
         start = time.perf_counter()
-        done = False
-        for _ in range(epochs):
-            order = self._rng.permutation(len(train))
-            for lo in range(0, len(train), cfg.batch_size):
-                batch = [train[i] for i in order[lo:lo + cfg.batch_size]]
+        done = max_steps is not None and self._step >= max_steps
+        while self._epoch < epochs and not done:
+            if self._order is None:
+                self._order = self._rng.permutation(len(train))
+                self._cursor = 0
+            while self._cursor < len(train):
+                idx = self._order[self._cursor:self._cursor + cfg.batch_size]
+                batch = [train[i] for i in idx]
+                self._cursor += cfg.batch_size
                 stats = self.train_step(batch)
                 self.history.train_loss.append(stats["loss"])
                 if track_validation and self.eval_every > 0 and \
                         self._step % self.eval_every == 0:
                     self.history.steps.append(self._step)
                     self.history.val_mae.append(self.validation_mae())
+                    if on_eval is not None:
+                        on_eval(self._step, self.history.val_mae[-1],
+                                self.optimizer.lr)
+                if save_checkpoint is not None and \
+                        self._step % checkpoint_every == 0:
+                    self.history.wall_seconds = (
+                        base_wall + time.perf_counter() - start)
+                    save_checkpoint(self, checkpoint_dir,
+                                    keep=keep_checkpoints)
                 if max_steps is not None and self._step >= max_steps:
                     done = True
                     break
-            self.scheduler.epoch_end()
-            if done:
-                break
+            if self._cursor >= len(train):
+                # The epoch actually completed: only then does the paper's
+                # step decay advance.  A ``max_steps`` truncation mid-epoch
+                # must NOT decay, or a resumed run and a fresh run would
+                # follow different LR schedules.
+                self._epoch += 1
+                self._order = None
+                self._cursor = 0
+                self.scheduler.epoch_end()
         # Always record a final validation point.
         if track_validation and (not self.history.steps or
                                  self.history.steps[-1] != self._step):
             self.history.steps.append(self._step)
             self.history.val_mae.append(self.validation_mae())
-        self.history.wall_seconds = time.perf_counter() - start
+            if on_eval is not None:
+                on_eval(self._step, self.history.val_mae[-1],
+                        self.optimizer.lr)
+        self.history.wall_seconds = base_wall + time.perf_counter() - start
         return self.history
+
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """Complete resumable training state.
+
+        Covers everything :meth:`fit` reads: model parameters and buffers,
+        Adam moments, scheduler epoch, the shuffle RNG's bit-generator
+        state, the in-flight epoch permutation/cursor and the history so
+        far.  Restoring it into a fresh trainer (same model config, same
+        dataset) and calling ``fit`` reproduces an uninterrupted run
+        bitwise.
+        """
+        return {
+            "step": self._step,
+            "epoch": self._epoch,
+            "cursor": self._cursor,
+            "order": None if self._order is None else self._order.copy(),
+            "rng": self._rng.bit_generator.state,
+            "model": self.model.state_dict(),
+            "optimizer": self.optimizer.state_dict(),
+            "scheduler": self.scheduler.state_dict(),
+            "history": {
+                "steps": list(self.history.steps),
+                "val_mae": list(self.history.val_mae),
+                "train_loss": list(self.history.train_loss),
+                "wall_seconds": self.history.wall_seconds,
+            },
+        }
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        self._step = int(state["step"])
+        self._epoch = int(state["epoch"])
+        self._cursor = int(state["cursor"])
+        order = state["order"]
+        self._order = None if order is None else np.asarray(order, dtype=int)
+        self._rng.bit_generator.state = state["rng"]
+        self.model.load_state_dict(state["model"])
+        self.optimizer.load_state_dict(state["optimizer"])
+        self.scheduler.load_state_dict(state["scheduler"])
+        hist = state["history"]
+        self.history = TrainingHistory(
+            steps=[int(s) for s in hist["steps"]],
+            val_mae=[float(v) for v in hist["val_mae"]],
+            train_loss=[float(v) for v in hist["train_loss"]],
+            wall_seconds=float(hist["wall_seconds"]))
 
     # ------------------------------------------------------------------
     def predict(self, trips: Sequence[TripRecord]) -> np.ndarray:

@@ -1,0 +1,51 @@
+"""Experiment orchestration: the offline half of Algorithm 1, at scale.
+
+``repro.serving`` is the online estimation side; this package is its
+offline counterpart — the machinery that produces, tracks and ships the
+artifacts serving loads:
+
+``checkpoint``
+    Crash-safe trainer snapshots; resume is bitwise-identical to an
+    uninterrupted run.
+``registry``
+    Per-run directories with config hashes, dataset fingerprints,
+    streamed ``metrics.jsonl`` and final reports — queryable from the
+    CLI (``exp list``).
+``runner``
+    One training run end to end (build → fit → evaluate → artifact).
+``executor``
+    Declarative sweep grids (overrides × seeds × cities) fanned over
+    worker processes, deterministic regardless of worker count.
+``promote``
+    The offline → online gate: candidate vs deployed artifact on
+    held-out data, atomic symlink-swap deployment, refusal with reasons.
+"""
+
+from .checkpoint import (
+    CheckpointError, latest_checkpoint, list_checkpoints, load_checkpoint,
+    read_checkpoint, save_checkpoint,
+)
+from .executor import (
+    SweepPoint, SweepResult, SweepSpec, prebuild_datasets, run_grid,
+    run_sweep,
+)
+from .promote import (
+    PromotionDecision, PromotionError, deployed_artifact_path, heldout_mae,
+    promote,
+)
+from .registry import (
+    Run, RunRecord, RunRegistry, RegistryError, config_hash, make_run_id,
+)
+from .runner import RunResult, RunSpec, build_run_dataset, execute_run
+
+__all__ = [
+    "CheckpointError", "latest_checkpoint", "list_checkpoints",
+    "load_checkpoint", "read_checkpoint", "save_checkpoint",
+    "SweepPoint", "SweepResult", "SweepSpec", "prebuild_datasets",
+    "run_grid", "run_sweep",
+    "PromotionDecision", "PromotionError", "deployed_artifact_path",
+    "heldout_mae", "promote",
+    "Run", "RunRecord", "RunRegistry", "RegistryError", "config_hash",
+    "make_run_id",
+    "RunResult", "RunSpec", "build_run_dataset", "execute_run",
+]

@@ -1,0 +1,174 @@
+"""Single-run execution: train one configuration under the registry.
+
+``execute_run`` is the unit of work everything else composes: the
+``exp run`` CLI calls it once, the sweep executor fans it out across
+worker processes.  It owns the full offline lifecycle of Algorithm 1 —
+build dataset, build model, fit (with checkpointing and streamed
+metrics), evaluate held-out error, persist a serving artifact — and
+always leaves a queryable record behind, even on failure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..core.config import DeepODConfig
+from ..core.predictor import TravelTimePredictor
+from ..core.trainer import DeepODTrainer, build_deepod
+from ..datagen.cities import load_city
+from ..datagen.dataset import (
+    TaxiDataset, dataset_fingerprint, strip_trajectories,
+)
+from ..eval.metrics import mae, mape
+from .checkpoint import latest_checkpoint, load_checkpoint
+from .registry import Run, RunRegistry
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """Everything needed to reproduce one training run.
+
+    Picklable by construction (plain dataclasses and primitives), so
+    sweep workers can receive specs across process boundaries.
+
+    ``overrides`` are applied to ``config`` lazily, in the process that
+    executes the run — an invalid override therefore fails *that run*
+    (and is recorded as such), never the sweep that scheduled it.
+    """
+
+    city: str
+    config: DeepODConfig
+    seed: int = 0
+    overrides: Dict = field(default_factory=dict)
+    trips: int = 1000
+    days: int = 14
+    epochs: Optional[int] = None        # None -> config.epochs
+    eval_every: int = 20
+    checkpoint_every: int = 0
+    coverage: float = 0.8
+    save_artifact: bool = True
+
+    @property
+    def dataset_params(self) -> Dict[str, object]:
+        return {"city": self.city, "num_trips": self.trips,
+                "num_days": self.days}
+
+    def effective_config(self) -> DeepODConfig:
+        """The run's concrete config: overrides applied, spec seed wins.
+
+        Raises ``ValueError`` for overrides the config rejects — by
+        design at execution time, not at grid-expansion time.
+        """
+        config = self.config
+        if self.overrides:
+            config = config.with_overrides(**self.overrides)
+        if config.seed != self.seed:
+            config = config.with_overrides(seed=self.seed)
+        return config
+
+
+@dataclass
+class RunResult:
+    """What a run hands back to its caller (and records in the registry)."""
+
+    run_id: str
+    status: str
+    city: str
+    seed: int
+    overrides: Dict = field(default_factory=dict)
+    metrics: Dict = field(default_factory=dict)
+    error: str = ""
+    artifact_dir: str = ""
+
+    def to_dict(self) -> Dict:
+        return dataclasses.asdict(self)
+
+
+def build_run_dataset(spec: RunSpec) -> TaxiDataset:
+    return load_city(spec.city, num_trips=spec.trips, num_days=spec.days)
+
+
+def execute_run(spec: RunSpec,
+                registry: Optional[RunRegistry] = None,
+                dataset: Optional[TaxiDataset] = None,
+                resume: bool = True) -> RunResult:
+    """Train one configuration end to end.
+
+    With a registry, the run streams metrics to ``metrics.jsonl``,
+    checkpoints under its own directory (resuming from the latest
+    snapshot when ``resume`` and one exists), writes a final report and
+    — when ``spec.save_artifact`` — a serving artifact.  Without one it
+    is a plain in-memory training run (used by tests and quick sweeps).
+    """
+    config = spec.effective_config()
+    if dataset is None:
+        dataset = build_run_dataset(spec)
+
+    run: Optional[Run] = None
+    if registry is not None:
+        run = registry.create_run(
+            spec.city, config, spec.seed,
+            dataset_params=spec.dataset_params,
+            dataset_fingerprint=dataset_fingerprint(dataset))
+
+    try:
+        model = build_deepod(dataset, config)
+        trainer = DeepODTrainer(model, dataset, eval_every=spec.eval_every)
+
+        checkpoint_dir = run.checkpoints_dir if run else None
+        if run and resume and latest_checkpoint(run.checkpoints_dir):
+            load_checkpoint(trainer, run.checkpoints_dir)
+
+        on_eval = None
+        if run is not None:
+            on_eval = lambda step, val, lr: run.append_metric(step, val, lr)
+        history = trainer.fit(
+            epochs=spec.epochs,
+            checkpoint_every=spec.checkpoint_every if run else 0,
+            checkpoint_dir=checkpoint_dir,
+            on_eval=on_eval)
+
+        test = strip_trajectories(dataset.split.test)
+        preds = trainer.predict(test)
+        actual = np.array([t.travel_time for t in test])
+        metrics = {
+            "test_mae": mae(actual, preds),
+            "test_mape": mape(actual, preds),
+            "final_val_mae": (history.val_mae[-1]
+                              if history.val_mae else float("nan")),
+            "steps": trainer._step,
+            "wall_seconds": history.wall_seconds,
+        }
+
+        artifact_dir = ""
+        if run is not None and spec.save_artifact:
+            from ..serving.artifact import save_artifact
+            predictor = TravelTimePredictor(trainer,
+                                            coverage=spec.coverage)
+            artifact_dir = save_artifact(
+                run.artifact_dir, predictor,
+                extra_manifest={"run_id": run.run_id,
+                                "config_hash": run.record.config_hash,
+                                "seed": spec.seed})
+
+        if run is not None:
+            run.mark_completed(metrics)
+            run.write_report({
+                "run_id": run.run_id,
+                "metrics": metrics,
+                "convergence_step": history.convergence_step(),
+                "num_evals": len(history.steps),
+            })
+        return RunResult(
+            run_id=run.run_id if run else "",
+            status="completed", city=spec.city, seed=spec.seed,
+            overrides=dict(spec.overrides), metrics=metrics,
+            artifact_dir=artifact_dir)
+    except Exception as exc:
+        if run is not None:
+            run.mark_failed(repr(exc))
+        raise

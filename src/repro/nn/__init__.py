@@ -27,7 +27,8 @@ from .optim import (
     EarlyStopping,
 )
 from .serialization import (
-    save_state, load_state, state_dict_bytes, parameter_count,
+    save_arrays, load_arrays, save_state, load_state, state_dict_bytes,
+    parameter_count,
 )
 from .gradcheck import check_gradient, check_module_gradients, numeric_gradient
 
@@ -42,6 +43,7 @@ __all__ = [
     "Conv2d", "BatchNorm2d", "ConvBNReLU", "IntervalResNetBlock",
     "Optimizer", "SGD", "Adam", "RMSProp", "AdaGrad", "StepDecay",
     "CosineDecay", "EarlyStopping",
-    "save_state", "load_state", "state_dict_bytes", "parameter_count",
+    "save_arrays", "load_arrays", "save_state", "load_state",
+    "state_dict_bytes", "parameter_count",
     "check_gradient", "check_module_gradients", "numeric_gradient",
 ]

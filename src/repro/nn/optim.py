@@ -106,6 +106,38 @@ class Adam(Optimizer):
                 if param.grad is not None:
                     param.grad = param.grad * scale
 
+    # -- checkpoint state ----------------------------------------------
+    def state_dict(self) -> dict:
+        """Full optimiser state: moments, step count and current lr.
+
+        Moment arrays are keyed by parameter position (the parameter list
+        order is the model's ``named_parameters`` order, which is
+        deterministic), so a resumed run continues the exact Adam
+        trajectory of an uninterrupted one.
+        """
+        return {
+            "t": self._t,
+            "lr": self.lr,
+            "m": [m.copy() for m in self._m],
+            "v": [v.copy() for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        if len(state["m"]) != len(self.params) or \
+                len(state["v"]) != len(self.params):
+            raise ValueError(
+                f"optimizer state holds {len(state['m'])} moment arrays "
+                f"for {len(self.params)} parameters")
+        for slot, (m, v) in enumerate(zip(state["m"], state["v"])):
+            if m.shape != self.params[slot].data.shape:
+                raise ValueError(
+                    f"moment shape mismatch at slot {slot}: "
+                    f"{m.shape} vs {self.params[slot].data.shape}")
+        self._t = int(state["t"])
+        self.lr = float(state["lr"])
+        self._m = [np.array(m, dtype=float) for m in state["m"]]
+        self._v = [np.array(v, dtype=float) for v in state["v"]]
+
 
 class StepDecay:
     """Divide the learning rate by ``factor`` every ``step_epochs`` epochs.
@@ -131,6 +163,15 @@ class StepDecay:
         drops = self._epoch // self.step_epochs
         self.optimizer.lr = self._initial_lr / (self.factor ** drops)
         return self.optimizer.lr
+
+    def state_dict(self) -> dict:
+        return {"epoch": self._epoch, "initial_lr": self._initial_lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._epoch = int(state["epoch"])
+        self._initial_lr = float(state["initial_lr"])
+        drops = self._epoch // self.step_epochs
+        self.optimizer.lr = self._initial_lr / (self.factor ** drops)
 
 
 class RMSProp(Optimizer):

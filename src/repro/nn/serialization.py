@@ -38,6 +38,35 @@ def load_state(module: Module, path: str) -> None:
     module.load_state_dict(state)
 
 
+def save_arrays(path: str, arrays: Dict[str, np.ndarray]) -> str:
+    """Persist an arbitrary named-array bundle as an ``.npz`` archive.
+
+    Unlike :func:`save_state` this is not tied to a Module — training
+    checkpoints use it to store optimiser moments and shuffle state next
+    to the model weights.  The write is atomic (temp file + rename) so a
+    crash mid-save never leaves a truncated archive behind.
+    """
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    tmp = path + f".tmp-{os.getpid()}"
+    try:
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+    return path
+
+
+def load_arrays(path: str) -> Dict[str, np.ndarray]:
+    """Load a :func:`save_arrays` bundle back into a dict."""
+    with np.load(path if path.endswith(".npz") else path + ".npz") as data:
+        return {key: data[key] for key in data.files}
+
+
 def state_dict_bytes(state: Dict[str, np.ndarray],
                      bytes_per_element: int = 4) -> int:
     """Size in bytes of a state dict at the given storage precision."""

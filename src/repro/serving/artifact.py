@@ -78,8 +78,14 @@ def _read_json(path: str) -> Dict:
 
 
 # ---------------------------------------------------------------------------
-def save_artifact(directory: str, predictor: TravelTimePredictor) -> str:
+def save_artifact(directory: str, predictor: TravelTimePredictor,
+                  extra_manifest: Optional[Dict] = None) -> str:
     """Persist a predictor as a self-contained artifact directory.
+
+    ``extra_manifest`` is recorded verbatim under the manifest's
+    ``provenance`` key — the experiment pipeline uses it to stamp
+    artifacts with the run id and config hash that produced them, so a
+    deployed model is always traceable back to its registry entry.
 
     Returns the artifact directory path.
     """
@@ -100,7 +106,7 @@ def save_artifact(directory: str, predictor: TravelTimePredictor) -> str:
         "hi_quantile": hi,
     })
 
-    _write_json(os.path.join(directory, MANIFEST_FILE), {
+    manifest = {
         "schema_version": SCHEMA_VERSION,
         "model": "DeepOD",
         "weights_sha256": _sha256_file(weights_path),
@@ -111,7 +117,10 @@ def save_artifact(directory: str, predictor: TravelTimePredictor) -> str:
             "fingerprint": dataset_fingerprint(dataset),
             "build_params": dataset.build_params,
         },
-    })
+    }
+    if extra_manifest:
+        manifest["provenance"] = dict(extra_manifest)
+    _write_json(os.path.join(directory, MANIFEST_FILE), manifest)
     return directory
 
 

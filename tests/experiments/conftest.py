@@ -1,0 +1,30 @@
+"""Shared fixtures for the experiments suite: tiny configs + dataset.
+
+The config is deliberately small (8/16-wide layers, 16-trip batches) so
+a full training run is a handful of steps: the checkpoint tests replay
+entire runs several times and must stay fast.
+"""
+
+import pytest
+
+from repro.core import DeepODConfig
+from repro.datagen import load_city
+
+TINY_TRIPS = 60
+TINY_DAYS = 7
+
+TINY_CFG = DeepODConfig(
+    d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8, d5_m=16, d6_m=8,
+    d7_m=16, d9_m=16, d_h=16, d_traf=8, batch_size=16, epochs=3,
+    lr_decay_epochs=1, use_external_features=False, seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_config():
+    return TINY_CFG
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return load_city("mini-chengdu", num_trips=TINY_TRIPS,
+                     num_days=TINY_DAYS)

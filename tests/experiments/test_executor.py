@@ -1,0 +1,183 @@
+"""Sweep executor: deterministic fan-out, retries, failure containment.
+
+The generic-engine tests use cheap top-level functions (picklable for
+the worker pool); the sweep tests run real tiny training jobs so the
+``--jobs 1`` vs ``--jobs 4`` determinism claim is exercised end to end.
+"""
+
+import os
+
+import pytest
+
+from repro.experiments import (
+    RunRegistry, SweepSpec, run_grid, run_sweep,
+)
+
+
+def strip_timing(results):
+    """Results minus the one legitimately nondeterministic field."""
+    cleaned = []
+    for result in results:
+        copy = dict(result)
+        copy["metrics"] = {k: v for k, v in result["metrics"].items()
+                           if k != "wall_seconds"}
+        cleaned.append(copy)
+    return cleaned
+
+
+# --- top-level worker functions (must be picklable) ------------------------
+def _square(x):
+    return x * x
+
+
+def _fail_on_negative(x):
+    if x < 0:
+        raise ValueError(f"negative input {x}")
+    return x + 1
+
+
+def _fail_once(marker_path):
+    """Fails the first time it runs, succeeds on the retry (the marker
+    file carries state across worker processes)."""
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w") as handle:
+            handle.write("seen")
+        raise RuntimeError("transient failure")
+    return "recovered"
+
+
+class TestRunGrid:
+    def test_results_in_input_order(self):
+        records = run_grid([3, 1, 2], _square, jobs=2)
+        assert [r["value"] for r in records] == [9, 1, 4]
+        assert all(r["status"] == "completed" for r in records)
+        assert all(r["attempts"] == 1 for r in records)
+
+    def test_serial_and_parallel_agree(self):
+        items = list(range(8))
+        serial = run_grid(items, _square, jobs=1)
+        parallel = run_grid(items, _square, jobs=4)
+        assert serial == parallel
+
+    def test_failure_is_contained_and_retried(self):
+        records = run_grid([1, -5, 2], _fail_on_negative, jobs=2,
+                           retries=1)
+        assert [r["status"] for r in records] == \
+            ["completed", "failed", "completed"]
+        failed = records[1]
+        assert failed["attempts"] == 2          # original + one retry
+        assert "negative input -5" in failed["error"]
+        assert records[0]["value"] == 2
+        assert records[2]["value"] == 3
+
+    def test_transient_failure_recovers_on_retry(self, tmp_path):
+        marker = str(tmp_path / "marker")
+        records = run_grid([marker], _fail_once, jobs=2, retries=1)
+        assert records[0]["status"] == "completed"
+        assert records[0]["value"] == "recovered"
+        assert records[0]["attempts"] == 2
+
+    def test_zero_jobs_rejected(self):
+        with pytest.raises(ValueError):
+            run_grid([1], _square, jobs=0)
+
+
+class TestSweepSpec:
+    def test_expand_is_canonical(self, tiny_config):
+        spec = SweepSpec(base_config=tiny_config,
+                         grid={"aux_weight": [0.1, 0.5],
+                               "sequence_encoder": ["lstm", "mean"]},
+                         seeds=(0, 1), cities=("mini-chengdu",))
+        points = spec.expand()
+        assert len(points) == 2 * 2 * 2
+        assert [p.index for p in points] == list(range(8))
+        # Sorted axis order: aux_weight varies slower than seed.
+        assert points[0].overrides == {"aux_weight": 0.1,
+                                       "sequence_encoder": "lstm"}
+        assert points[0].spec.seed == 0
+        assert points[1].spec.seed == 1
+        # Expansion is reproducible.
+        assert [p.overrides for p in spec.expand()] == \
+            [p.overrides for p in points]
+
+    def test_overrides_reach_the_config(self, tiny_config):
+        spec = SweepSpec(base_config=tiny_config,
+                         grid={"aux_weight": [0.25]})
+        point = spec.expand()[0]
+        assert point.spec.effective_config().aux_weight == 0.25
+
+    def test_invalid_override_defers_to_execution(self, tiny_config):
+        """Grid expansion never validates overrides — a bad value must
+        surface inside the run that uses it, not kill the sweep."""
+        spec = SweepSpec(base_config=tiny_config,
+                         grid={"aux_weight": [2.0]})
+        point = spec.expand()[0]          # does not raise
+        with pytest.raises(ValueError):
+            point.spec.effective_config()
+
+
+class TestSweepDeterminism:
+    @pytest.fixture(scope="class")
+    def sweep_spec(self, tiny_config):
+        return SweepSpec(
+            base_config=tiny_config.with_overrides(epochs=1),
+            grid={"aux_weight": [0.1, 0.9]}, seeds=(0, 1),
+            trips=60, days=7, eval_every=0)
+
+    def test_jobs1_and_jobs4_identical(self, sweep_spec):
+        """The acceptance-criteria invariant: worker count must not
+        change a single result bit (wall-clock timing aside)."""
+        serial = run_sweep(sweep_spec, jobs=1)
+        parallel = run_sweep(sweep_spec, jobs=4)
+        assert strip_timing(serial.results) == \
+            strip_timing(parallel.results)
+        assert len(serial.completed) == 4
+
+    def test_registry_populated_per_point(self, sweep_spec, tmp_path):
+        root = str(tmp_path / "runs")
+        sweep = run_sweep(sweep_spec, jobs=2, registry_root=root)
+        registry = RunRegistry(root)
+        runs = registry.list_runs(status="completed")
+        assert len(runs) == 4
+        assert {r.run_id for r in runs} == \
+            {result["run_id"] for result in sweep.results}
+
+    def test_best_selects_minimum_mae(self, sweep_spec):
+        sweep = run_sweep(sweep_spec, jobs=1)
+        best = sweep.best()
+        assert best["metrics"]["test_mae"] == min(
+            r["metrics"]["test_mae"] for r in sweep.completed)
+
+
+class TestSweepFailureContainment:
+    def test_bad_point_fails_without_killing_sweep(self, tiny_config,
+                                                   tmp_path):
+        """aux_weight=2.0 fails DeepODConfig validation inside the
+        worker; the other points complete and the failure is recorded
+        with its retry accounting."""
+        spec = SweepSpec(
+            base_config=tiny_config.with_overrides(epochs=1),
+            grid={"aux_weight": [0.1, 2.0]}, trips=60, days=7,
+            eval_every=0)
+        sweep = run_sweep(spec, jobs=2,
+                          registry_root=str(tmp_path / "runs"))
+        assert len(sweep.completed) == 1
+        assert len(sweep.failed) == 1
+        failed = sweep.failed[0]
+        assert failed["overrides"] == {"aux_weight": 2.0}
+        assert failed["attempts"] == 2
+        assert "aux_weight" in failed["error"]
+
+    def test_results_json_is_machine_readable(self, tiny_config,
+                                              tmp_path):
+        import json
+        spec = SweepSpec(base_config=tiny_config.with_overrides(epochs=1),
+                         grid={"aux_weight": [0.3]}, trips=60, days=7,
+                         eval_every=0)
+        sweep = run_sweep(spec, jobs=1)
+        out = str(tmp_path / "sweep.json")
+        sweep.to_json(out)
+        with open(out) as handle:
+            payload = json.load(handle)
+        assert payload["num_points"] == 1
+        assert payload["results"][0]["metrics"]["test_mae"] > 0

@@ -83,3 +83,67 @@ class TestCommands:
                      "--epochs", "1", "--weights", "0.3"])
         assert code == 0
         assert "MAPE" in capsys.readouterr().out
+
+    def test_sweep_w_parallel_writes_json(self, tmp_path, capsys):
+        out_path = str(tmp_path / "sweep.json")
+        code = main(["sweep-w", "--trips", "60", "--days", "7",
+                     "--epochs", "1", "--weights", "0.1", "0.5",
+                     "--jobs", "2", "--out", out_path])
+        assert code == 0
+        import json
+        with open(out_path) as handle:
+            payload = json.load(handle)
+        assert payload["num_points"] == 2
+        assert payload["num_failed"] == 0
+        weights = [r["overrides"]["aux_weight"]
+                   for r in payload["results"]]
+        assert weights == [0.1, 0.5]
+
+
+class TestExpCommands:
+    def test_exp_parser_defaults(self):
+        args = build_parser().parse_args(["exp", "sweep"])
+        assert args.runs_dir == "runs"
+        assert args.jobs == 1
+        assert args.seeds == [0]
+
+    def test_exp_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp"])
+
+    def test_exp_promote_requires_deploy(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["exp", "promote"])
+
+    def test_exp_grid_parsing_rejects_bad_entry(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["exp", "sweep", "--grid", "no-equals-sign",
+                  "--runs-dir", str(tmp_path / "runs")])
+
+    def test_exp_pipeline_end_to_end(self, tmp_path, capsys):
+        """run -> list -> promote against a tiny config, exercising the
+        registry and deployment layout through the CLI."""
+        runs_dir = str(tmp_path / "runs")
+        deploy = str(tmp_path / "deploy")
+        tiny = ["--trips", "60", "--days", "7", "--epochs", "1",
+                "--runs-dir", runs_dir]
+        assert main(["exp", "run", *tiny, "--eval-every", "2",
+                     "--checkpoint-every", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "test MAE" in out and "artifact" in out
+
+        assert main(["exp", "list", "--runs-dir", runs_dir]) == 0
+        out = capsys.readouterr().out
+        assert "completed" in out and "best completed run" in out
+
+        assert main(["exp", "promote", "--runs-dir", runs_dir,
+                     "--deploy", deploy]) == 0
+        out = capsys.readouterr().out
+        assert "promoted ->" in out
+        import os
+        assert os.path.islink(os.path.join(deploy, "current"))
+
+    def test_exp_list_empty_registry(self, tmp_path, capsys):
+        assert main(["exp", "list",
+                     "--runs-dir", str(tmp_path / "none")]) == 0
+        assert "no runs recorded" in capsys.readouterr().out

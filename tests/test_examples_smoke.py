@@ -31,12 +31,19 @@ class TestExamples:
         assert "HMM matcher recovered" in out
         assert "Spatio-temporal path" in out
 
+    def test_experiments_pipeline(self, capsys, tmp_path):
+        run_example("experiments_pipeline.py", [str(tmp_path / "work")])
+        out = capsys.readouterr().out
+        assert "bitwise-identical to uninterrupted run: True" in out
+        assert "promoted=True" in out
+        assert "promoted=False" in out
+
     def test_examples_exist_and_have_docstrings(self):
         expected = {
             "quickstart.py", "method_comparison.py",
             "map_matching_pipeline.py", "ablation_study.py",
             "temporal_analysis.py", "serving_predictor.py",
-            "serving_service.py",
+            "serving_service.py", "experiments_pipeline.py",
         }
         present = set(os.listdir(EXAMPLES_DIR))
         assert expected <= present
