@@ -3,6 +3,8 @@
 Subcommands::
 
     python -m repro.cli stats   --city mini-chengdu --trips 500
+    python -m repro.cli embed   --city mini-chengdu --graph line \\
+                                --engine vectorized --out ws.npz
     python -m repro.cli train   --city mini-chengdu --trips 2000 \\
                                 --epochs 8 --save model/
     python -m repro.cli serve   --artifact model/ --port 8321
@@ -54,6 +56,7 @@ def _default_config(args) -> DeepODConfig:
         d5_m=32, d6_m=16, d7_m=32, d9_m=32, d_h=32, d_traf=16,
         epochs=args.epochs, batch_size=64, aux_weight=args.aux_weight,
         lr_decay_epochs=4, use_external_features=args.external,
+        embed_engine=getattr(args, "embed_engine", "vectorized"),
         seed=args.seed)
 
 
@@ -81,6 +84,45 @@ def cmd_stats(args) -> int:
     print(f"dataset: {dataset.name}")
     for key, value in dataset.statistics().items():
         print(f"  {key:20s} {value:12.2f}")
+    return 0
+
+
+def cmd_embed(args) -> int:
+    """Pre-train Ws/Wt standalone (Algorithm 1 lines 1-4) and report
+    timings — the quickest way to compare the vectorized engine against
+    the scalar reference on a real graph."""
+    import time
+
+    from .embedding import EmbeddingConfig, embed_graph
+    from .roadnet.linegraph import build_line_graph
+    from .temporal import embed_temporal_graph
+
+    config = EmbeddingConfig(
+        method=args.method, dim=args.dim, seed=args.seed,
+        num_walks=args.num_walks, walk_length=args.walk_length,
+        engine=args.engine)
+    if args.graph == "line":
+        dataset = load_city(args.city, num_trips=args.trips,
+                            num_days=args.days)
+        trajs = [t.trajectory.edge_ids for t in dataset.split.train
+                 if t.trajectory is not None]
+        graph = build_line_graph(dataset.net, trajs)
+        print(f"line graph: {graph.num_nodes} nodes, "
+              f"{graph.to_csr().num_edges} edges")
+        start = time.perf_counter()
+        matrix = embed_graph(graph, config)
+    else:
+        from .temporal.timeslot import TimeSlotConfig
+        slot_config = TimeSlotConfig()
+        start = time.perf_counter()
+        matrix = embed_temporal_graph(slot_config, args.graph,
+                                      embedding=config)
+    elapsed = time.perf_counter() - start
+    print(f"embedded {matrix.shape[0]} nodes -> dim {matrix.shape[1]} "
+          f"with {args.method}/{args.engine} in {elapsed:.2f}s")
+    if args.out:
+        np.savez(args.out, embedding=matrix)
+        print(f"embedding written to {args.out}")
     return 0
 
 
@@ -198,7 +240,9 @@ def _exp_config(args) -> "DeepODConfig":
         from .core.config import paper_scale
         config = paper_scale().with_overrides(
             epochs=args.epochs, aux_weight=args.aux_weight,
-            use_external_features=args.external, seed=args.seed)
+            use_external_features=args.external,
+            embed_engine=getattr(args, "embed_engine", "vectorized"),
+            seed=args.seed)
     return config
 
 
@@ -353,11 +397,40 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--aux-weight", type=float, default=0.3,
                        dest="aux_weight")
         p.add_argument("--external", action="store_true")
+        p.add_argument("--embed-engine", default="vectorized",
+                       choices=["vectorized", "reference"],
+                       dest="embed_engine",
+                       help="walk/SGNS implementation for embedding "
+                            "pre-training")
         p.add_argument("--seed", type=int, default=0)
 
     p_stats = sub.add_parser("stats", help="dataset statistics (Table 2)")
     common(p_stats)
     p_stats.set_defaults(func=cmd_stats)
+
+    p_embed = sub.add_parser(
+        "embed", help="pre-train embeddings standalone with timings")
+    p_embed.add_argument("--city", default="mini-chengdu",
+                         choices=sorted(PRESETS))
+    p_embed.add_argument("--trips", type=int, default=1000)
+    p_embed.add_argument("--days", type=int, default=14)
+    p_embed.add_argument("--graph", default="line",
+                         choices=["line", "weekly", "daily"],
+                         help="line graph of the road network, or a "
+                              "temporal slot graph")
+    p_embed.add_argument("--method", default="node2vec",
+                         choices=["node2vec", "deepwalk", "line"])
+    p_embed.add_argument("--engine", default="vectorized",
+                         choices=["vectorized", "reference"])
+    p_embed.add_argument("--dim", type=int, default=32)
+    p_embed.add_argument("--num-walks", type=int, default=4,
+                         dest="num_walks")
+    p_embed.add_argument("--walk-length", type=int, default=20,
+                         dest="walk_length")
+    p_embed.add_argument("--seed", type=int, default=0)
+    p_embed.add_argument("--out", default="",
+                         help="write the embedding matrix to this .npz")
+    p_embed.set_defaults(func=cmd_embed)
 
     p_train = sub.add_parser("train", help="train DeepOD")
     common(p_train)

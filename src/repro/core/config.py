@@ -66,6 +66,10 @@ class DeepODConfig:
     # Embedding initialisation variants (Table 7).
     init_road_embedding: str = "node2vec"  # node2vec | onehot(R-one)
     init_slot_embedding: str = "node2vec"  # node2vec | onehot(T-one)
+    # Walk/SGNS implementation for the pre-training stage: the
+    # alias-sampled lockstep engine (default) or the scalar reference
+    # oracle it is tested against.
+    embed_engine: str = "vectorized"       # vectorized | reference
     temporal_graph: str = "weekly"         # weekly | daily(T-day)
     use_timestamp_directly: bool = False   # True => T-stamp
     # Sequence model of the Trajectory Encoder.  The paper instantiates
@@ -94,6 +98,8 @@ class DeepODConfig:
         if self.init_slot_embedding not in ("node2vec", "deepwalk", "line",
                                             "onehot"):
             raise ValueError("unknown slot-embedding initialisation")
+        if self.embed_engine not in ("vectorized", "reference"):
+            raise ValueError("embed_engine must be vectorized or reference")
         if self.temporal_graph not in ("weekly", "daily"):
             raise ValueError("temporal_graph must be weekly or daily")
         if self.sequence_encoder not in ("lstm", "gru", "mean"):

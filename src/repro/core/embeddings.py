@@ -17,7 +17,7 @@ from ..embedding import EmbeddingConfig, embed_graph
 from ..nn import Embedding
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.linegraph import build_line_graph
-from ..temporal.temporal_graph import build_daily_graph, build_weekly_graph
+from ..temporal.temporal_graph import embed_temporal_graph
 from ..temporal.timeslot import TimeSlotConfig
 
 PRETRAINED_TARGET_STD = 0.1
@@ -53,19 +53,21 @@ class RoadSegmentEmbedding(Embedding):
     def pretrained(cls, net: RoadNetwork,
                    trajectories: Sequence[Sequence[int]],
                    dim: int, method: str = "node2vec", seed: int = 0,
+                   engine: str = "vectorized",
                    rng: Optional[np.random.Generator] = None
                    ) -> "RoadSegmentEmbedding":
         """Initialise Ws from a graph embedding of the line graph.
 
         ``method='onehot'`` skips pre-training (the R-one ablation): the
         matrix keeps its random initialisation, which plays the role of
-        an untrained one-hot-factorised encoding.
+        an untrained one-hot-factorised encoding.  ``engine`` selects the
+        alias-sampled lockstep walker (default) or the scalar reference.
         """
         emb = cls(net.num_edges, dim, rng=rng)
         if method != "onehot":
             line = build_line_graph(net, trajectories)
             matrix = embed_graph(line, EmbeddingConfig(
-                method=method, dim=dim, seed=seed))
+                method=method, dim=dim, seed=seed, engine=engine))
             emb.load_pretrained(rescale_pretrained(matrix))
         return emb
 
@@ -102,7 +104,7 @@ class TimeSlotEmbedding(Embedding):
     @classmethod
     def pretrained(cls, slot_config: TimeSlotConfig, dim: int,
                    graph_kind: str = "weekly", method: str = "node2vec",
-                   seed: int = 0,
+                   seed: int = 0, engine: str = "vectorized",
                    rng: Optional[np.random.Generator] = None
                    ) -> "TimeSlotEmbedding":
         """Initialise Wt from a graph embedding of the temporal graph.
@@ -111,11 +113,10 @@ class TimeSlotEmbedding(Embedding):
         """
         emb = cls(slot_config, dim, graph_kind, rng=rng)
         if method != "onehot":
-            graph = (build_weekly_graph(slot_config)
-                     if graph_kind == "weekly"
-                     else build_daily_graph(slot_config))
-            matrix = embed_graph(graph, EmbeddingConfig(
-                method=method, dim=dim, seed=seed,
-                num_walks=2, walk_length=16))
+            matrix = embed_temporal_graph(
+                slot_config, graph_kind,
+                embedding=EmbeddingConfig(
+                    method=method, dim=dim, seed=seed,
+                    num_walks=2, walk_length=16, engine=engine))
             emb.load_pretrained(rescale_pretrained(matrix))
         return emb

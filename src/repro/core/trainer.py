@@ -35,11 +35,13 @@ def build_deepod(dataset: TaxiDataset, config: Optional[DeepODConfig] = None
                    if t.trajectory is not None]
     road_emb = RoadSegmentEmbedding.pretrained(
         dataset.net, train_trajs, config.d_s,
-        method=config.init_road_embedding, seed=config.seed, rng=rng)
+        method=config.init_road_embedding, seed=config.seed,
+        engine=config.embed_engine, rng=rng)
     slot_emb = TimeSlotEmbedding.pretrained(
         dataset.slot_config, config.d_t,
         graph_kind=config.temporal_graph,
-        method=config.init_slot_embedding, seed=config.seed, rng=rng)
+        method=config.init_slot_embedding, seed=config.seed,
+        engine=config.embed_engine, rng=rng)
     return DeepOD(config, road_emb, slot_emb, rng=rng)
 
 

@@ -1,0 +1,132 @@
+"""O(1) discrete sampling via Vose's alias method [Vose 1991; Walker 1977].
+
+Embedding pre-training is dominated by discrete draws: every walk step
+samples a neighbour and every SGNS step samples negatives.  ``rng.choice``
+with explicit probabilities rebuilds a CDF on every call — O(n) per draw —
+which is what made ``repro.embedding`` the bottleneck of the efficiency
+benchmarks (paper Section 5.1, Tables 5-6 measure exactly this pre-training
+cost).  An alias table costs O(n) once, then every draw is O(1): pick a
+column uniformly, flip a biased coin, take the column or its alias.
+
+Two samplers live here:
+
+* :class:`AliasTable` — one distribution (SGNS unigram^{3/4} negatives);
+* :class:`NodeAliasSampler` — one table per node of a CSR graph, flattened
+  into the CSR slot arrays, so a *batch* of walkers advances with a single
+  pair of ``rng.random`` vectors regardless of node degrees.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+
+def _validate_weights(w: np.ndarray) -> None:
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("alias table needs a non-empty 1-D weight vector")
+    if not np.isfinite(w).all():
+        raise ValueError("alias weights must be finite (got NaN/inf)")
+    if (w < 0).any():
+        raise ValueError("alias weights must be non-negative")
+
+
+def _vose_build(weights: np.ndarray, prob: np.ndarray, alias: np.ndarray,
+                base: int = 0) -> None:
+    """Fill ``prob``/``alias`` (views of length n) for one distribution.
+
+    ``alias`` receives *absolute* slot ids offset by ``base`` so per-node
+    tables can share one flat array aligned with CSR slots.
+    """
+    n = len(weights)
+    scaled = weights * (n / weights.sum())
+    prob[:] = 1.0
+    alias[:] = base + np.arange(n)
+    small = np.flatnonzero(scaled < 1.0).tolist()
+    large = np.flatnonzero(scaled >= 1.0).tolist()
+    while small and large:
+        s = small.pop()
+        l = large[-1]
+        prob[s] = scaled[s]
+        alias[s] = base + l
+        scaled[l] -= 1.0 - scaled[s]
+        if scaled[l] < 1.0:
+            large.pop()
+            small.append(l)
+    # Leftovers (either stack) keep prob = 1 up to float round-off.
+
+
+class AliasTable:
+    """Alias sampler for one fixed discrete distribution.
+
+    Build is O(n); ``draw`` is O(1) per sample and fully batched: a draw of
+    any shape consumes exactly one pair of ``rng.random`` arrays.
+    """
+
+    __slots__ = ("n", "prob", "alias")
+
+    def __init__(self, weights) -> None:
+        w = np.asarray(weights, dtype=np.float64).copy()
+        _validate_weights(w)
+        if w.sum() <= 0:
+            raise ValueError("alias weights must have positive total")
+        self.n = len(w)
+        self.prob = np.empty(self.n, dtype=np.float64)
+        self.alias = np.empty(self.n, dtype=np.int64)
+        _vose_build(w, self.prob, self.alias)
+
+    def draw(self, rng: np.random.Generator,
+             size: Union[int, Tuple[int, ...], None] = None) -> np.ndarray:
+        """Sample indices; ``size`` follows numpy conventions."""
+        shape = () if size is None else size
+        k = np.asarray(rng.random(shape) * self.n, dtype=np.int64)
+        k = np.minimum(k, self.n - 1)        # guard the 1.0-eps edge
+        take_alias = rng.random(shape) >= self.prob[k]
+        return np.where(take_alias, self.alias[k], k)
+
+
+class NodeAliasSampler:
+    """Per-node alias tables over a CSR adjacency, flattened to CSR slots.
+
+    Row ``u`` owns slots ``indptr[u]:indptr[u+1]``; ``prob``/``alias`` are
+    parallel to ``indices``/``weights`` and alias entries store absolute
+    slot ids, so one gather advances every walker in a frontier at once.
+    Rows whose weights sum to zero fall back to a uniform distribution over
+    their out-neighbours — the same convention for DeepWalk and node2vec
+    walks (the second-order bias is applied downstream by rejection).
+    """
+
+    def __init__(self, csr) -> None:
+        indptr = np.asarray(csr.indptr, dtype=np.int64)
+        indices = np.asarray(csr.indices, dtype=np.int64)
+        weights = np.asarray(csr.weights, dtype=np.float64)
+        if weights.size:
+            _validate_weights(weights)
+        self.indptr = indptr
+        self.indices = indices
+        self.out_degree = np.diff(indptr)
+        self.prob = np.ones(len(indices), dtype=np.float64)
+        self.alias = np.arange(len(indices), dtype=np.int64)
+        for u in range(len(indptr) - 1):
+            lo, hi = indptr[u], indptr[u + 1]
+            if hi == lo:
+                continue
+            w = weights[lo:hi].copy()
+            if w.sum() <= 0:
+                w[:] = 1.0               # uniform fallback on all-zero rows
+            _vose_build(w, self.prob[lo:hi], self.alias[lo:hi], base=lo)
+
+    def sample_neighbors(self, rng: np.random.Generator,
+                         nodes: np.ndarray) -> np.ndarray:
+        """One weight-proportional out-neighbour per node (batched O(1)).
+
+        Every node must have out-degree >= 1; callers retire sinks first.
+        """
+        deg = self.out_degree[nodes]
+        k = (rng.random(len(nodes)) * deg).astype(np.int64)
+        np.minimum(k, deg - 1, out=k)
+        slot = self.indptr[nodes] + k
+        take_alias = rng.random(len(nodes)) >= self.prob[slot]
+        slot = np.where(take_alias, self.alias[slot], slot)
+        return self.indices[slot]

@@ -11,8 +11,13 @@ import numpy as np
 
 from ..roadnet.linegraph import WeightedDigraph
 from .line import LineConfig, train_line
-from .skipgram import SkipGramConfig, train_skipgram
-from .walks import generate_node2vec_walks, generate_walks
+from .skipgram import (
+    SkipGramConfig, train_skipgram, train_skipgram_reference,
+)
+from .walks import (
+    generate_node2vec_walks, generate_node2vec_walks_reference,
+    generate_walks, generate_walks_reference,
+)
 
 
 @dataclass
@@ -30,10 +35,17 @@ class EmbeddingConfig:
     q: float = 2.0               # node2vec in-out parameter (DFS-ish)
     line_samples: int = 50_000
     seed: int = 0
+    # ``vectorized`` runs the alias-sampled lockstep walk engine and the
+    # fast SGNS; ``reference`` runs the retained scalar oracle (same
+    # distribution over walks/pairs, ~an order of magnitude slower).
+    # LINE has a single implementation and ignores this knob.
+    engine: str = "vectorized"   # vectorized | reference
 
     def __post_init__(self):
         if self.method not in ("node2vec", "deepwalk", "line"):
             raise ValueError(f"unknown embedding method {self.method!r}")
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError(f"unknown embedding engine {self.engine!r}")
 
 
 def embed_graph(graph: WeightedDigraph,
@@ -50,13 +62,16 @@ def embed_graph(graph: WeightedDigraph,
                               negatives=config.negatives)
         return train_line(graph, line_cfg, rng)
 
+    vectorized = config.engine == "vectorized"
     if config.method == "node2vec":
-        walks = generate_node2vec_walks(
-            graph, config.num_walks, config.walk_length,
-            p=config.p, q=config.q, rng=rng)
+        walk_fn = (generate_node2vec_walks if vectorized
+                   else generate_node2vec_walks_reference)
+        walks = walk_fn(graph, config.num_walks, config.walk_length,
+                        p=config.p, q=config.q, rng=rng)
     else:
-        walks = generate_walks(graph, config.num_walks, config.walk_length,
-                               rng=rng)
+        walk_fn = generate_walks if vectorized else generate_walks_reference
+        walks = walk_fn(graph, config.num_walks, config.walk_length, rng=rng)
     sg_cfg = SkipGramConfig(dim=config.dim, window=config.window,
                             negatives=config.negatives, epochs=config.epochs)
-    return train_skipgram(walks, graph.num_nodes, sg_cfg, rng)
+    sg_fn = train_skipgram if vectorized else train_skipgram_reference
+    return sg_fn(walks, graph.num_nodes, sg_cfg, rng)

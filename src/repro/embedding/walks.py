@@ -5,6 +5,24 @@ walk with return parameter ``p`` and in-out parameter ``q`` [Grover &
 Leskovec 2016].  The paper uses these walks over (a) the line graph of the
 road network, with trajectory co-occurrence weights steering transition
 probabilities, and (b) the weekly temporal graph.
+
+Two engines per walk type:
+
+* ``generate_walks`` / ``generate_node2vec_walks`` — the **lockstep**
+  engine: all walks advance one step per numpy operation.  First-order
+  transitions draw from per-node alias tables (O(1) per walker per step);
+  node2vec's second-order p/q bias is applied by rejection sampling against
+  the max-bias envelope ``max(1, 1/p, 1/q)`` (KnightKing-style): propose a
+  first-order step, accept with probability ``bias / envelope``, retry the
+  rejected walkers.  Walkers whose current node is a sink retire from the
+  frontier, preserving the variable-length walk semantics.
+* ``generate_walks_reference`` / ``generate_node2vec_walks_reference`` —
+  the original scalar implementations, kept as the behavioural oracle for
+  equivalence tests and the speedup benchmark.
+
+Both engines draw from the same per-start distribution over walks; only
+the draw *order* from the RNG stream differs, so same-seed outputs are
+engine-internally deterministic but not bitwise identical across engines.
 """
 
 from __future__ import annotations
@@ -14,26 +32,151 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..roadnet.linegraph import WeightedDigraph
+from .alias import NodeAliasSampler
 
 
 def weighted_choice(rng: np.random.Generator, items: Sequence[int],
                     weights: Sequence[float]) -> int:
-    """Sample one item proportionally to non-negative weights."""
+    """Sample one item proportionally to non-negative weights.
+
+    All-zero weights fall back to a uniform draw (every item weight 1);
+    NaN or negative weights raise — both walk types share this contract.
+    """
     w = np.asarray(weights, dtype=float)
+    if not np.isfinite(w).all():
+        raise ValueError("weights must be finite (got NaN/inf)")
+    if (w < 0).any():
+        raise ValueError("weights must be non-negative")
     total = w.sum()
     if total <= 0:
-        # All-zero weights: fall back to uniform.
+        # All-zero weights: uniform over the items.
         return int(items[rng.integers(len(items))])
     return int(items[rng.choice(len(items), p=w / total)])
+
+
+# ---------------------------------------------------------------------------
+# Lockstep engine.
+
+def _shuffled_starts(num_nodes: int, num_walks: int,
+                     rng: np.random.Generator) -> np.ndarray:
+    """Start nodes for all rounds, shuffled per round like the reference."""
+    rounds = []
+    nodes = np.arange(num_nodes)
+    for _ in range(num_walks):
+        rng.shuffle(nodes)
+        rounds.append(nodes.copy())
+    return np.concatenate(rounds)
+
+
+def _rows_to_walks(matrix: np.ndarray) -> List[List[int]]:
+    """Trim the -1 padding of retired walkers back into ragged lists."""
+    padded = matrix < 0
+    lengths = np.where(padded.any(axis=1), padded.argmax(axis=1),
+                       matrix.shape[1])
+    return [row[:n].tolist() for row, n in zip(matrix, lengths)]
 
 
 def generate_walks(graph: WeightedDigraph, num_walks: int, walk_length: int,
                    rng: Optional[np.random.Generator] = None
                    ) -> List[List[int]]:
-    """Weight-proportional random walks (DeepWalk-style).
+    """Weight-proportional random walks (DeepWalk-style), lockstep engine.
 
     ``num_walks`` walks start from every node; walks stop early at sinks.
     """
+    _validate(num_walks, walk_length)
+    rng = rng or np.random.default_rng()
+    csr = graph.to_csr()
+    sampler = NodeAliasSampler(csr)
+    out_degree = csr.out_degree
+
+    starts = _shuffled_starts(graph.num_nodes, num_walks, rng)
+    walks = np.full((len(starts), walk_length), -1, dtype=np.int64)
+    walks[:, 0] = starts
+    active = np.arange(len(starts))
+    for t in range(1, walk_length):
+        cur = walks[active, t - 1]
+        alive = out_degree[cur] > 0
+        active = active[alive]
+        if not len(active):
+            break
+        walks[active, t] = sampler.sample_neighbors(rng, cur[alive])
+    return _rows_to_walks(walks)
+
+
+def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
+                            walk_length: int, p: float = 1.0, q: float = 1.0,
+                            rng: Optional[np.random.Generator] = None
+                            ) -> List[List[int]]:
+    """node2vec second-order biased walks, lockstep rejection engine.
+
+    The unnormalised probability of stepping from ``cur`` to ``nxt`` given
+    the previous node ``prev`` multiplies the edge weight by
+
+    * ``1/p`` when ``nxt == prev`` (return),
+    * ``1``   when ``nxt`` is a neighbour of ``prev`` (BFS-like),
+    * ``1/q`` otherwise (DFS-like).
+
+    Rather than materialising the O(E * avg_degree) second-order transition
+    tables, each step proposes a weight-proportional neighbour from the
+    first-order alias table and accepts it with probability
+    ``bias / max(1, 1/p, 1/q)``; rejected walkers redraw.  At p = q = 1
+    every proposal is accepted and the engine degenerates to first-order
+    sampling with zero overhead.
+    """
+    _validate(num_walks, walk_length)
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    rng = rng or np.random.default_rng()
+    csr = graph.to_csr()
+    sampler = NodeAliasSampler(csr)
+    out_degree = csr.out_degree
+    n = graph.num_nodes
+    # Flat membership key: rows are contiguous and sorted within, so
+    # ``u * n + v`` is globally ascending — one searchsorted answers
+    # "is v a neighbour of u" for a whole frontier.
+    row_of_slot = np.repeat(np.arange(n, dtype=np.int64), out_degree)
+    edge_key = row_of_slot * n + csr.indices
+    envelope = max(1.0, 1.0 / p, 1.0 / q)
+
+    starts = _shuffled_starts(n, num_walks, rng)
+    walks = np.full((len(starts), walk_length), -1, dtype=np.int64)
+    walks[:, 0] = starts
+    active = np.arange(len(starts))
+    for t in range(1, walk_length):
+        cur = walks[active, t - 1]
+        alive = out_degree[cur] > 0
+        active = active[alive]
+        if not len(active):
+            break
+        if t == 1:
+            # No previous node yet: plain first-order step.
+            walks[active, 1] = sampler.sample_neighbors(rng, cur[alive])
+            continue
+        undecided = active
+        while len(undecided):
+            cur = walks[undecided, t - 1]
+            prev = walks[undecided, t - 2]
+            cand = sampler.sample_neighbors(rng, cur)
+            bias = np.full(len(cand), 1.0 / q)
+            key = prev * n + cand
+            pos = np.searchsorted(edge_key, key)
+            is_prev_nbr = (np.take(edge_key, pos, mode="clip") == key)
+            bias[is_prev_nbr] = 1.0
+            bias[cand == prev] = 1.0 / p
+            accept = rng.random(len(cand)) * envelope < bias
+            walks[undecided[accept], t] = cand[accept]
+            undecided = undecided[~accept]
+    return _rows_to_walks(walks)
+
+
+# ---------------------------------------------------------------------------
+# Reference (scalar) engine — the behavioural oracle.
+
+def generate_walks_reference(graph: WeightedDigraph, num_walks: int,
+                             walk_length: int,
+                             rng: Optional[np.random.Generator] = None
+                             ) -> List[List[int]]:
+    """Scalar DeepWalk-style walks: one ``rng.choice`` per step."""
     _validate(num_walks, walk_length)
     rng = rng or np.random.default_rng()
     walks: List[List[int]] = []
@@ -53,19 +196,11 @@ def generate_walks(graph: WeightedDigraph, num_walks: int, walk_length: int,
     return walks
 
 
-def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
-                            walk_length: int, p: float = 1.0, q: float = 1.0,
-                            rng: Optional[np.random.Generator] = None
-                            ) -> List[List[int]]:
-    """node2vec second-order biased walks.
-
-    The unnormalised probability of stepping from ``cur`` to ``nxt`` given
-    the previous node ``prev`` multiplies the edge weight by
-
-    * ``1/p`` when ``nxt == prev`` (return),
-    * ``1``   when ``nxt`` is a neighbour of ``prev`` (BFS-like),
-    * ``1/q`` otherwise (DFS-like).
-    """
+def generate_node2vec_walks_reference(
+        graph: WeightedDigraph, num_walks: int, walk_length: int,
+        p: float = 1.0, q: float = 1.0,
+        rng: Optional[np.random.Generator] = None) -> List[List[int]]:
+    """Scalar node2vec walks: per-step biased ``rng.choice``."""
     _validate(num_walks, walk_length)
     if p <= 0 or q <= 0:
         raise ValueError("p and q must be positive")
@@ -89,14 +224,19 @@ def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
                 nbrs = graph.neighbors(cur)
                 if not nbrs:
                     break
+                raw = [w for _, w in nbrs]
+                if sum(raw) <= 0:
+                    # All-zero edge weights: uniform base, like the
+                    # first-order fallback — the p/q bias still applies.
+                    raw = [1.0] * len(nbrs)
                 if len(walk) == 1:
                     items = [v for v, _ in nbrs]
-                    weights = [w for _, w in nbrs]
+                    weights = raw
                 else:
                     prev = walk[-2]
                     prev_nbrs = neighbors_of(prev)
                     items, weights = [], []
-                    for v, w in nbrs:
+                    for (v, _), w in zip(nbrs, raw):
                         if v == prev:
                             bias = 1.0 / p
                         elif v in prev_nbrs:

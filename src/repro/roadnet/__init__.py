@@ -8,7 +8,10 @@ from .shortest_path import (
     perturbed_route, time_dependent_dijkstra,
 )
 from .spatial_index import SpatialIndex
-from .linegraph import WeightedDigraph, build_line_graph, temporal_graph_to_digraph
+from .linegraph import (
+    CSRAdjacency, WeightedDigraph, build_line_graph,
+    temporal_graph_to_digraph,
+)
 from .ksp import k_shortest_paths, route_diversity
 
 __all__ = [
@@ -17,6 +20,7 @@ __all__ = [
     "NoPathError", "astar", "dijkstra", "is_connected_path", "path_length",
     "perturbed_route", "time_dependent_dijkstra",
     "SpatialIndex",
-    "WeightedDigraph", "build_line_graph", "temporal_graph_to_digraph",
+    "CSRAdjacency", "WeightedDigraph", "build_line_graph",
+    "temporal_graph_to_digraph",
     "k_shortest_paths", "route_diversity",
 ]

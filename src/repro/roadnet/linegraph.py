@@ -13,9 +13,34 @@ shape the random-walk transition probabilities of the embedding methods.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .graph import RoadNetwork
+
+
+class CSRAdjacency(NamedTuple):
+    """Flat CSR view of a digraph: row ``u`` owns slots
+    ``indptr[u]:indptr[u+1]`` of ``indices``/``weights``, with columns
+    sorted ascending within each row.  This is the array substrate the
+    vectorised embedding engine (``repro.embedding``) samples from."""
+
+    indptr: np.ndarray     # (num_nodes + 1,) int64
+    indices: np.ndarray    # (num_edges,) int64
+    weights: np.ndarray    # (num_edges,) float64
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.indices)
+
+    @property
+    def out_degree(self) -> np.ndarray:
+        return np.diff(self.indptr)
 
 
 class WeightedDigraph:
@@ -26,6 +51,7 @@ class WeightedDigraph:
             raise ValueError("graph needs at least one node")
         self.num_nodes = num_nodes
         self._adj: List[Dict[int, float]] = [dict() for _ in range(num_nodes)]
+        self._csr: Optional[CSRAdjacency] = None
 
     def add_edge(self, u: int, v: int, weight: float = 1.0) -> None:
         if not (0 <= u < self.num_nodes and 0 <= v < self.num_nodes):
@@ -33,9 +59,44 @@ class WeightedDigraph:
         if weight < 0:
             raise ValueError("edge weight must be non-negative")
         self._adj[u][v] = self._adj[u].get(v, 0.0) + weight
+        self._csr = None
 
     def set_weight(self, u: int, v: int, weight: float) -> None:
         self._adj[u][v] = weight
+        self._csr = None
+
+    def to_csr(self) -> CSRAdjacency:
+        """Export (and cache) the adjacency as flat CSR arrays.
+
+        The cache is invalidated by ``add_edge``/``set_weight``, so repeat
+        embedding runs over an unchanged graph pay the conversion once.
+        Raises on NaN/inf/negative weights — silent propagation of bad
+        weights into sampling tables is how distributions go subtly wrong.
+        """
+        if self._csr is not None:
+            return self._csr
+        indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        cols: List[np.ndarray] = []
+        vals: List[np.ndarray] = []
+        for u, nbrs in enumerate(self._adj):
+            indptr[u + 1] = indptr[u] + len(nbrs)
+            if nbrs:
+                c = np.fromiter(nbrs.keys(), dtype=np.int64, count=len(nbrs))
+                w = np.fromiter(nbrs.values(), dtype=np.float64,
+                                count=len(nbrs))
+                order = np.argsort(c)
+                cols.append(c[order])
+                vals.append(w[order])
+        indices = (np.concatenate(cols) if cols
+                   else np.empty(0, dtype=np.int64))
+        weights = (np.concatenate(vals) if vals
+                   else np.empty(0, dtype=np.float64))
+        if weights.size and not np.isfinite(weights).all():
+            raise ValueError("graph weights must be finite (got NaN/inf)")
+        if weights.size and (weights < 0).any():
+            raise ValueError("graph weights must be non-negative")
+        self._csr = CSRAdjacency(indptr, indices, weights)
+        return self._csr
 
     def neighbors(self, u: int) -> List[Tuple[int, float]]:
         return list(self._adj[u].items())

@@ -3,10 +3,12 @@
 
 from .timeslot import SECONDS_PER_DAY, SECONDS_PER_WEEK, TimeSlotConfig
 from .temporal_graph import (
-    build_daily_graph, build_weekly_graph, weekly_edge_list,
+    build_daily_graph, build_weekly_graph, embed_temporal_graph,
+    weekly_edge_list,
 )
 
 __all__ = [
     "SECONDS_PER_DAY", "SECONDS_PER_WEEK", "TimeSlotConfig",
-    "build_daily_graph", "build_weekly_graph", "weekly_edge_list",
+    "build_daily_graph", "build_weekly_graph", "embed_temporal_graph",
+    "weekly_edge_list",
 ]

@@ -75,6 +75,35 @@ class TestWalks:
             counts[nxt] += 1
         assert counts[1] > 250
 
+    def test_weighted_choice_rejects_bad_weights(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [1, 2], [1.0, float("nan")])
+        with pytest.raises(ValueError):
+            weighted_choice(rng, [1, 2], [1.0, -0.5])
+
+    def test_weighted_choice_zero_total_uniform(self):
+        """All-zero weights fall back to a uniform choice (both walk
+        families hit this on zero-weight rows and must agree)."""
+        rng = np.random.default_rng(6)
+        counts = {1: 0, 2: 0}
+        for _ in range(400):
+            counts[weighted_choice(rng, [1, 2], [0.0, 0.0])] += 1
+        assert counts[1] > 120 and counts[2] > 120
+
+    def test_zero_weight_rows_consistent_across_walk_types(self):
+        """First-order and node2vec walks both traverse zero-weight rows
+        uniformly instead of diverging (one crashing / one skipping)."""
+        g = WeightedDigraph(3)
+        g.add_edge(0, 1, 0.0)
+        g.add_edge(0, 2, 0.0)
+        w1 = generate_walks(g, 30, 3, rng=np.random.default_rng(7))
+        w2 = generate_node2vec_walks(g, 30, 3, p=2.0, q=0.5,
+                                     rng=np.random.default_rng(8))
+        for walks in (w1, w2):
+            succ = {w[1] for w in walks if w[0] == 0 and len(w) > 1}
+            assert succ == {1, 2}
+
     def test_node2vec_walks_valid(self):
         g = ring_graph()
         walks = generate_node2vec_walks(g, 2, 8, p=0.5, q=2.0,
@@ -119,7 +148,20 @@ class TestSkipGram:
         dist = unigram_distribution([[0, 1, 1, 2]], 4)
         assert dist.sum() == pytest.approx(1.0)
         assert dist[1] > dist[0] > 0
-        assert dist[3] > 0   # smoothing keeps unseen nodes non-zero
+        # Nodes never observed on any walk must get NO noise mass:
+        # word2vec's unigram^0.75 is over the observed vocabulary only.
+        assert dist[3] == 0
+
+    def test_unigram_distribution_single_node_vocab(self):
+        """A degenerate one-node vocabulary falls back to uniform."""
+        dist = unigram_distribution([[2, 2, 2]], 4)
+        assert dist == pytest.approx(np.full(4, 0.25))
+
+    def test_unigram_matches_powered_counts(self):
+        walks = [[0, 0, 0, 1], [1, 2]]
+        dist = unigram_distribution(walks, 3)
+        counts = np.array([3.0, 2.0, 1.0]) ** 0.75
+        assert dist == pytest.approx(counts / counts.sum())
 
     def test_clusters_separate_in_embedding_space(self):
         """Structural proximity must map to embedding proximity."""
