@@ -1,0 +1,54 @@
+"""Observability overhead: tracing must cost (almost) nothing.
+
+The contract of ``repro.obs`` is that instrumentation can stay wired
+into the hot paths permanently: spans bound per epoch/batch (never per
+step), step-phase timing accumulates into plain counters, and the
+disabled path is a cached no-op context manager.  This benchmark holds
+the trainer to that contract — a fully traced fit must stay within 5%
+of an untraced fit on the same dataset and config.
+"""
+
+from repro.core import DeepODTrainer, build_deepod
+from repro.datagen import load_city
+from repro.obs import MetricsRegistry, Tracer
+from repro.obs.tracing import NULL_TRACER
+
+from .conftest import print_header, small_deepod_config
+
+
+def _fit_seconds(dataset, config, tracer) -> float:
+    # Model build stays untraced in both arms so the measurement
+    # isolates the per-step instrumentation inside fit().
+    model = build_deepod(dataset, config)
+    trainer = DeepODTrainer(model, dataset, eval_every=0,
+                            tracer=tracer, metrics=MetricsRegistry())
+    history = trainer.fit()
+    return history.wall_seconds
+
+
+def test_obs_tracing_overhead(benchmark, params):
+    dataset = load_city("mini-chengdu",
+                        num_trips=int(2000 * max(params.scale, 1.0)),
+                        num_days=params.num_days)
+    config = small_deepod_config(params, epochs=4)
+
+    def measure():
+        base, traced = [], []
+        for _ in range(3):                 # interleaved, min-of-3
+            base.append(_fit_seconds(dataset, config, NULL_TRACER))
+            traced.append(_fit_seconds(dataset, config, Tracer()))
+        return min(base), min(traced)
+
+    base_s, traced_s = benchmark.pedantic(measure, rounds=1,
+                                          iterations=1)
+    overhead = traced_s / base_s - 1.0
+
+    print_header("Observability overhead (traced vs untraced fit, "
+                 "min of 3)")
+    print(f"  untraced fit  {base_s:8.3f}s")
+    print(f"  traced fit    {traced_s:8.3f}s")
+    print(f"  overhead      {100 * overhead:+7.2f}%")
+
+    assert overhead < 0.05, (
+        f"tracing overhead {100 * overhead:.2f}% exceeds the 5% budget "
+        f"({traced_s:.3f}s traced vs {base_s:.3f}s untraced)")

@@ -50,6 +50,34 @@ from .eval import format_table, mape, run_comparison
 from .nn import save_state
 
 
+def _make_tracer(args):
+    """An enabled tracer iff ``--trace`` was given, else the shared
+    no-op singleton."""
+    from .obs import NULL_TRACER, Tracer
+    return Tracer() if getattr(args, "trace", "") else NULL_TRACER
+
+
+def _export_obs(args, tracer, snapshot=None) -> None:
+    """Write the ``--trace`` / ``--metrics-out`` artefacts, if requested.
+
+    ``snapshot`` overrides the default global-registry snapshot (the
+    serving command passes its per-service registry).  Notices go to
+    stderr so JSON-emitting modes keep a clean stdout.
+    """
+    if getattr(args, "trace", ""):
+        tracer.export(args.trace)
+        print(f"trace written to {args.trace}", file=sys.stderr)
+    if getattr(args, "metrics_out", ""):
+        if snapshot is None:
+            from .obs import global_registry
+            snapshot = global_registry().snapshot()
+        with open(args.metrics_out, "w") as handle:
+            json.dump(snapshot, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics snapshot written to {args.metrics_out}",
+              file=sys.stderr)
+
+
 def _default_config(args) -> DeepODConfig:
     return DeepODConfig(
         d_s=32, d_t=16, d1_m=32, d2_m=16, d3_m=32, d4_m=16,
@@ -97,41 +125,45 @@ def cmd_embed(args) -> int:
     from .roadnet.linegraph import build_line_graph
     from .temporal import embed_temporal_graph
 
+    tracer = _make_tracer(args)
     config = EmbeddingConfig(
         method=args.method, dim=args.dim, seed=args.seed,
         num_walks=args.num_walks, walk_length=args.walk_length,
         engine=args.engine)
     if args.graph == "line":
         dataset = load_city(args.city, num_trips=args.trips,
-                            num_days=args.days)
+                            num_days=args.days, tracer=tracer)
         trajs = [t.trajectory.edge_ids for t in dataset.split.train
                  if t.trajectory is not None]
         graph = build_line_graph(dataset.net, trajs)
         print(f"line graph: {graph.num_nodes} nodes, "
               f"{graph.to_csr().num_edges} edges")
         start = time.perf_counter()
-        matrix = embed_graph(graph, config)
+        matrix = embed_graph(graph, config, tracer=tracer)
     else:
         from .temporal.timeslot import TimeSlotConfig
         slot_config = TimeSlotConfig()
         start = time.perf_counter()
         matrix = embed_temporal_graph(slot_config, args.graph,
-                                      embedding=config)
+                                      embedding=config, tracer=tracer)
     elapsed = time.perf_counter() - start
     print(f"embedded {matrix.shape[0]} nodes -> dim {matrix.shape[1]} "
           f"with {args.method}/{args.engine} in {elapsed:.2f}s")
     if args.out:
         np.savez(args.out, embedding=matrix)
         print(f"embedding written to {args.out}")
+    _export_obs(args, tracer)
     return 0
 
 
 def cmd_train(args) -> int:
+    tracer = _make_tracer(args)
     dataset = load_city(args.city, num_trips=args.trips,
-                        num_days=args.days)
+                        num_days=args.days, tracer=tracer)
     config = _default_config(args)
-    model = build_deepod(dataset, config)
-    trainer = DeepODTrainer(model, dataset, eval_every=args.eval_every)
+    model = build_deepod(dataset, config, tracer=tracer)
+    trainer = DeepODTrainer(model, dataset, eval_every=args.eval_every,
+                            tracer=tracer)
     history = trainer.fit()
     print(f"trained {history.steps[-1] if history.steps else 0} steps "
           f"in {history.wall_seconds:.1f}s")
@@ -150,6 +182,7 @@ def cmd_train(args) -> int:
             predictor = TravelTimePredictor(trainer, coverage=args.coverage)
             artifact_dir = save_artifact(args.save, predictor)
             print(f"serving artifact saved to {artifact_dir}")
+    _export_obs(args, tracer)
     return 0
 
 
@@ -158,11 +191,13 @@ def cmd_serve(args) -> int:
         ArtifactError, ServiceConfig, TravelTimeService, load_artifact,
         run_jsonl_loop, serve_http,
     )
+    tracer = _make_tracer(args)
     service_config = ServiceConfig(max_batch=args.max_batch,
                                    max_wait_s=args.max_wait_ms / 1000.0)
     try:
         predictor = load_artifact(args.artifact)
-        service = TravelTimeService(predictor, config=service_config)
+        service = TravelTimeService(predictor, config=service_config,
+                                    tracer=tracer)
     except ArtifactError as exc:
         if not args.fallback_city:
             raise SystemExit(f"invalid artifact: {exc}")
@@ -171,7 +206,11 @@ def cmd_serve(args) -> int:
               f"{args.fallback_city}", file=sys.stderr)
         dataset = load_city(args.fallback_city, num_trips=args.trips,
                             num_days=args.days)
-        service = TravelTimeService(dataset=dataset, config=service_config)
+        service = TravelTimeService(dataset=dataset, config=service_config,
+                                    tracer=tracer)
+
+    def finish() -> None:
+        _export_obs(args, tracer, snapshot=service.metrics_snapshot())
 
     if args.query:
         try:
@@ -179,14 +218,17 @@ def cmd_serve(args) -> int:
         except json.JSONDecodeError as exc:
             raise SystemExit(f"--query is not valid JSON: {exc}")
         from .serving import parse_query
-        response = service.query(*parse_query(payload))
+        response = service.query(parse_query(payload))
         print(json.dumps(response.to_dict()))
+        finish()
         return 0
     if args.stdin:
         run_jsonl_loop(service, sys.stdin, sys.stdout)
+        finish()
         return 0
     serve_http(service, host=args.host, port=args.port,
                verbose=args.verbose)
+    finish()
     return 0
 
 
@@ -279,8 +321,11 @@ def cmd_exp_run(args) -> int:
         trips=args.trips, days=args.days, eval_every=args.eval_every,
         checkpoint_every=args.checkpoint_every, coverage=args.coverage,
         save_artifact=not args.no_artifact)
+    tracer = _make_tracer(args)
     result = execute_run(spec, registry=registry,
-                         resume=not args.fresh)
+                         resume=not args.fresh,
+                         tracer=tracer if tracer.enabled else None)
+    _export_obs(args, tracer)
     metrics = result.metrics
     print(f"run {result.run_id}: {result.status}")
     print(f"  test MAE  {metrics['test_mae']:8.2f}s")
@@ -300,8 +345,16 @@ def cmd_exp_sweep(args) -> int:
         trips=args.trips, days=args.days, eval_every=args.eval_every,
         checkpoint_every=args.checkpoint_every,
         coverage=args.coverage, save_artifacts=args.artifacts)
-    sweep = run_sweep(spec, jobs=args.jobs,
-                      registry_root=args.runs_dir or None)
+    tracer = _make_tracer(args)
+    # Point-level spans live in each registered run's trace.json (the
+    # points execute in worker processes); the parent trace covers the
+    # sweep itself.
+    with tracer.span("exp.sweep", jobs=args.jobs):
+        sweep = run_sweep(spec, jobs=args.jobs,
+                          registry_root=args.runs_dir or None)
+        tracer.annotate(points=len(sweep.results),
+                        failed=len(sweep.failed))
+    _export_obs(args, tracer)
     print(f"{'#':>4} {'city':<14}{'seed':>5} {'overrides':<32}"
           f"{'MAE(s)':>9}{'MAPE(%)':>9}  status")
     for result in sweep.results:
@@ -404,6 +457,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "pre-training")
         p.add_argument("--seed", type=int, default=0)
 
+    def obs(p):
+        p.add_argument("--trace", default="", metavar="OUT",
+                       help="write a span-tree trace JSON "
+                            "(repro.obs schema) to this path")
+        p.add_argument("--metrics-out", default="", dest="metrics_out",
+                       metavar="OUT",
+                       help="write a metrics-registry snapshot JSON "
+                            "to this path")
+
     p_stats = sub.add_parser("stats", help="dataset statistics (Table 2)")
     common(p_stats)
     p_stats.set_defaults(func=cmd_stats)
@@ -430,6 +492,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_embed.add_argument("--seed", type=int, default=0)
     p_embed.add_argument("--out", default="",
                          help="write the embedding matrix to this .npz")
+    obs(p_embed)
     p_embed.set_defaults(func=cmd_embed)
 
     p_train = sub.add_parser("train", help="train DeepOD")
@@ -442,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "saved artifact")
     p_train.add_argument("--eval-every", type=int, default=50,
                          dest="eval_every")
+    obs(p_train)
     p_train.set_defaults(func=cmd_train)
 
     p_serve = sub.add_parser(
@@ -468,6 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--days", type=int, default=14,
                          help="fallback dataset days")
     p_serve.add_argument("--verbose", action="store_true")
+    obs(p_serve)
     p_serve.set_defaults(func=cmd_serve)
 
     p_cmp = sub.add_parser("compare", help="compare methods (Table 4)")
@@ -506,6 +571,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--paper-scale", action="store_true",
                        dest="paper_scale",
                        help="use the paper's Section 6.2 model sizes")
+        obs(p)
 
     p_exp_run = exp_sub.add_parser(
         "run", help="one registered, checkpointed training run")

@@ -10,7 +10,7 @@ from .external_encoder import ExternalFeaturesEncoder, TrafficConditionCNN
 from .od_encoder import ODEncoder
 from .model import DeepOD, DeepODLosses, TravelTimeEstimatorHead
 from .trainer import DeepODTrainer, TrainingHistory, build_deepod
-from .predictor import Estimate, TravelTimePredictor
+from .predictor import Estimate, Query, TravelTimePredictor
 from .variants import (
     VARIANT_NAMES, all_ablation_configs, all_embedding_variant_configs,
     variant_config,
@@ -24,7 +24,7 @@ __all__ = [
     "ODEncoder",
     "DeepOD", "DeepODLosses", "TravelTimeEstimatorHead",
     "DeepODTrainer", "TrainingHistory", "build_deepod",
-    "Estimate", "TravelTimePredictor",
+    "Estimate", "Query", "TravelTimePredictor",
     "VARIANT_NAMES", "all_ablation_configs",
     "all_embedding_variant_configs", "variant_config",
 ]

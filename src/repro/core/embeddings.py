@@ -15,6 +15,7 @@ import numpy as np
 
 from ..embedding import EmbeddingConfig, embed_graph
 from ..nn import Embedding
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..roadnet.graph import RoadNetwork
 from ..roadnet.linegraph import build_line_graph
 from ..temporal.temporal_graph import embed_temporal_graph
@@ -54,7 +55,8 @@ class RoadSegmentEmbedding(Embedding):
                    trajectories: Sequence[Sequence[int]],
                    dim: int, method: str = "node2vec", seed: int = 0,
                    engine: str = "vectorized",
-                   rng: Optional[np.random.Generator] = None
+                   rng: Optional[np.random.Generator] = None,
+                   tracer: Optional[Tracer] = None
                    ) -> "RoadSegmentEmbedding":
         """Initialise Ws from a graph embedding of the line graph.
 
@@ -63,11 +65,14 @@ class RoadSegmentEmbedding(Embedding):
         an untrained one-hot-factorised encoding.  ``engine`` selects the
         alias-sampled lockstep walker (default) or the scalar reference.
         """
+        tracer = tracer or NULL_TRACER
         emb = cls(net.num_edges, dim, rng=rng)
         if method != "onehot":
-            line = build_line_graph(net, trajectories)
+            with tracer.span("embed.line_graph"):
+                line = build_line_graph(net, trajectories)
             matrix = embed_graph(line, EmbeddingConfig(
-                method=method, dim=dim, seed=seed, engine=engine))
+                method=method, dim=dim, seed=seed, engine=engine),
+                tracer=tracer)
             emb.load_pretrained(rescale_pretrained(matrix))
         return emb
 
@@ -105,7 +110,8 @@ class TimeSlotEmbedding(Embedding):
     def pretrained(cls, slot_config: TimeSlotConfig, dim: int,
                    graph_kind: str = "weekly", method: str = "node2vec",
                    seed: int = 0, engine: str = "vectorized",
-                   rng: Optional[np.random.Generator] = None
+                   rng: Optional[np.random.Generator] = None,
+                   tracer: Optional[Tracer] = None
                    ) -> "TimeSlotEmbedding":
         """Initialise Wt from a graph embedding of the temporal graph.
 
@@ -117,6 +123,7 @@ class TimeSlotEmbedding(Embedding):
                 slot_config, graph_kind,
                 embedding=EmbeddingConfig(
                     method=method, dim=dim, seed=seed,
-                    num_walks=2, walk_length=16, engine=engine))
+                    num_walks=2, walk_length=16, engine=engine),
+                tracer=tracer)
             emb.load_pretrained(rescale_pretrained(matrix))
         return emb

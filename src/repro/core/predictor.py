@@ -10,16 +10,38 @@ confidence intervals calibrated on validation residuals.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..datagen.dataset import TaxiDataset
 from ..roadnet.spatial_index import SpatialIndex
-from ..trajectory.model import ODInput
+from ..trajectory.model import ODInput, Query
 from .model import DeepOD
 from .trainer import DeepODTrainer
+
+QueryLike = Union[Query, Tuple]
+
+
+def normalize_depart_time(depart_time: float,
+                          horizon_seconds: float) -> float:
+    """Validate and clamp a departure time against the dataset horizon.
+
+    Non-finite values are rejected (a NaN would silently poison the slot
+    index and the weather lookup), negative values are rejected, and
+    values past the horizon are clamped to the last representable second
+    — the same clamp previously applied only to the weather lookup, now
+    applied to the stored OD input too, so every consumer (slot
+    embedding, speed-matrix slice, weather) sees one consistent value.
+    """
+    t = float(depart_time)
+    if not math.isfinite(t):
+        raise ValueError(f"departure time must be finite, got {t!r}")
+    if t < 0:
+        raise ValueError("departure time must be non-negative")
+    return min(t, float(horizon_seconds) - 1.0)
 
 
 @dataclass
@@ -100,13 +122,17 @@ class TravelTimePredictor:
     def match_query(self, origin_xy: Tuple[float, float],
                     destination_xy: Tuple[float, float],
                     depart_time: float) -> ODInput:
-        """Snap a raw-coordinate query onto the road network."""
-        if depart_time < 0:
-            raise ValueError("departure time must be non-negative")
+        """Snap a raw-coordinate query onto the road network.
+
+        The departure time is validated (finite, non-negative) and
+        clamped to the dataset horizon *before* being stored, so the
+        OD input carries the same value every downstream lookup uses.
+        """
+        depart_time = normalize_depart_time(depart_time,
+                                            self.dataset.horizon_seconds)
         o_edge, _, o_ratio = self.index.nearest_edge(*origin_xy)
         d_edge, _, d_ratio = self.index.nearest_edge(*destination_xy)
-        weather = self.dataset.weather.category(
-            min(depart_time, self.dataset.horizon_seconds - 1.0))
+        weather = self.dataset.weather.category(depart_time)
         return ODInput(
             origin_xy=origin_xy, destination_xy=destination_xy,
             depart_time=depart_time,
@@ -114,18 +140,27 @@ class TravelTimePredictor:
             ratio_start=o_ratio, ratio_end=d_ratio,
             weather=weather)
 
-    def estimate(self, origin_xy: Tuple[float, float],
-                 destination_xy: Tuple[float, float],
-                 depart_time: float) -> Estimate:
-        """Estimate one trip from raw coordinates."""
-        return self.estimate_batch(
-            [(origin_xy, destination_xy, depart_time)])[0]
+    def estimate(self, query: Union[QueryLike, Tuple[float, float]],
+                 destination_xy: Optional[Tuple[float, float]] = None,
+                 depart_time: Optional[float] = None) -> Estimate:
+        """Estimate one trip from raw coordinates.
 
-    def estimate_batch(self, queries: Sequence[Tuple]) -> List[Estimate]:
-        """Estimate many (origin_xy, destination_xy, depart_time) queries."""
+        Accepts either a :class:`~repro.trajectory.model.Query` (or a
+        legacy 3-tuple) as the sole argument, or the spread legacy form
+        ``estimate(origin_xy, destination_xy, depart_time)``.
+        """
+        if destination_xy is not None:
+            query = Query(origin_xy=tuple(query),
+                          destination_xy=tuple(destination_xy),
+                          depart_time=depart_time)
+        return self.estimate_batch([query])[0]
+
+    def estimate_batch(self, queries: Sequence[QueryLike]
+                       ) -> List[Estimate]:
+        """Estimate many queries (``Query`` objects or legacy triples)."""
         if not len(queries):
             return []
-        ods = [self.match_query(o, d, t) for o, d, t in queries]
+        ods = [self.match_query(*Query.coerce(q)) for q in queries]
         return self.estimate_from_ods(ods)
 
     def estimate_from_ods(self, ods: Sequence[ODInput],

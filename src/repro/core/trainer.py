@@ -20,28 +20,38 @@ import numpy as np
 from ..datagen.dataset import TaxiDataset
 from ..datagen.speed_matrix import SpeedMatrixStore
 from ..nn import Adam, StepDecay
+from ..obs.instrument import Instrumented
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..trajectory.model import TripRecord
 from .config import DeepODConfig
 from .embeddings import RoadSegmentEmbedding, TimeSlotEmbedding
 from .model import DeepOD
 
 
-def build_deepod(dataset: TaxiDataset, config: Optional[DeepODConfig] = None
-                 ) -> DeepOD:
+def build_deepod(dataset: TaxiDataset, config: Optional[DeepODConfig] = None,
+                 tracer: Optional[Tracer] = None) -> DeepOD:
     """Algorithm 1 lines 1-5: construct and initialise the model."""
     config = config or DeepODConfig()
+    tracer = tracer or NULL_TRACER
     rng = np.random.default_rng(config.seed)
     train_trajs = [t.trajectory.edge_ids for t in dataset.split.train
                    if t.trajectory is not None]
-    road_emb = RoadSegmentEmbedding.pretrained(
-        dataset.net, train_trajs, config.d_s,
-        method=config.init_road_embedding, seed=config.seed,
-        engine=config.embed_engine, rng=rng)
-    slot_emb = TimeSlotEmbedding.pretrained(
-        dataset.slot_config, config.d_t,
-        graph_kind=config.temporal_graph,
-        method=config.init_slot_embedding, seed=config.seed,
-        engine=config.embed_engine, rng=rng)
+    with tracer.span("pretrain.road_embedding",
+                     method=config.init_road_embedding,
+                     engine=config.embed_engine, dim=config.d_s):
+        road_emb = RoadSegmentEmbedding.pretrained(
+            dataset.net, train_trajs, config.d_s,
+            method=config.init_road_embedding, seed=config.seed,
+            engine=config.embed_engine, rng=rng, tracer=tracer)
+    with tracer.span("pretrain.slot_embedding",
+                     method=config.init_slot_embedding,
+                     graph=config.temporal_graph, dim=config.d_t):
+        slot_emb = TimeSlotEmbedding.pretrained(
+            dataset.slot_config, config.d_t,
+            graph_kind=config.temporal_graph,
+            method=config.init_slot_embedding, seed=config.seed,
+            engine=config.embed_engine, rng=rng, tracer=tracer)
     return DeepOD(config, road_emb, slot_emb, rng=rng)
 
 
@@ -70,15 +80,26 @@ class TrainingHistory:
         return self.steps[-1]
 
 
-class DeepODTrainer:
-    """ModelTrain (offline) + Estimation (online) of Algorithm 1."""
+class DeepODTrainer(Instrumented):
+    """ModelTrain (offline) + Estimation (online) of Algorithm 1.
+
+    ``tracer`` (default: the shared null tracer) receives per-epoch
+    spans with aggregated forward/backward/optimizer phase children —
+    the per-epoch training-time breakdown of Table 5.  ``metrics``
+    (default: the process-global registry) receives ``train.steps`` /
+    ``train.epochs`` counters and a ``train.step_ms`` histogram.
+    """
 
     def __init__(self, model: DeepOD, dataset: TaxiDataset,
-                 eval_every: int = 20, max_eval_batch: int = 256):
+                 eval_every: int = 20, max_eval_batch: int = 256,
+                 tracer: Optional[Tracer] = None,
+                 metrics: Optional[MetricsRegistry] = None):
         self.model = model
         self.dataset = dataset
         self.eval_every = eval_every
         self.max_eval_batch = max_eval_batch
+        self.tracer = tracer
+        self.metrics = metrics if metrics is not None else global_registry()
         cfg = model.config
         self.optimizer = Adam(list(model.parameters()),
                               lr=cfg.learning_rate,
@@ -110,17 +131,35 @@ class DeepODTrainer:
             for t in trips])
 
     def train_step(self, batch: Sequence[TripRecord]) -> Dict[str, float]:
-        """One forward/backward/update over a mini-batch."""
+        """One forward/backward/update over a mini-batch.
+
+        The three phases are individually timed; with an enabled tracer
+        the durations accumulate as counters on the enclosing span (one
+        aggregate child span per phase is materialised at epoch end —
+        never a span per step, keeping trace size bounded).
+        """
         model = self.model
         ods = [t.od for t in batch]
         trajs = [t.trajectory for t in batch]
         times = np.array([t.travel_time for t in batch])
         mats = self._speed_matrices(batch)
         self.optimizer.zero_grad()
+        t0 = time.perf_counter()
         losses = model.training_losses(ods, trajs, times, mats)
+        t1 = time.perf_counter()
         losses.total.backward()
+        t2 = time.perf_counter()
         self.optimizer.step()
+        t3 = time.perf_counter()
         self._step += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            tracer.add("forward_s", t1 - t0)
+            tracer.add("backward_s", t2 - t1)
+            tracer.add("optimizer_s", t3 - t2)
+            tracer.add("steps", 1)
+        self.metrics.counter("train.steps").inc()
+        self.metrics.histogram("train.step_ms").observe((t3 - t0) * 1e3)
         return {"loss": losses.total.item(), "main": losses.main,
                 "aux": losses.auxiliary}
 
@@ -158,51 +197,78 @@ class DeepODTrainer:
         base_wall = self.history.wall_seconds
         start = time.perf_counter()
         done = max_steps is not None and self._step >= max_steps
-        while self._epoch < epochs and not done:
-            if self._order is None:
-                self._order = self._rng.permutation(len(train))
-                self._cursor = 0
-            while self._cursor < len(train):
-                idx = self._order[self._cursor:self._cursor + cfg.batch_size]
-                batch = [train[i] for i in idx]
-                self._cursor += cfg.batch_size
-                stats = self.train_step(batch)
-                self.history.train_loss.append(stats["loss"])
-                if track_validation and self.eval_every > 0 and \
-                        self._step % self.eval_every == 0:
-                    self.history.steps.append(self._step)
-                    self.history.val_mae.append(self.validation_mae())
-                    if on_eval is not None:
-                        on_eval(self._step, self.history.val_mae[-1],
-                                self.optimizer.lr)
-                if save_checkpoint is not None and \
-                        self._step % checkpoint_every == 0:
-                    self.history.wall_seconds = (
-                        base_wall + time.perf_counter() - start)
-                    save_checkpoint(self, checkpoint_dir,
-                                    keep=keep_checkpoints)
-                if max_steps is not None and self._step >= max_steps:
-                    done = True
-                    break
-            if self._cursor >= len(train):
-                # The epoch actually completed: only then does the paper's
-                # step decay advance.  A ``max_steps`` truncation mid-epoch
-                # must NOT decay, or a resumed run and a fresh run would
-                # follow different LR schedules.
-                self._epoch += 1
-                self._order = None
-                self._cursor = 0
-                self.scheduler.epoch_end()
-        # Always record a final validation point.
-        if track_validation and (not self.history.steps or
-                                 self.history.steps[-1] != self._step):
-            self.history.steps.append(self._step)
-            self.history.val_mae.append(self.validation_mae())
-            if on_eval is not None:
-                on_eval(self._step, self.history.val_mae[-1],
-                        self.optimizer.lr)
+        tracer = self.tracer
+        with tracer.span("train.fit", epochs=epochs,
+                         batch_size=cfg.batch_size,
+                         train_size=len(train)):
+            while self._epoch < epochs and not done:
+                epoch_ctx = tracer.span("train.epoch", epoch=self._epoch)
+                epoch_span = epoch_ctx.__enter__()
+                try:
+                    if self._order is None:
+                        self._order = self._rng.permutation(len(train))
+                        self._cursor = 0
+                    while self._cursor < len(train):
+                        idx = self._order[self._cursor:
+                                          self._cursor + cfg.batch_size]
+                        batch = [train[i] for i in idx]
+                        self._cursor += cfg.batch_size
+                        stats = self.train_step(batch)
+                        self.history.train_loss.append(stats["loss"])
+                        if track_validation and self.eval_every > 0 and \
+                                self._step % self.eval_every == 0:
+                            self._record_eval(on_eval)
+                        if save_checkpoint is not None and \
+                                self._step % checkpoint_every == 0:
+                            self.history.wall_seconds = (
+                                base_wall + time.perf_counter() - start)
+                            with tracer.span("train.checkpoint",
+                                             step=self._step):
+                                save_checkpoint(self, checkpoint_dir,
+                                                keep=keep_checkpoints)
+                        if max_steps is not None and \
+                                self._step >= max_steps:
+                            done = True
+                            break
+                finally:
+                    self._materialise_phases(epoch_span)
+                    epoch_ctx.__exit__(None, None, None)
+                if self._cursor >= len(train):
+                    # The epoch actually completed: only then does the
+                    # paper's step decay advance.  A ``max_steps``
+                    # truncation mid-epoch must NOT decay, or a resumed
+                    # run and a fresh run would follow different LR
+                    # schedules.
+                    self._epoch += 1
+                    self._order = None
+                    self._cursor = 0
+                    self.scheduler.epoch_end()
+                    self.metrics.counter("train.epochs").inc()
+            # Always record a final validation point.
+            if track_validation and (not self.history.steps or
+                                     self.history.steps[-1] != self._step):
+                self._record_eval(on_eval)
         self.history.wall_seconds = base_wall + time.perf_counter() - start
         return self.history
+
+    def _record_eval(self, on_eval) -> None:
+        """One validation evaluation: history + span + callback."""
+        with self.tracer.span("train.validate", step=self._step):
+            val_mae = self.validation_mae()
+        self.history.steps.append(self._step)
+        self.history.val_mae.append(val_mae)
+        if on_eval is not None:
+            on_eval(self._step, val_mae, self.optimizer.lr)
+
+    def _materialise_phases(self, epoch_span) -> None:
+        """Turn the accumulated per-phase second counters of an epoch
+        span into one aggregate child span per training phase."""
+        if epoch_span is None:
+            return
+        steps = int(epoch_span.counters.pop("steps", 0))
+        for phase in ("forward", "backward", "optimizer"):
+            seconds = epoch_span.counters.pop(f"{phase}_s", 0.0)
+            self.tracer.record(phase, seconds, steps=steps)
 
     # ------------------------------------------------------------------
     def state_dict(self) -> Dict[str, object]:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..roadnet.generators import grid_city
 from ..temporal.timeslot import SECONDS_PER_DAY, TimeSlotConfig
 from .dataset import TaxiDataset, chronological_split
@@ -76,51 +77,63 @@ PRESETS: Dict[str, CityPreset] = {
 
 
 def build_city(preset: CityPreset, num_trips: Optional[int] = None,
-               num_days: Optional[int] = None) -> TaxiDataset:
+               num_days: Optional[int] = None,
+               tracer: Optional[Tracer] = None) -> TaxiDataset:
     """Build a complete dataset from a preset.
 
     ``num_trips`` / ``num_days`` override the preset for quick tests.
+    ``tracer`` receives one span per build stage (network, trips,
+    split, speed matrices) under a ``datagen.build`` root.
     """
     trips_n = num_trips if num_trips is not None else preset.num_trips
     days = num_days if num_days is not None else preset.num_days
-    net = grid_city(preset.grid_rows, preset.grid_cols,
-                    block_size=preset.block_size,
-                    river_row=preset.river_row
-                    if preset.river_row >= 0 else None,
-                    bridge_cols=preset.bridge_cols,
-                    seed=preset.seed)
-    horizon = days * SECONDS_PER_DAY
-    weather = WeatherProcess(horizon, seed=preset.seed + 1)
-    traffic = TrafficModel(net, TrafficConfig(), seed=preset.seed + 2)
-    generator = TripGenerator(
-        net, traffic, weather,
-        TripConfig(gps_period=preset.gps_period,
-                   min_trip_edges=preset.min_trip_edges),
-        seed=preset.seed + 3)
-    trips = generator.generate(trips_n, start_day=0, num_days=days)
-    split = chronological_split(trips)
-    # Speed matrices are an *online observable* (the current traffic feed
-    # from all vehicles on the road), so they are computed over the whole
-    # horizon — at prediction time the paper also reads the most recent
-    # matrix.  Prediction labels are never exposed: only aggregate grid
-    # speeds enter the feature.
-    speed_store = SpeedMatrixStore(
-        net, trips, horizon,
-        SpeedGridConfig(cell_metres=max(preset.block_size, 200.0)))
-    slot_config = TimeSlotConfig(base_timestamp=0.0,
-                                 slot_seconds=preset.slot_seconds)
-    return TaxiDataset(
-        name=preset.name, net=net, trips=trips, split=split,
-        slot_config=slot_config, weather=weather, traffic=traffic,
-        speed_store=speed_store, horizon_seconds=horizon,
-        build_params={"city": preset.name, "num_trips": trips_n,
-                      "num_days": days})
+    tracer = tracer or NULL_TRACER
+    with tracer.span("datagen.build", city=preset.name,
+                     num_trips=trips_n, num_days=days):
+        with tracer.span("datagen.network"):
+            net = grid_city(preset.grid_rows, preset.grid_cols,
+                            block_size=preset.block_size,
+                            river_row=preset.river_row
+                            if preset.river_row >= 0 else None,
+                            bridge_cols=preset.bridge_cols,
+                            seed=preset.seed)
+        horizon = days * SECONDS_PER_DAY
+        weather = WeatherProcess(horizon, seed=preset.seed + 1)
+        traffic = TrafficModel(net, TrafficConfig(), seed=preset.seed + 2)
+        generator = TripGenerator(
+            net, traffic, weather,
+            TripConfig(gps_period=preset.gps_period,
+                       min_trip_edges=preset.min_trip_edges),
+            seed=preset.seed + 3)
+        with tracer.span("datagen.trips", requested=trips_n):
+            trips = generator.generate(trips_n, start_day=0, num_days=days)
+        with tracer.span("datagen.split"):
+            split = chronological_split(trips)
+        # Speed matrices are an *online observable* (the current traffic
+        # feed from all vehicles on the road), so they are computed over
+        # the whole horizon — at prediction time the paper also reads the
+        # most recent matrix.  Prediction labels are never exposed: only
+        # aggregate grid speeds enter the feature.
+        with tracer.span("datagen.speed_matrix"):
+            speed_store = SpeedMatrixStore(
+                net, trips, horizon,
+                SpeedGridConfig(cell_metres=max(preset.block_size, 200.0)))
+        slot_config = TimeSlotConfig(base_timestamp=0.0,
+                                     slot_seconds=preset.slot_seconds)
+        return TaxiDataset(
+            name=preset.name, net=net, trips=trips, split=split,
+            slot_config=slot_config, weather=weather, traffic=traffic,
+            speed_store=speed_store, horizon_seconds=horizon,
+            build_params={"city": preset.name, "num_trips": trips_n,
+                          "num_days": days})
 
 
 def load_city(name: str, num_trips: Optional[int] = None,
-              num_days: Optional[int] = None) -> TaxiDataset:
+              num_days: Optional[int] = None,
+              tracer: Optional[Tracer] = None) -> TaxiDataset:
     """Build a preset city by name (``mini-chengdu`` etc.)."""
     if name not in PRESETS:
         raise KeyError(
             f"unknown city {name!r}; choose from {sorted(PRESETS)}")
-    return build_city(PRESETS[name], num_trips=num_trips, num_days=num_days)
+    return build_city(PRESETS[name], num_trips=num_trips,
+                      num_days=num_days, tracer=tracer)

@@ -9,6 +9,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..roadnet.linegraph import WeightedDigraph
 from .line import LineConfig, train_line
 from .skipgram import (
@@ -49,29 +50,43 @@ class EmbeddingConfig:
 
 
 def embed_graph(graph: WeightedDigraph,
-                config: Optional[EmbeddingConfig] = None) -> np.ndarray:
+                config: Optional[EmbeddingConfig] = None,
+                tracer: Optional[Tracer] = None) -> np.ndarray:
     """Embed all nodes of ``graph``; returns (num_nodes, dim).
 
     ``node2vec`` / ``deepwalk`` sample walks then train SGNS; ``line``
-    trains directly on weighted edge samples.
+    trains directly on weighted edge samples.  ``tracer`` receives one
+    span per stage (walk sampling, SGNS training, LINE training).
     """
     config = config or EmbeddingConfig()
+    tracer = tracer or NULL_TRACER
     rng = np.random.default_rng(config.seed)
     if config.method == "line":
         line_cfg = LineConfig(dim=config.dim, samples=config.line_samples,
                               negatives=config.negatives)
-        return train_line(graph, line_cfg, rng)
+        with tracer.span("embed.line", nodes=graph.num_nodes,
+                         samples=config.line_samples, dim=config.dim):
+            return train_line(graph, line_cfg, rng)
 
     vectorized = config.engine == "vectorized"
-    if config.method == "node2vec":
-        walk_fn = (generate_node2vec_walks if vectorized
-                   else generate_node2vec_walks_reference)
-        walks = walk_fn(graph, config.num_walks, config.walk_length,
-                        p=config.p, q=config.q, rng=rng)
-    else:
-        walk_fn = generate_walks if vectorized else generate_walks_reference
-        walks = walk_fn(graph, config.num_walks, config.walk_length, rng=rng)
+    with tracer.span("embed.walks", method=config.method,
+                     engine=config.engine, nodes=graph.num_nodes,
+                     num_walks=config.num_walks,
+                     walk_length=config.walk_length):
+        if config.method == "node2vec":
+            walk_fn = (generate_node2vec_walks if vectorized
+                       else generate_node2vec_walks_reference)
+            walks = walk_fn(graph, config.num_walks, config.walk_length,
+                            p=config.p, q=config.q, rng=rng)
+        else:
+            walk_fn = (generate_walks if vectorized
+                       else generate_walks_reference)
+            walks = walk_fn(graph, config.num_walks, config.walk_length,
+                            rng=rng)
+        tracer.add("walks", len(walks))
     sg_cfg = SkipGramConfig(dim=config.dim, window=config.window,
                             negatives=config.negatives, epochs=config.epochs)
     sg_fn = train_skipgram if vectorized else train_skipgram_reference
-    return sg_fn(walks, graph.num_nodes, sg_cfg, rng)
+    with tracer.span("embed.sgns", engine=config.engine, dim=config.dim,
+                     epochs=config.epochs, window=config.window):
+        return sg_fn(walks, graph.num_nodes, sg_cfg, rng)

@@ -34,6 +34,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..core.config import DeepODConfig
 from ..datagen.cities import load_city
 from ..datagen.dataset import TaxiDataset
+from ..obs.metrics import global_registry
 from .runner import RunSpec, execute_run
 
 # Dataset cache shared with forked workers (copy-on-write).  Keyed by
@@ -252,15 +253,24 @@ def run_sweep(spec: SweepSpec, jobs: int = 1,
     prebuild_datasets(points)
     raw = run_grid([(p, registry_root) for p in points],
                    _execute_point, jobs=jobs, retries=retries)
+    # Sweep accounting lands in the shared observability registry in the
+    # parent process — worker processes have their own (discarded) copy.
+    metrics = global_registry()
     results: List[Dict] = []
     for record, point in zip(raw, points):
         if record["status"] == "completed":
             payload = record["value"]
+            metrics.counter("sweep.points_completed").inc()
+            wall = payload.get("metrics", {}).get("wall_seconds")
+            if wall is not None:
+                metrics.histogram("sweep.point_seconds").observe(
+                    float(wall))
         else:
             payload = {"index": point.index, "status": "failed",
                        "city": point.spec.city, "seed": point.spec.seed,
                        "overrides": dict(point.overrides),
                        "metrics": {}, "error": record["error"]}
+            metrics.counter("sweep.points_failed").inc()
         payload["attempts"] = record["attempts"]
         results.append(payload)
     return SweepResult(results=results)

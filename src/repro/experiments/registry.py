@@ -34,6 +34,7 @@ RUN_FILE = "run.json"
 CONFIG_FILE = "config.json"
 METRICS_FILE = "metrics.jsonl"
 REPORT_FILE = "report.json"
+TRACE_FILE = "trace.json"
 CHECKPOINTS_DIR = "checkpoints"
 ARTIFACT_DIR = "artifact"
 
@@ -114,6 +115,10 @@ class Run:
     def metrics_path(self) -> str:
         return os.path.join(self.directory, METRICS_FILE)
 
+    @property
+    def trace_path(self) -> str:
+        return os.path.join(self.directory, TRACE_FILE)
+
     # -- record IO ------------------------------------------------------
     def save_record(self) -> None:
         _write_json(os.path.join(self.directory, RUN_FILE),
@@ -142,6 +147,18 @@ class Run:
 
     def write_report(self, report: Dict) -> None:
         _write_json(os.path.join(self.directory, REPORT_FILE), report)
+
+    def write_trace(self, trace: Dict) -> None:
+        """Persist a span-tree trace (``repro.obs`` schema) next to the
+        JSONL metrics, so a run's stage-level timing is queryable with
+        the rest of its record."""
+        _write_json(self.trace_path, trace)
+
+    def read_trace(self) -> Optional[Dict]:
+        if not os.path.exists(self.trace_path):
+            return None
+        with open(self.trace_path) as handle:
+            return json.load(handle)
 
     def read_report(self) -> Optional[Dict]:
         path = os.path.join(self.directory, REPORT_FILE)

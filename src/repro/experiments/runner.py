@@ -24,6 +24,7 @@ from ..datagen.dataset import (
     TaxiDataset, dataset_fingerprint, strip_trajectories,
 )
 from ..eval.metrics import mae, mape
+from ..obs.tracing import NULL_TRACER, Tracer
 from .checkpoint import latest_checkpoint, load_checkpoint
 from .registry import Run, RunRegistry
 
@@ -88,14 +89,17 @@ class RunResult:
         return dataclasses.asdict(self)
 
 
-def build_run_dataset(spec: RunSpec) -> TaxiDataset:
-    return load_city(spec.city, num_trips=spec.trips, num_days=spec.days)
+def build_run_dataset(spec: RunSpec,
+                      tracer: Optional[Tracer] = None) -> TaxiDataset:
+    return load_city(spec.city, num_trips=spec.trips, num_days=spec.days,
+                     tracer=tracer)
 
 
 def execute_run(spec: RunSpec,
                 registry: Optional[RunRegistry] = None,
                 dataset: Optional[TaxiDataset] = None,
-                resume: bool = True) -> RunResult:
+                resume: bool = True,
+                tracer: Optional[Tracer] = None) -> RunResult:
     """Train one configuration end to end.
 
     With a registry, the run streams metrics to ``metrics.jsonl``,
@@ -103,72 +107,99 @@ def execute_run(spec: RunSpec,
     snapshot when ``resume`` and one exists), writes a final report and
     — when ``spec.save_artifact`` — a serving artifact.  Without one it
     is a plain in-memory training run (used by tests and quick sweeps).
+
+    Every registered run is traced: phase spans (dataset build, model
+    build, fit with per-epoch breakdown, held-out evaluation, artifact
+    write) land in ``trace.json`` next to the run's JSONL metrics.
+    Pass ``tracer`` to capture the same spans for an unregistered run
+    (or to share one tracer across phases the caller also times).
     """
     config = spec.effective_config()
-    if dataset is None:
-        dataset = build_run_dataset(spec)
+    # A registered run always records its trace; unregistered runs
+    # trace only when the caller supplies a tracer.
+    tracer = tracer if tracer is not None else (
+        Tracer() if registry is not None else NULL_TRACER)
+    with tracer.span("run.execute", city=spec.city, seed=spec.seed,
+                     overrides=dict(spec.overrides)):
+        if dataset is None:
+            with tracer.span("run.dataset"):
+                dataset = build_run_dataset(spec, tracer=tracer)
 
-    run: Optional[Run] = None
-    if registry is not None:
-        run = registry.create_run(
-            spec.city, config, spec.seed,
-            dataset_params=spec.dataset_params,
-            dataset_fingerprint=dataset_fingerprint(dataset))
+        run: Optional[Run] = None
+        if registry is not None:
+            run = registry.create_run(
+                spec.city, config, spec.seed,
+                dataset_params=spec.dataset_params,
+                dataset_fingerprint=dataset_fingerprint(dataset))
 
-    try:
-        model = build_deepod(dataset, config)
-        trainer = DeepODTrainer(model, dataset, eval_every=spec.eval_every)
+        try:
+            with tracer.span("run.build_model"):
+                model = build_deepod(dataset, config, tracer=tracer)
+            trainer = DeepODTrainer(model, dataset,
+                                    eval_every=spec.eval_every,
+                                    tracer=tracer)
 
-        checkpoint_dir = run.checkpoints_dir if run else None
-        if run and resume and latest_checkpoint(run.checkpoints_dir):
-            load_checkpoint(trainer, run.checkpoints_dir)
+            checkpoint_dir = run.checkpoints_dir if run else None
+            if run and resume and latest_checkpoint(run.checkpoints_dir):
+                with tracer.span("run.resume"):
+                    load_checkpoint(trainer, run.checkpoints_dir)
 
-        on_eval = None
-        if run is not None:
-            on_eval = lambda step, val, lr: run.append_metric(step, val, lr)
-        history = trainer.fit(
-            epochs=spec.epochs,
-            checkpoint_every=spec.checkpoint_every if run else 0,
-            checkpoint_dir=checkpoint_dir,
-            on_eval=on_eval)
+            on_eval = None
+            if run is not None:
+                on_eval = lambda step, val, lr: \
+                    run.append_metric(step, val, lr)
+            history = trainer.fit(
+                epochs=spec.epochs,
+                checkpoint_every=spec.checkpoint_every if run else 0,
+                checkpoint_dir=checkpoint_dir,
+                on_eval=on_eval)
 
-        test = strip_trajectories(dataset.split.test)
-        preds = trainer.predict(test)
-        actual = np.array([t.travel_time for t in test])
-        metrics = {
-            "test_mae": mae(actual, preds),
-            "test_mape": mape(actual, preds),
-            "final_val_mae": (history.val_mae[-1]
-                              if history.val_mae else float("nan")),
-            "steps": trainer._step,
-            "wall_seconds": history.wall_seconds,
-        }
+            with tracer.span("run.evaluate"):
+                test = strip_trajectories(dataset.split.test)
+                preds = trainer.predict(test)
+                actual = np.array([t.travel_time for t in test])
+                metrics = {
+                    "test_mae": mae(actual, preds),
+                    "test_mape": mape(actual, preds),
+                    "final_val_mae": (history.val_mae[-1]
+                                      if history.val_mae
+                                      else float("nan")),
+                    "steps": trainer._step,
+                    "wall_seconds": history.wall_seconds,
+                }
 
-        artifact_dir = ""
-        if run is not None and spec.save_artifact:
-            from ..serving.artifact import save_artifact
-            predictor = TravelTimePredictor(trainer,
-                                            coverage=spec.coverage)
-            artifact_dir = save_artifact(
-                run.artifact_dir, predictor,
-                extra_manifest={"run_id": run.run_id,
-                                "config_hash": run.record.config_hash,
-                                "seed": spec.seed})
+            artifact_dir = ""
+            if run is not None and spec.save_artifact:
+                from ..serving.artifact import save_artifact
+                with tracer.span("run.artifact"):
+                    predictor = TravelTimePredictor(
+                        trainer, coverage=spec.coverage)
+                    artifact_dir = save_artifact(
+                        run.artifact_dir, predictor,
+                        extra_manifest={
+                            "run_id": run.run_id,
+                            "config_hash": run.record.config_hash,
+                            "seed": spec.seed})
 
-        if run is not None:
-            run.mark_completed(metrics)
-            run.write_report({
-                "run_id": run.run_id,
-                "metrics": metrics,
-                "convergence_step": history.convergence_step(),
-                "num_evals": len(history.steps),
-            })
-        return RunResult(
-            run_id=run.run_id if run else "",
-            status="completed", city=spec.city, seed=spec.seed,
-            overrides=dict(spec.overrides), metrics=metrics,
-            artifact_dir=artifact_dir)
-    except Exception as exc:
-        if run is not None:
-            run.mark_failed(repr(exc))
-        raise
+            if run is not None:
+                run.mark_completed(metrics)
+                run.write_report({
+                    "run_id": run.run_id,
+                    "metrics": metrics,
+                    "convergence_step": history.convergence_step(),
+                    "num_evals": len(history.steps),
+                })
+            result = RunResult(
+                run_id=run.run_id if run else "",
+                status="completed", city=spec.city, seed=spec.seed,
+                overrides=dict(spec.overrides), metrics=metrics,
+                artifact_dir=artifact_dir)
+        except Exception as exc:
+            if run is not None:
+                run.mark_failed(repr(exc))
+                if tracer.enabled:
+                    run.write_trace(tracer.to_dict())
+            raise
+    if run is not None and tracer.enabled:
+        run.write_trace(tracer.to_dict())
+    return result

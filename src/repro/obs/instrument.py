@@ -1,0 +1,63 @@
+"""Profiling hooks: the ``Instrumented`` mixin and ``traced`` decorator.
+
+The hot paths (trainer, serving service, dataset build, embedding
+stages) should not each invent a tracer-plumbing convention.
+``Instrumented`` gives a class a ``tracer`` attribute defaulting to
+the shared :data:`~repro.obs.tracing.NULL_TRACER` (so uninstrumented
+use pays one attribute read), and ``traced`` wraps a method in a span
+named after it.  Both are deliberately tiny: tracing must never change
+behaviour, only observe it.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Callable, Optional
+
+from .tracing import NULL_TRACER, Tracer
+
+
+class Instrumented:
+    """Mixin: a settable ``tracer`` defaulting to the shared null tracer.
+
+    Cooperative with any ``__init__`` signature — the attribute is
+    created lazily on first read, so subclasses need no super() call.
+    """
+
+    @property
+    def tracer(self) -> Tracer:
+        return getattr(self, "_obs_tracer", NULL_TRACER)
+
+    @tracer.setter
+    def tracer(self, tracer: Optional[Tracer]) -> None:
+        self._obs_tracer = tracer if tracer is not None else NULL_TRACER
+
+    def set_tracer(self, tracer: Optional[Tracer]) -> "Instrumented":
+        """Fluent form of the setter: ``obj.set_tracer(t)`` returns obj."""
+        self.tracer = tracer
+        return self
+
+
+def traced(name: Optional[str] = None, **span_attrs) -> Callable:
+    """Decorate a method of an :class:`Instrumented` object with a span.
+
+    ``@traced("serve.query_batch")`` opens that span around every call
+    (attributes passed to ``traced`` are attached to it); with the
+    default name the span is ``<ClassName>.<method>``.  With the null
+    tracer the wrapper adds one attribute read and a no-op context.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            tracer = getattr(self, "tracer", NULL_TRACER)
+            if not tracer.enabled:
+                return fn(self, *args, **kwargs)
+            with tracer.span(span_name, **span_attrs):
+                return fn(self, *args, **kwargs)
+
+        return wrapper
+
+    return decorate

@@ -1,0 +1,111 @@
+"""Schema validation for the observability exports.
+
+Two JSON artefacts leave the process: span-tree traces (``--trace``)
+and metrics-registry snapshots (``--metrics-out`` / ``GET /metrics``).
+Both are consumed by tooling — the CI obs-smoke job, the golden tests,
+dashboards — so their shape is validated here, fail-closed, with plain
+``ValueError``s naming the offending path.  Stdlib only.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+from .tracing import TRACE_SCHEMA
+
+_SPAN_KEYS = {"name", "start_unix", "duration_s", "thread", "attrs",
+              "counters", "children"}
+_HIST_KEYS = {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+def _fail(path: str, message: str) -> None:
+    raise ValueError(f"{path}: {message}")
+
+
+def _validate_span(span: Dict, path: str) -> None:
+    if not isinstance(span, dict):
+        _fail(path, "span must be an object")
+    missing = _SPAN_KEYS - set(span)
+    if missing:
+        _fail(path, f"span missing keys {sorted(missing)}")
+    if not isinstance(span["name"], str) or not span["name"]:
+        _fail(path, "span name must be a non-empty string")
+    for key in ("start_unix", "duration_s"):
+        if not isinstance(span[key], (int, float)):
+            _fail(path, f"{key} must be a number")
+    if span["duration_s"] < 0:
+        _fail(path, "duration_s must be >= 0")
+    if not isinstance(span["thread"], str):
+        _fail(path, "thread must be a string")
+    if not isinstance(span["attrs"], dict):
+        _fail(path, "attrs must be an object")
+    if not isinstance(span["counters"], dict):
+        _fail(path, "counters must be an object")
+    for name, value in span["counters"].items():
+        if not isinstance(value, (int, float)):
+            _fail(path, f"counter {name!r} must be a number")
+    if not isinstance(span["children"], list):
+        _fail(path, "children must be a list")
+    for i, child in enumerate(span["children"]):
+        _validate_span(child, f"{path}.children[{i}]")
+
+
+def validate_trace(payload: Dict) -> Dict:
+    """Validate a span-tree trace document; returns it unchanged."""
+    if not isinstance(payload, dict):
+        raise ValueError("trace must be a JSON object")
+    if payload.get("schema") != TRACE_SCHEMA:
+        raise ValueError(f"trace schema must be {TRACE_SCHEMA!r} "
+                         f"(got {payload.get('schema')!r})")
+    if not isinstance(payload.get("created_unix"), (int, float)):
+        raise ValueError("trace created_unix must be a number")
+    spans = payload.get("spans")
+    if not isinstance(spans, list):
+        raise ValueError("trace spans must be a list")
+    for i, span in enumerate(spans):
+        _validate_span(span, f"spans[{i}]")
+    return payload
+
+
+def validate_metrics_snapshot(payload: Dict) -> Dict:
+    """Validate a MetricsRegistry snapshot; returns it unchanged.
+
+    This is the *serving* snapshot schema too (the shim contract): the
+    promoted registry must keep emitting exactly this shape.
+    """
+    if not isinstance(payload, dict):
+        raise ValueError("snapshot must be a JSON object")
+    for key in ("counters", "histograms"):
+        if not isinstance(payload.get(key), dict):
+            raise ValueError(f"snapshot {key!r} must be an object")
+    for name, value in payload["counters"].items():
+        if not isinstance(value, int) or value < 0:
+            raise ValueError(
+                f"counter {name!r} must be a non-negative integer")
+    for name, summary in payload["histograms"].items():
+        if not isinstance(summary, dict):
+            raise ValueError(f"histogram {name!r} must be an object")
+        missing = _HIST_KEYS - set(summary)
+        if missing:
+            raise ValueError(
+                f"histogram {name!r} missing keys {sorted(missing)}")
+        for key in _HIST_KEYS:
+            if not isinstance(summary[key], (int, float)):
+                raise ValueError(
+                    f"histogram {name!r}.{key} must be a number")
+    if "gauges" in payload and not isinstance(payload["gauges"], dict):
+        raise ValueError("snapshot 'gauges' must be an object")
+    return payload
+
+
+def validate_trace_file(path: str) -> Dict:
+    """Load and validate a trace JSON file (CI smoke entry point)."""
+    with open(path) as handle:
+        return validate_trace(json.load(handle))
+
+
+def validate_metrics_file(path: str) -> Dict:
+    """Load and validate a metrics snapshot JSON file."""
+    with open(path) as handle:
+        return validate_metrics_snapshot(json.load(handle))

@@ -14,7 +14,10 @@ the operational half of that story:
 ``fallback``
     TEMP-style historical-average degradation when the model path fails.
 ``metrics``
-    Counters and latency histograms with a JSON snapshot.
+    Deprecated re-export of ``repro.obs.metrics`` (counters and latency
+    histograms with a JSON snapshot now live in the shared
+    observability layer; ``Counter``/``Histogram``/``MetricsRegistry``
+    remain importable from here unchanged).
 ``service`` / ``server``
     The wired :class:`TravelTimeService` plus stdlib HTTP / JSON-lines
     front-ends (``python -m repro.cli serve``).
@@ -26,8 +29,9 @@ from .artifact import (
 )
 from .batcher import MicroBatcher
 from .cache import LRUCache, ODMatchCache, SpeedSliceCache
+from ..obs.metrics import Counter, Histogram, MetricsRegistry
+from ..trajectory.model import Query
 from .fallback import HistoricalAverageFallback
-from .metrics import Counter, Histogram, MetricsRegistry
 from .server import ServingHTTPServer, parse_query, run_jsonl_loop, serve_http
 from .service import ServiceConfig, ServingResponse, TravelTimeService
 
@@ -37,7 +41,7 @@ __all__ = [
     "MicroBatcher",
     "LRUCache", "ODMatchCache", "SpeedSliceCache",
     "HistoricalAverageFallback",
-    "Counter", "Histogram", "MetricsRegistry",
+    "Counter", "Histogram", "MetricsRegistry", "Query",
     "ServingHTTPServer", "parse_query", "run_jsonl_loop", "serve_http",
     "ServiceConfig", "ServingResponse", "TravelTimeService",
 ]

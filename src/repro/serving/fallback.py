@@ -18,9 +18,7 @@ import numpy as np
 
 from ..baselines.temp import TEMPEstimator
 from ..datagen.dataset import TaxiDataset
-from ..trajectory.model import ODInput, TripRecord
-
-Query = Tuple[Tuple[float, float], Tuple[float, float], float]
+from ..trajectory.model import ODInput, Query, TripRecord
 
 
 class HistoricalAverageFallback:
@@ -40,7 +38,8 @@ class HistoricalAverageFallback:
         self._temp = TEMPEstimator().fit(dataset)
 
     def estimate_seconds(self, queries: Sequence[Query]) -> np.ndarray:
-        """Point estimates (seconds) for (origin, destination, t) queries."""
+        """Point estimates (seconds) for queries (:class:`Query` objects
+        or legacy ``(origin, destination, t)`` triples)."""
         trips = [TripRecord(od=ODInput(origin_xy=tuple(o),
                                        destination_xy=tuple(d),
                                        depart_time=float(t)),

@@ -25,13 +25,16 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional, Tuple
 
+from ..trajectory.model import Query
 from .service import TravelTimeService
-
-Query = Tuple[Tuple[float, float], Tuple[float, float], float]
 
 
 def parse_query(payload: dict) -> Query:
-    """Validate a JSON query object into ((ox, oy), (dx, dy), t)."""
+    """Validate a JSON query object into a typed :class:`Query`.
+
+    The returned object iterates as the legacy ``((ox, oy), (dx, dy),
+    t)`` triple, so ``service.query(*parse_query(...))`` keeps working.
+    """
     try:
         origin = payload["origin"]
         destination = payload["destination"]
@@ -42,12 +45,13 @@ def parse_query(payload: dict) -> Query:
     for name, point in (("origin", origin), ("destination", destination)):
         if not (isinstance(point, (list, tuple)) and len(point) == 2):
             raise ValueError(f"{name} must be a [x, y] pair")
-    ox, oy = float(origin[0]), float(origin[1])
-    dx, dy = float(destination[0]), float(destination[1])
     t = float(depart)
     if t < 0:
         raise ValueError("depart_time must be non-negative")
-    return ((ox, oy), (dx, dy), t)
+    return Query(origin_xy=(float(origin[0]), float(origin[1])),
+                 destination_xy=(float(destination[0]),
+                                 float(destination[1])),
+                 depart_time=t)
 
 
 # ---------------------------------------------------------------------------
@@ -99,9 +103,9 @@ class _Handler(BaseHTTPRequestHandler):
             if self.path == "/estimate":
                 query = parse_query(payload)
                 if self.service.batcher.running:
-                    response = self.service.submit(*query).result()
+                    response = self.service.submit(query).result()
                 else:
-                    response = self.service.query(*query)
+                    response = self.service.query(query)
                 self._send_json(200, response.to_dict())
             elif self.path == "/estimate_batch":
                 queries = [parse_query(q)
@@ -171,7 +175,7 @@ def run_jsonl_loop(service: TravelTimeService, in_stream: IO[str],
             continue
         try:
             query = parse_query(payload)
-            response = service.query(*query)
+            response = service.query(query)
         except ValueError as exc:
             print(json.dumps({"error": str(exc)}),
                   file=out_stream, flush=True)

@@ -23,13 +23,15 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core.predictor import TravelTimePredictor
+from ..core.predictor import TravelTimePredictor, normalize_depart_time
 from ..datagen.dataset import TaxiDataset
-from ..trajectory.model import ODInput
+from ..obs.instrument import Instrumented
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import Tracer
+from ..trajectory.model import ODInput, Query
 from .batcher import MicroBatcher
 from .cache import ODMatchCache, SpeedSliceCache
-from .fallback import HistoricalAverageFallback, Query
-from .metrics import MetricsRegistry
+from .fallback import HistoricalAverageFallback
 
 
 @dataclass
@@ -74,7 +76,7 @@ class ServingResponse:
         }
 
 
-class TravelTimeService:
+class TravelTimeService(Instrumented):
     """Production-style front door over a (possibly absent) predictor.
 
     Parameters
@@ -86,14 +88,23 @@ class TravelTimeService:
     dataset:
         Required only when ``predictor`` is ``None`` (the fallback needs
         the historical trip table); otherwise taken from the predictor.
+    tracer:
+        Optional :class:`~repro.obs.Tracer`; each answered batch opens
+        a ``serve.request`` span with per-phase children (``serve.match``
+        / ``serve.speed_slices`` / ``serve.predict`` or
+        ``serve.fallback``) — the paper's per-query cost breakdown
+        (Table 5).  Batches answered on the micro-batcher worker thread
+        trace as that thread's roots.
     """
 
     def __init__(self, predictor: Optional[TravelTimePredictor] = None,
                  dataset: Optional[TaxiDataset] = None,
                  config: Optional[ServiceConfig] = None,
-                 metrics: Optional[MetricsRegistry] = None):
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
         if predictor is None and dataset is None:
             raise ValueError("need a predictor or a dataset")
+        self.tracer = tracer
         self.config = config or ServiceConfig()
         self.predictor = predictor
         self.dataset = dataset if dataset is not None else predictor.dataset
@@ -138,35 +149,47 @@ class TravelTimeService:
         return self.predictor is None
 
     # -- query paths -----------------------------------------------------
-    def query(self, origin_xy: Tuple[float, float],
-              destination_xy: Tuple[float, float],
-              depart_time: float) -> ServingResponse:
-        """Answer one query synchronously (no batching)."""
-        return self.query_batch(
-            [(origin_xy, destination_xy, depart_time)])[0]
+    def query(self, query, destination_xy: Optional[Tuple[float, float]]
+              = None, depart_time: Optional[float] = None
+              ) -> ServingResponse:
+        """Answer one query synchronously (no batching).
 
-    def query_batch(self, queries: Sequence[Query]
-                    ) -> List[ServingResponse]:
-        """Answer many queries in one vectorised pass."""
+        Accepts a :class:`~repro.trajectory.model.Query` (or legacy
+        3-tuple) as the sole argument, or the spread legacy form
+        ``query(origin_xy, destination_xy, depart_time)``.
+        """
+        if destination_xy is not None:
+            query = Query(origin_xy=tuple(query),
+                          destination_xy=tuple(destination_xy),
+                          depart_time=depart_time)
+        return self.query_batch([query])[0]
+
+    def query_batch(self, queries: Sequence) -> List[ServingResponse]:
+        """Answer many queries (``Query`` objects or legacy triples)
+        in one vectorised pass."""
         start = time.perf_counter()
-        responses = self._answer_batch(list(queries))
+        responses = self._answer_batch(
+            [Query.coerce(q) for q in queries])
         elapsed_ms = (time.perf_counter() - start) * 1000.0
         hist = self.metrics.histogram("latency_ms")
         for _ in responses:
             hist.observe(elapsed_ms / max(len(responses), 1))
         return responses
 
-    def submit(self, origin_xy: Tuple[float, float],
-               destination_xy: Tuple[float, float],
-               depart_time: float):
+    def submit(self, query, destination_xy: Optional[Tuple[float, float]]
+               = None, depart_time: Optional[float] = None):
         """Enqueue one query on the micro-batcher; returns a future.
 
         The batcher worker must be running (see :meth:`start`); the
-        future resolves to a :class:`ServingResponse`.
+        future resolves to a :class:`ServingResponse`.  Accepts the
+        same query forms as :meth:`query`.
         """
+        if destination_xy is not None:
+            query = Query(origin_xy=tuple(query),
+                          destination_xy=tuple(destination_xy),
+                          depart_time=depart_time)
         enqueued = time.perf_counter()
-        future = self.batcher.submit(
-            (tuple(origin_xy), tuple(destination_xy), float(depart_time)))
+        future = self.batcher.submit(Query.coerce(query))
         future.add_done_callback(
             lambda f: self.metrics.histogram("latency_ms").observe(
                 (time.perf_counter() - enqueued) * 1000.0))
@@ -176,26 +199,29 @@ class TravelTimeService:
     def _answer_batch(self, queries: List[Query]) -> List[ServingResponse]:
         if not queries:
             return []
+        queries = [Query.coerce(q) for q in queries]
         self.metrics.counter("queries_total").inc(len(queries))
-        if self.predictor is not None:
-            try:
-                responses = self._model_answers(queries)
-                self.metrics.counter("model_answers").inc(len(queries))
-                return responses
-            except Exception:
-                self.metrics.counter("model_failures").inc()
-        return self._fallback_answers(queries)
+        with self.tracer.span("serve.request", queries=len(queries)):
+            if self.predictor is not None:
+                try:
+                    responses = self._model_answers(queries)
+                    self.metrics.counter("model_answers").inc(len(queries))
+                    return responses
+                except Exception:
+                    self.metrics.counter("model_failures").inc()
+                    self.tracer.annotate(model_failed=True)
+            return self._fallback_answers(queries)
 
-    def _match(self, origin_xy, destination_xy, depart_time) -> ODInput:
-        if depart_time < 0:
-            raise ValueError("departure time must be non-negative")
+    def _match(self, query: Query) -> ODInput:
+        depart_time = normalize_depart_time(
+            query.depart_time, self.dataset.horizon_seconds)
         cache = self.od_cache
-        o_edge, _, o_ratio = cache.nearest_edge(*origin_xy)
-        d_edge, _, d_ratio = cache.nearest_edge(*destination_xy)
-        weather = self.dataset.weather.category(
-            min(depart_time, self.dataset.horizon_seconds - 1.0))
+        o_edge, _, o_ratio = cache.nearest_edge(*query.origin_xy)
+        d_edge, _, d_ratio = cache.nearest_edge(*query.destination_xy)
+        weather = self.dataset.weather.category(depart_time)
         return ODInput(
-            origin_xy=tuple(origin_xy), destination_xy=tuple(destination_xy),
+            origin_xy=query.origin_xy,
+            destination_xy=query.destination_xy,
             depart_time=depart_time,
             origin_edge=o_edge, destination_edge=d_edge,
             ratio_start=o_ratio, ratio_end=d_ratio,
@@ -203,13 +229,17 @@ class TravelTimeService:
 
     def _model_answers(self, queries: List[Query]
                        ) -> List[ServingResponse]:
-        ods = [self._match(o, d, t) for o, d, t in queries]
+        with self.tracer.span("serve.match", queries=len(queries)):
+            ods = [self._match(q) for q in queries]
         mats = None
         if self.slice_cache is not None:
-            mats = np.stack([
-                self.slice_cache.normalized_matrix_before(od.depart_time)
-                for od in ods])
-        estimates = self.predictor.estimate_from_ods(ods, mats)
+            with self.tracer.span("serve.speed_slices"):
+                mats = np.stack([
+                    self.slice_cache.normalized_matrix_before(
+                        od.depart_time)
+                    for od in ods])
+        with self.tracer.span("serve.predict", queries=len(queries)):
+            estimates = self.predictor.estimate_from_ods(ods, mats)
         return [ServingResponse(
                     seconds=e.seconds, lower=e.lower, upper=e.upper,
                     origin_edge=e.origin_edge,
@@ -220,8 +250,9 @@ class TravelTimeService:
     def _fallback_answers(self, queries: List[Query]
                           ) -> List[ServingResponse]:
         self.metrics.counter("fallback_answers").inc(len(queries))
-        seconds = self.fallback.estimate_seconds(queries)
-        bands = self.fallback.bands(seconds)
+        with self.tracer.span("serve.fallback", queries=len(queries)):
+            seconds = self.fallback.estimate_seconds(queries)
+            bands = self.fallback.bands(seconds)
         return [ServingResponse(
                     seconds=float(s), lower=lo, upper=hi,
                     origin_edge=-1, destination_edge=-1,

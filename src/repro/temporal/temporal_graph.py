@@ -52,14 +52,15 @@ def weekly_edge_list(config: TimeSlotConfig) -> List[Tuple[int, int]]:
 
 
 def embed_temporal_graph(config: TimeSlotConfig, graph_kind: str = "weekly",
-                         embedding=None):
+                         embedding=None, tracer=None):
     """Pre-train time-slot embeddings over the weekly/daily graph.
 
     Builds the temporal graph and routes it through the embedding engine
     (``repro.embedding.embed_graph``) — the alias-sampled lockstep walker
     by default.  ``embedding`` is an optional ``EmbeddingConfig``; the
     default uses short walks, matching how Wt is initialised downstream.
-    Returns a ``(num_slots, dim)`` matrix.
+    ``tracer`` is forwarded to the embedding stages.  Returns a
+    ``(num_slots, dim)`` matrix.
     """
     from ..embedding import EmbeddingConfig, embed_graph
     if graph_kind == "weekly":
@@ -69,4 +70,4 @@ def embed_temporal_graph(config: TimeSlotConfig, graph_kind: str = "weekly",
     else:
         raise ValueError("graph_kind must be weekly or daily")
     cfg = embedding or EmbeddingConfig(num_walks=2, walk_length=16)
-    return embed_graph(graph, cfg)
+    return embed_graph(graph, cfg, tracer=tracer)

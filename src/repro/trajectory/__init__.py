@@ -2,8 +2,8 @@
 interpolation of per-edge time intervals."""
 
 from .model import (
-    GPSPoint, MatchedTrajectory, ODInput, PathElement, RawTrajectory,
-    TripRecord,
+    GPSPoint, MatchedTrajectory, ODInput, PathElement, Query,
+    RawTrajectory, TripRecord,
 )
 from .interpolation import (
     build_matched_trajectory, intervals_from_endpoint_times,
@@ -11,7 +11,7 @@ from .interpolation import (
 )
 
 __all__ = [
-    "GPSPoint", "MatchedTrajectory", "ODInput", "PathElement",
+    "GPSPoint", "MatchedTrajectory", "ODInput", "PathElement", "Query",
     "RawTrajectory", "TripRecord",
     "build_matched_trajectory", "intervals_from_endpoint_times",
     "intervals_from_gps_times",

@@ -122,6 +122,55 @@ class MatchedTrajectory:
         return len(self.path)
 
 
+@dataclass(frozen=True)
+class Query:
+    """A raw travel-time query: origin, destination, departure time.
+
+    The one query type shared by :class:`~repro.core.predictor.
+    TravelTimePredictor`, the serving service and the CLI front-ends —
+    previously each layer carried its own ad-hoc
+    ``((ox, oy), (dx, dy), t)`` tuple shape.  Iterable (and therefore
+    ``*``-unpackable) in exactly that legacy order, so tuple-shaped
+    call sites keep working; :meth:`coerce` accepts either form.
+    """
+
+    origin_xy: Tuple[float, float]
+    destination_xy: Tuple[float, float]
+    depart_time: float
+
+    def __post_init__(self):
+        for name in ("origin_xy", "destination_xy"):
+            point = getattr(self, name)
+            if not (isinstance(point, (tuple, list)) and len(point) == 2):
+                raise ValueError(f"{name} must be an (x, y) pair")
+            object.__setattr__(self, name,
+                               (float(point[0]), float(point[1])))
+        object.__setattr__(self, "depart_time", float(self.depart_time))
+
+    def __iter__(self):
+        yield self.origin_xy
+        yield self.destination_xy
+        yield self.depart_time
+
+    def as_tuple(self) -> Tuple[Tuple[float, float],
+                                Tuple[float, float], float]:
+        return (self.origin_xy, self.destination_xy, self.depart_time)
+
+    @classmethod
+    def coerce(cls, obj) -> "Query":
+        """Accept a :class:`Query` or a legacy 3-tuple unchanged."""
+        if isinstance(obj, cls):
+            return obj
+        try:
+            origin, destination, depart = obj
+        except (TypeError, ValueError):
+            raise ValueError(
+                "query must be a Query or an (origin_xy, destination_xy,"
+                f" depart_time) triple, got {obj!r}")
+        return cls(origin_xy=tuple(origin), destination_xy=tuple(destination),
+                   depart_time=depart)
+
+
 @dataclass
 class ODInput:
     """Definition 2: origin, destination, departure time, external features.

@@ -1,0 +1,102 @@
+"""Promoted metrics registry, the global default, and the serving shim."""
+
+import sys
+
+import pytest
+
+from repro.obs import (
+    Instrumented, MetricsRegistry, NULL_TRACER, Tracer, global_registry,
+    reset_global_registry, traced,
+)
+from repro.obs import metrics as obs_metrics
+
+
+class TestGlobalRegistry:
+    def test_global_registry_is_process_shared(self):
+        registry = reset_global_registry()
+        assert global_registry() is registry
+        global_registry().counter("shared").inc(2)
+        assert registry.counter("shared").value == 2
+
+    def test_reset_swaps_in_a_fresh_registry(self):
+        old = global_registry()
+        old.counter("stale").inc()
+        new = reset_global_registry()
+        assert new is not old
+        assert "stale" not in new.snapshot()["counters"]
+        # The old registry is untouched, just no longer the default.
+        assert old.counter("stale").value == 1
+
+
+class TestDeprecationShim:
+    def test_serving_metrics_import_warns_and_reexports(self):
+        sys.modules.pop("repro.serving.metrics", None)
+        with pytest.warns(DeprecationWarning,
+                          match="repro.obs.metrics"):
+            import repro.serving.metrics as shim
+        assert shim.Counter is obs_metrics.Counter
+        assert shim.Histogram is obs_metrics.Histogram
+        assert shim.MetricsRegistry is obs_metrics.MetricsRegistry
+
+    def test_serving_package_import_does_not_warn(self):
+        # Only the direct legacy module path is deprecated; importing
+        # the serving package itself must stay quiet.
+        import warnings
+
+        for name in [m for m in sys.modules
+                     if m == "repro.serving"
+                     or m.startswith("repro.serving.")]:
+            sys.modules.pop(name)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            import repro.serving  # noqa: F401
+
+    def test_shim_registry_snapshot_schema_unchanged(self):
+        sys.modules.pop("repro.serving.metrics", None)
+        with pytest.warns(DeprecationWarning):
+            from repro.serving.metrics import MetricsRegistry as Shimmed
+        registry = Shimmed()
+        registry.counter("queries_total").inc()
+        registry.histogram("latency_ms").observe(1.0)
+        snap = registry.snapshot()
+        assert set(snap) == {"counters", "histograms"}
+        assert set(snap["histograms"]["latency_ms"]) == {
+            "count", "mean", "p50", "p95", "p99", "max"}
+
+
+class _Widget(Instrumented):
+    @traced()
+    def ping(self):
+        return "pong"
+
+    @traced("widget.custom", flavour="x")
+    def custom(self):
+        return self.tracer.current()
+
+
+class TestInstrumented:
+    def test_tracer_defaults_to_null(self):
+        widget = _Widget()
+        assert widget.tracer is NULL_TRACER
+        assert widget.ping() == "pong"
+
+    def test_setting_none_restores_null(self):
+        widget = _Widget()
+        widget.tracer = Tracer()
+        widget.tracer = None
+        assert widget.tracer is NULL_TRACER
+
+    def test_set_tracer_is_fluent(self):
+        tracer = Tracer()
+        widget = _Widget().set_tracer(tracer)
+        assert widget.tracer is tracer
+
+    def test_traced_opens_named_spans(self):
+        tracer = Tracer()
+        widget = _Widget().set_tracer(tracer)
+        assert widget.ping() == "pong"
+        span = widget.custom()
+        assert span.name == "widget.custom"
+        assert span.attrs == {"flavour": "x"}
+        assert [r.name for r in tracer.roots] == [
+            "_Widget.ping", "widget.custom"]

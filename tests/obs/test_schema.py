@@ -1,0 +1,143 @@
+"""Golden-schema tests for the observability JSON artefacts.
+
+The trace document below is the committed contract of
+``repro.obs.trace/v1``: CI's obs-smoke job and any external tooling
+parse exactly this shape.  Changing the emitted shape must show up here
+as a deliberate golden update, not an accidental drift.
+"""
+
+import copy
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry, Tracer, validate_metrics_file,
+    validate_metrics_snapshot, validate_trace, validate_trace_file,
+)
+
+GOLDEN_TRACE = {
+    "schema": "repro.obs.trace/v1",
+    "created_unix": 1754400000.0,
+    "spans": [
+        {
+            "name": "train.fit",
+            "start_unix": 1754400000.1,
+            "duration_s": 12.5,
+            "thread": "MainThread",
+            "attrs": {"epochs": 2, "batch_size": 64},
+            "counters": {},
+            "children": [
+                {
+                    "name": "train.epoch",
+                    "start_unix": 1754400000.2,
+                    "duration_s": 6.0,
+                    "thread": "MainThread",
+                    "attrs": {"epoch": 0},
+                    "counters": {},
+                    "children": [
+                        {
+                            "name": "forward",
+                            "start_unix": 1754400000.2,
+                            "duration_s": 2.5,
+                            "thread": "MainThread",
+                            "attrs": {"steps": 40},
+                            "counters": {},
+                            "children": [],
+                        },
+                    ],
+                },
+            ],
+        },
+    ],
+}
+
+GOLDEN_SNAPSHOT = {
+    "counters": {"queries_total": 12, "model_answers": 12},
+    "histograms": {
+        "latency_ms": {"count": 12, "mean": 1.5, "p50": 1.2,
+                       "p95": 3.0, "p99": 3.4, "max": 3.5},
+    },
+    "gauges": {"od_match_cache": {"hits": 20, "misses": 4}},
+}
+
+_SPAN_KEYS = {"name", "start_unix", "duration_s", "thread", "attrs",
+              "counters", "children"}
+
+
+def _span_key_sets(span):
+    yield set(span)
+    for child in span["children"]:
+        yield from _span_key_sets(child)
+
+
+class TestTraceSchema:
+    def test_golden_trace_validates(self):
+        assert validate_trace(GOLDEN_TRACE) is GOLDEN_TRACE
+
+    def test_emitted_trace_matches_golden_shape(self):
+        tracer = Tracer()
+        with tracer.span("train.fit", epochs=2):
+            with tracer.span("train.epoch", epoch=0):
+                tracer.record("forward", 2.5, steps=40)
+        payload = json.loads(tracer.to_json())
+        assert set(payload) == set(GOLDEN_TRACE)
+        assert payload["schema"] == GOLDEN_TRACE["schema"]
+        for keys in _span_key_sets(payload["spans"][0]):
+            assert keys == _SPAN_KEYS
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda t: t.__setitem__("schema", "other/v9"), "schema"),
+        (lambda t: t.__delitem__("created_unix"), "created_unix"),
+        (lambda t: t.__setitem__("spans", {}), "spans"),
+        (lambda t: t["spans"][0].__delitem__("thread"), "missing keys"),
+        (lambda t: t["spans"][0].__setitem__("duration_s", -1.0),
+         "duration_s"),
+        (lambda t: t["spans"][0]["children"][0].__setitem__(
+            "counters", [1]), "children\\[0\\]"),
+    ])
+    def test_validate_rejects_malformed_traces(self, mutate, match):
+        bad = copy.deepcopy(GOLDEN_TRACE)
+        mutate(bad)
+        with pytest.raises(ValueError, match=match):
+            validate_trace(bad)
+
+    def test_validate_trace_file(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(GOLDEN_TRACE))
+        assert validate_trace_file(str(path)) == GOLDEN_TRACE
+
+
+class TestSnapshotSchema:
+    def test_golden_snapshot_validates(self):
+        assert validate_metrics_snapshot(GOLDEN_SNAPSHOT) is GOLDEN_SNAPSHOT
+
+    def test_live_registry_snapshot_validates(self):
+        registry = MetricsRegistry()
+        registry.counter("queries_total").inc(3)
+        for v in (1.0, 2.0, 3.0):
+            registry.histogram("latency_ms").observe(v)
+        snap = validate_metrics_snapshot(registry.snapshot())
+        assert snap["counters"]["queries_total"] == 3
+        assert snap["histograms"]["latency_ms"]["count"] == 3
+
+    @pytest.mark.parametrize("mutate, match", [
+        (lambda s: s.__delitem__("histograms"), "histograms"),
+        (lambda s: s["counters"].__setitem__("queries_total", -1),
+         "non-negative"),
+        (lambda s: s["counters"].__setitem__("queries_total", 1.5),
+         "non-negative integer"),
+        (lambda s: s["histograms"]["latency_ms"].__delitem__("p95"),
+         "missing keys"),
+        (lambda s: s.__setitem__("gauges", []), "gauges"),
+    ])
+    def test_validate_rejects_malformed_snapshots(self, mutate, match):
+        bad = copy.deepcopy(GOLDEN_SNAPSHOT)
+        mutate(bad)
+        with pytest.raises(ValueError, match=match):
+            validate_metrics_snapshot(bad)
+
+    def test_validate_metrics_file(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps(GOLDEN_SNAPSHOT))
+        assert validate_metrics_file(str(path)) == GOLDEN_SNAPSHOT

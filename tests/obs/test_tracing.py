@@ -1,0 +1,185 @@
+"""Tracer unit tests: nesting, counters, thread safety, export."""
+
+import json
+import threading
+from collections import Counter as TallyCounter
+
+import pytest
+
+from repro.obs import NULL_TRACER, TRACE_SCHEMA, Tracer, validate_trace
+
+
+class TestNesting:
+    def test_span_tree_follows_call_stack(self):
+        tracer = Tracer()
+        with tracer.span("outer", kind="test") as outer:
+            with tracer.span("inner") as inner:
+                tracer.add("items", 3)
+                tracer.annotate(flag=True)
+        assert tracer.roots == [outer]
+        assert outer.children == [inner]
+        assert outer.attrs == {"kind": "test"}
+        assert inner.counters == {"items": 3}
+        assert inner.attrs == {"flag": True}
+        assert outer.duration_s >= inner.duration_s >= 0.0
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("parent"):
+            with tracer.span("first"):
+                pass
+            with tracer.span("second"):
+                pass
+        parent, = tracer.roots
+        assert [c.name for c in parent.children] == ["first", "second"]
+
+    def test_current_tracks_innermost_span(self):
+        tracer = Tracer()
+        assert tracer.current() is None
+        with tracer.span("outer") as outer:
+            assert tracer.current() is outer
+            with tracer.span("inner") as inner:
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+
+    def test_record_attaches_completed_child(self):
+        tracer = Tracer()
+        with tracer.span("epoch") as epoch:
+            tracer.record("forward", 1.25, steps=10)
+        child, = epoch.children
+        assert child.name == "forward"
+        assert child.duration_s == 1.25
+        assert child.attrs == {"steps": 10}
+
+    def test_record_without_parent_becomes_root(self):
+        tracer = Tracer()
+        tracer.record("orphan", 0.5)
+        assert [r.name for r in tracer.roots] == ["orphan"]
+
+    def test_exception_annotates_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("stage"):
+                raise RuntimeError("boom")
+        span, = tracer.roots
+        assert span.attrs["error"] == "RuntimeError: boom"
+        assert span.duration_s >= 0.0
+
+    def test_add_and_annotate_without_open_span_are_noops(self):
+        tracer = Tracer()
+        tracer.add("lost")
+        tracer.annotate(lost=True)
+        assert tracer.roots == []
+
+
+class TestDisabled:
+    def test_null_tracer_collects_nothing(self):
+        with NULL_TRACER.span("x", a=1) as span:
+            assert span is None
+            NULL_TRACER.add("c")
+            NULL_TRACER.annotate(b=2)
+        NULL_TRACER.record("y", 1.0)
+        assert NULL_TRACER.roots == []
+
+    def test_disabled_span_context_is_cached(self):
+        # The hot-path contract: a disabled tracer allocates nothing.
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestThreads:
+    def test_concurrent_spans_keep_per_thread_trees(self):
+        tracer = Tracer()
+        workers, per_worker = 4, 25
+        barrier = threading.Barrier(workers)
+
+        def work(i):
+            barrier.wait()
+            for _ in range(per_worker):
+                with tracer.span("request", worker=i):
+                    with tracer.span("phase"):
+                        tracer.add("hits")
+
+        threads = [threading.Thread(target=work, args=(i,))
+                   for i in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert len(tracer.roots) == workers * per_worker
+        tally = TallyCounter(r.attrs["worker"] for r in tracer.roots)
+        assert tally == {i: per_worker for i in range(workers)}
+        for root in tracer.roots:
+            child, = root.children
+            assert child.name == "phase"
+            assert child.counters == {"hits": 1}
+            assert child.thread == root.thread
+        validate_trace(tracer.to_dict())
+
+    def test_span_on_other_thread_is_a_root_not_a_child(self):
+        tracer = Tracer()
+
+        def work():
+            with tracer.span("worker-root"):
+                pass
+
+        with tracer.span("main-outer"):
+            worker = threading.Thread(target=work)
+            worker.start()
+            worker.join()
+        assert sorted(r.name for r in tracer.roots) == [
+            "main-outer", "worker-root"]
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        payload = tracer.to_dict()
+        assert payload["schema"] == TRACE_SCHEMA
+        assert isinstance(payload["created_unix"], float)
+        assert len(payload["spans"]) == 1
+        validate_trace(payload)
+
+    def test_json_round_trip(self):
+        tracer = Tracer()
+        with tracer.span("root", city="mini-chengdu"):
+            tracer.add("steps", 2)
+        payload = json.loads(tracer.to_json())
+        validate_trace(payload)
+        span, = payload["spans"]
+        assert span["attrs"] == {"city": "mini-chengdu"}
+        assert span["counters"] == {"steps": 2}
+
+    def test_export_writes_file(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        path = tracer.export(str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            validate_trace(json.load(handle))
+
+    def test_reset_clears_roots(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            pass
+        tracer.reset()
+        assert tracer.roots == []
+        with tracer.span("after"):
+            pass
+        assert [r.name for r in tracer.roots] == ["after"]
+
+    def test_flame_lists_spans_with_counters(self):
+        tracer = Tracer()
+        with tracer.span("fit"):
+            with tracer.span("epoch"):
+                tracer.add("steps", 7)
+        text = tracer.flame()
+        assert "fit" in text and "epoch" in text
+        assert "steps=7" in text
+        # Child lines are indented under their parent.
+        fit_line, epoch_line = text.splitlines()
+        assert len(epoch_line) - len(epoch_line.lstrip()) > \
+            len(fit_line) - len(fit_line.lstrip())
