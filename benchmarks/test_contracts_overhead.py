@@ -1,0 +1,149 @@
+"""Contract-wrapper overhead: disabled contracts must cost (almost) nothing.
+
+``repro.analysis.contracts`` promises that ``@shaped`` wrappers can stay
+permanently wired onto every nn/core ``forward``: when
+``REPRO_CHECK_CONTRACTS`` is unset the wrapper is one attribute check and
+a tail call.
+
+An end-to-end A/B fit comparison cannot resolve a 1% bound on a shared
+machine (run-to-run wall-clock noise is several percent), so this
+benchmark bounds the overhead from its two stable components instead:
+
+1. the disabled wrapper's *per-call* cost, from an interleaved
+   microbenchmark of a wrapped vs plain trivial forward;
+2. the *number* of wrapper invocations in a small ``DeepODTrainer.fit``,
+   counted exactly by temporarily instrumenting every ``@shaped`` method.
+
+Their product, relative to the measured fit wall time, must stay under
+the 1% budget.
+"""
+
+import functools
+import importlib
+import inspect
+import time
+
+import numpy as np
+
+from repro.analysis import contracts_enabled, enable_contracts, shaped
+from repro.core import DeepODTrainer, build_deepod
+from repro.datagen import load_city
+
+from .conftest import print_header, small_deepod_config
+
+# Every module that wires @shaped onto a forward-style method.
+_CONTRACTED_MODULES = (
+    "repro.nn.modules", "repro.nn.rnn", "repro.nn.gru", "repro.nn.conv",
+    "repro.core.od_encoder", "repro.core.interval_encoder",
+    "repro.core.trajectory_encoder", "repro.core.external_encoder",
+    "repro.core.model",
+)
+
+
+def _contracted_methods():
+    entries = []
+    for modname in _CONTRACTED_MODULES:
+        mod = importlib.import_module(modname)
+        for _, cls in inspect.getmembers(mod, inspect.isclass):
+            if cls.__module__ != modname:
+                continue
+            for name, fn in vars(cls).items():
+                if callable(fn) and hasattr(fn, "__contract__"):
+                    entries.append((cls, name, fn))
+    return entries
+
+
+class _Plain:
+    def forward(self, x):
+        return x
+
+
+class _Wrapped:
+    @shaped("(B, D) -> (B, D)")
+    def forward(self, x):
+        return x
+
+
+def _loop_seconds(obj, x, n) -> float:
+    forward = obj.forward
+    start = time.perf_counter()
+    for _ in range(n):
+        forward(x)
+    return time.perf_counter() - start
+
+
+def _per_call_overhead_seconds(n=200_000, reps=7) -> float:
+    """Disabled-wrapper cost per call: interleaved min-of-``reps``."""
+    x = np.zeros((4, 4))
+    plain, wrapped = _Plain(), _Wrapped()
+    plain_s, wrapped_s = [], []
+    for i in range(reps):
+        if i % 2 == 0:
+            plain_s.append(_loop_seconds(plain, x, n))
+            wrapped_s.append(_loop_seconds(wrapped, x, n))
+        else:
+            wrapped_s.append(_loop_seconds(wrapped, x, n))
+            plain_s.append(_loop_seconds(plain, x, n))
+    return max(0.0, (min(wrapped_s) - min(plain_s)) / n)
+
+
+def _counted_fit(dataset, config):
+    """One fit with every @shaped method counting its invocations."""
+    entries = _contracted_methods()
+    counter = {"calls": 0}
+    for cls, name, fn in entries:
+        def make(f):
+            @functools.wraps(f)
+            def counting(self, *args, **kwargs):
+                counter["calls"] += 1
+                return f(self, *args, **kwargs)
+            return counting
+        setattr(cls, name, make(fn.__wrapped__))
+    try:
+        model = build_deepod(dataset, config)
+        trainer = DeepODTrainer(model, dataset, eval_every=0)
+        trainer.fit()
+    finally:
+        for cls, name, fn in entries:
+            setattr(cls, name, fn)
+    return counter["calls"]
+
+
+def test_disabled_contracts_overhead(benchmark, params):
+    dataset = load_city("mini-chengdu",
+                        num_trips=int(2000 * max(params.scale, 1.0)),
+                        num_days=params.num_days)
+    config = small_deepod_config(params, epochs=3)
+
+    previous = enable_contracts(False)
+    assert not contracts_enabled()
+    try:
+        entries = _contracted_methods()
+        assert len(entries) >= 10, "expected the nn/core stack to be wired"
+
+        per_call = _per_call_overhead_seconds()
+        calls = _counted_fit(dataset, config)
+
+        def fit_seconds():
+            model = build_deepod(dataset, config)
+            trainer = DeepODTrainer(model, dataset, eval_every=0)
+            return trainer.fit().wall_seconds
+
+        fit_s = benchmark.pedantic(fit_seconds, rounds=1, iterations=1)
+    finally:
+        enable_contracts(previous)
+
+    wrapper_s = per_call * calls
+    overhead = wrapper_s / fit_s
+
+    print_header("Disabled-contract overhead on a small fit")
+    print(f"  contracted methods    {len(entries):6d}")
+    print(f"  wrapper calls in fit  {calls:6d}")
+    print(f"  per-call overhead     {per_call * 1e9:8.1f} ns")
+    print(f"  total wrapper cost    {wrapper_s * 1e3:8.3f} ms")
+    print(f"  fit wall time         {fit_s:8.3f} s")
+    print(f"  overhead              {100 * overhead:+7.3f}%")
+
+    assert overhead < 0.01, (
+        f"disabled-contract overhead {100 * overhead:.3f}% exceeds the 1% "
+        f"budget ({calls} calls x {per_call * 1e9:.0f} ns over {fit_s:.3f}s)")

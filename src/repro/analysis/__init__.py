@@ -1,0 +1,35 @@
+"""Static analysis + runtime contracts for the reproduction itself.
+
+``repro.analysis`` machine-checks the invariants the rest of the stack
+relies on but previously enforced only by convention:
+
+``engine`` / ``rules``
+    reprolint — an AST rule engine with per-line ``# repro:
+    allow[<rule>]`` pragmas.  Determinism rules (seeded Generator
+    threading, no wall-clock in deterministic paths), API hygiene rules
+    (deprecated shims, bare excepts, mutable defaults) and numerics
+    rules (per-zone float dtype discipline).  Run it with
+    ``python -m repro.cli lint src tests benchmarks``.
+``contracts``
+    ``@shaped("(B,T,D) -> (B,H)")`` shape/dtype contracts on the
+    ``repro.nn`` forwards, validated when ``REPRO_CHECK_CONTRACTS=1``
+    and free otherwise.
+"""
+
+from .contracts import (
+    ContractError, ContractSpecError, contract_checks, contracts_enabled,
+    enable_contracts, shaped,
+)
+from .engine import (
+    Finding, LintConfig, LintContext, LintResult, Rule, analyze_source,
+    apply_fixes, lint_file, lint_paths, lint_source, module_name_for,
+)
+from .rules import ALL_RULES, rule_by_id
+
+__all__ = [
+    "ContractError", "ContractSpecError", "contract_checks",
+    "contracts_enabled", "enable_contracts", "shaped",
+    "Finding", "LintConfig", "LintContext", "LintResult", "Rule",
+    "analyze_source", "apply_fixes", "lint_file", "lint_paths",
+    "lint_source", "module_name_for", "ALL_RULES", "rule_by_id",
+]

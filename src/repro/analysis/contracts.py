@@ -1,0 +1,289 @@
+"""Runtime shape/dtype contracts for the ``repro.nn`` stack.
+
+The reproduction's determinism story (reprolint, ``repro.analysis.rules``)
+is static; this module is its runtime twin.  A ``forward`` decorated with
+
+    @shaped("(B,T,input_size) -> (B,T,hidden_size), (B,hidden_size)")
+
+validates the shapes and dtypes of its tensor arguments and return values
+whenever ``REPRO_CHECK_CONTRACTS=1`` is set (or :func:`enable_contracts`
+was called).  When contracts are off the wrapper is a single attribute
+check and a tail call — ``benchmarks/test_contracts_overhead.py`` holds
+that path to <1% of a small ``DeepODTrainer.fit``.
+
+Spec grammar
+------------
+``spec := inputs "->" outputs`` where each side is a comma-separated list
+of groups, one per positional argument (after ``self``) / per element of a
+tuple return:
+
+* ``(d1, d2, ...)`` — a shape; the rank must match exactly.
+* ``_``             — skip this argument/return element entirely.
+* A leading ``...`` dim matches any number of leading axes
+  (``(..., in_features)`` accepts both 2-D and 3-D inputs).
+
+Each ``dim`` is one of:
+
+* an integer literal — the axis must have exactly that extent;
+* ``*`` — any extent;
+* a dotted name (``config.d8_m``) — resolved via ``getattr`` chains on the
+  bound instance;
+* a bare name — resolved as an instance attribute when one with an
+  integer value exists (``in_features``), otherwise bound call-locally:
+  every occurrence of the same symbol within one call must agree, which
+  is how ``(N,1,T,D) -> (N,1,T,D)`` expresses "output shape == input
+  shape" without naming magnitudes.
+
+Floating-point tensors are additionally checked against the contract's
+``dtype`` (default ``float64``, the ``repro.nn`` compute dtype — see
+reprolint rule N001); integer tensors (e.g. embedding indices) are
+exempt from the dtype check.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ContractError", "ContractSpecError", "shaped", "contracts_enabled",
+    "enable_contracts", "contract_checks", "ENV_VAR",
+]
+
+ENV_VAR = "REPRO_CHECK_CONTRACTS"
+
+
+class ContractSpecError(ValueError):
+    """A ``@shaped`` spec string that cannot be parsed (a programming
+    error at decoration time, never a data error)."""
+
+
+class ContractError(ValueError):
+    """A runtime violation of a shape/dtype contract."""
+
+
+class _State:
+    __slots__ = ("enabled",)
+
+    def __init__(self, enabled: bool) -> None:
+        self.enabled = enabled
+
+
+_STATE = _State(os.environ.get(ENV_VAR, "") == "1")
+
+
+def contracts_enabled() -> bool:
+    """Whether decorated forwards currently validate their contracts."""
+    return _STATE.enabled
+
+
+def enable_contracts(enabled: bool = True) -> bool:
+    """Turn contract checking on/off; returns the previous setting."""
+    previous = _STATE.enabled
+    _STATE.enabled = bool(enabled)
+    return previous
+
+
+class contract_checks:
+    """Context manager scoping a contract-checking toggle to a block."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self._enabled = enabled
+        self._previous: Optional[bool] = None
+
+    def __enter__(self) -> "contract_checks":
+        self._previous = enable_contracts(self._enabled)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        enable_contracts(self._previous)
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing (decoration time).
+
+def _split_top_level(text: str) -> Tuple[str, ...]:
+    groups = []
+    depth = 0
+    buf = ""
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise ContractSpecError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            groups.append(buf)
+            buf = ""
+        else:
+            buf += ch
+    if depth != 0:
+        raise ContractSpecError(f"unbalanced parentheses in {text!r}")
+    groups.append(buf)
+    return tuple(groups)
+
+
+def _parse_side(text: str, spec: str) -> Tuple[Optional[Tuple[str, ...]], ...]:
+    parsed = []
+    for group in _split_top_level(text):
+        group = group.strip()
+        if group == "_":
+            parsed.append(None)
+            continue
+        if not (group.startswith("(") and group.endswith(")")):
+            raise ContractSpecError(
+                f"group {group!r} in {spec!r} must be '(...)' or '_'")
+        dims = tuple(d.strip() for d in group[1:-1].split(","))
+        if not all(dims):
+            raise ContractSpecError(f"empty dim in group {group!r} of {spec!r}")
+        if "..." in dims[1:]:
+            raise ContractSpecError(
+                f"'...' is only allowed as the leading dim ({spec!r})")
+        parsed.append(dims)
+    return tuple(parsed)
+
+
+def _parse_spec(spec: str):
+    if spec.count("->") != 1:
+        raise ContractSpecError(
+            f"spec {spec!r} must contain exactly one '->'")
+    left, right = spec.split("->")
+    return _parse_side(left, spec), _parse_side(right, spec)
+
+
+# ---------------------------------------------------------------------------
+# Validation (call time, only when enabled).
+
+def _resolve_symbol(sym: str, instance: Any) -> Optional[int]:
+    """Resolve ``sym`` against the instance; None means call-local."""
+    target: Any = instance
+    if "." in sym:
+        for part in sym.split("."):
+            target = getattr(target, part, None)
+            if target is None:
+                raise ContractSpecError(
+                    f"cannot resolve contract dim {sym!r} on "
+                    f"{type(instance).__name__}")
+    else:
+        target = getattr(instance, sym, None)
+    if isinstance(target, (int, np.integer)) and not isinstance(target, bool):
+        return int(target)
+    if "." in sym:
+        raise ContractSpecError(
+            f"contract dim {sym!r} on {type(instance).__name__} is "
+            f"{target!r}, not an integer")
+    return None
+
+
+def _array_of(value: Any) -> Optional[np.ndarray]:
+    if isinstance(value, np.ndarray):
+        return value
+    # Tensor-style wrappers expose the backing ndarray as ``.data``
+    # (checked second: a raw ndarray's own ``.data`` is a memoryview).
+    data = getattr(value, "data", None)
+    if isinstance(data, np.ndarray):
+        return data
+    return None
+
+
+def _check_value(value: Any, dims: Tuple[str, ...], instance: Any,
+                 bindings: Dict[str, int], dtype: Optional[np.dtype],
+                 where: str) -> None:
+    arr = _array_of(value)
+    if arr is None:
+        raise ContractError(
+            f"{where}: expected an array-backed value for shape "
+            f"{'(' + ','.join(dims) + ')'}, got {type(value).__name__}")
+    shape = arr.shape
+    checked = dims
+    if dims[0] == "...":
+        checked = dims[1:]
+        if len(shape) < len(checked):
+            raise ContractError(
+                f"{where}: shape {shape} has rank {len(shape)}, contract "
+                f"(...,{','.join(checked)}) needs at least {len(checked)}")
+        shape = shape[-len(checked):] if checked else ()
+    elif len(shape) != len(dims):
+        raise ContractError(
+            f"{where}: shape {arr.shape} has rank {len(arr.shape)}, "
+            f"contract ({','.join(dims)}) expects rank {len(dims)}")
+    for sym, size in zip(checked, shape):
+        if sym == "*":
+            continue
+        if sym.lstrip("-").isdigit():
+            if size != int(sym):
+                raise ContractError(
+                    f"{where}: axis {sym} expected extent {sym}, shape is "
+                    f"{arr.shape}")
+            continue
+        expected = _resolve_symbol(sym, instance)
+        if expected is not None:
+            if size != expected:
+                raise ContractError(
+                    f"{where}: axis {sym!r} = {expected} on "
+                    f"{type(instance).__name__}, but shape is {arr.shape}")
+            continue
+        bound = bindings.setdefault(sym, size)
+        if bound != size:
+            raise ContractError(
+                f"{where}: symbol {sym!r} bound to {bound} earlier in the "
+                f"call, but shape {arr.shape} gives {size}")
+    if dtype is not None and np.issubdtype(arr.dtype, np.floating):
+        if arr.dtype != dtype:
+            raise ContractError(
+                f"{where}: dtype {arr.dtype} violates the {dtype} "
+                f"convention (reprolint N001)")
+
+
+def _check_side(values: Sequence[Any], groups, instance: Any,
+                bindings: Dict[str, int], dtype, label: str,
+                fn_name: str) -> None:
+    for index, (value, dims) in enumerate(zip(values, groups)):
+        if dims is None:
+            continue
+        where = f"{type(instance).__name__}.{fn_name} {label}[{index}]"
+        _check_value(value, dims, instance, bindings, dtype, where)
+
+
+def shaped(spec: str, *, dtype: Optional[str] = "float64"):
+    """Attach a shape/dtype contract to a ``forward``-style method.
+
+    The contract is validated only while :func:`contracts_enabled` is
+    true; otherwise the wrapper forwards immediately.  The compiled spec
+    is exposed as ``fn.__contract__`` and the original function as
+    ``fn.__wrapped__``.
+    """
+    inputs, outputs = _parse_spec(spec)
+    np_dtype = np.dtype(dtype) if dtype is not None else None
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, *args, **kwargs):
+            if not _STATE.enabled:
+                return fn(self, *args, **kwargs)
+            bindings: Dict[str, int] = {}
+            _check_side(args, inputs, self, bindings, np_dtype,
+                        "arg", fn.__name__)
+            result = fn(self, *args, **kwargs)
+            if len(outputs) == 1:
+                _check_side((result,), outputs, self, bindings, np_dtype,
+                            "return", fn.__name__)
+            else:
+                if not isinstance(result, tuple) or \
+                        len(result) != len(outputs):
+                    raise ContractError(
+                        f"{type(self).__name__}.{fn.__name__}: contract "
+                        f"{spec!r} expects a {len(outputs)}-tuple return, "
+                        f"got {type(result).__name__}")
+                _check_side(result, outputs, self, bindings, np_dtype,
+                            "return", fn.__name__)
+            return result
+
+        wrapper.__contract__ = spec
+        return wrapper
+
+    return decorate

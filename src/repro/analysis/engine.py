@@ -1,0 +1,316 @@
+"""reprolint — the rule engine.
+
+Static analysis over the repository's own source, enforcing the project
+invariants that keep the reproduction deterministic and its API honest
+(see ``repro.analysis.rules`` for the rule catalogue).  The engine is
+pure stdlib: files are parsed with :mod:`ast`, each rule is a
+:class:`NodeVisitor`, and findings can be suppressed line-by-line with a
+justified pragma::
+
+    rng = np.random.default_rng()  # repro: allow[D002] fixture only
+
+Pragmas must name the rule id — there is no blanket ``allow[*]`` — and
+may sit either on the offending line or alone on the line above it.
+Fixture snippets can pin the module identity the engine should assume
+with a header comment (``# repro: module repro.nn.fixture``), which is
+how library-scoped rules are exercised from ``tests/analysis/fixtures``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding", "LintConfig", "LintContext", "LintResult", "Rule",
+    "lint_source", "lint_file", "lint_paths", "analyze_source",
+    "module_name_for",
+]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Z]\d{3}(?:\s*,\s*[A-Z]\d{3})*)\]")
+_MODULE_PRAGMA_RE = re.compile(
+    r"^#\s*repro:\s*module\s+([A-Za-z_][\w.]*)\s*$")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    autofixable: bool = False
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.rule} {self.message}")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "path": self.path, "line": self.line,
+                "col": self.col, "message": self.message,
+                "autofixable": self.autofixable}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Project invariants the rules check against.
+
+    ``wallclock_allowlist`` names the modules allowed to read wall-clock
+    time (timestamp fields in the tracer and the run registry);
+    ``deprecated_modules`` maps retired import paths to their
+    replacements; ``dtype_zones`` pins the float dtype convention per
+    module prefix (longest prefix wins).
+    """
+
+    library_prefixes: Tuple[str, ...] = ("repro",)
+    wallclock_allowlist: Tuple[str, ...] = (
+        "repro.obs.tracing", "repro.experiments.registry")
+    deprecated_modules: Tuple[Tuple[str, str], ...] = (
+        ("repro.serving.metrics", "repro.obs.metrics"),)
+    dtype_zones: Tuple[Tuple[str, str], ...] = (
+        ("repro.embedding.skipgram", "float32"),
+        ("repro.embedding.walks", "float32"),
+        ("repro.nn", "float64"),
+        ("repro.core", "float64"),
+    )
+    exclude: Tuple[str, ...] = ("tests/analysis/fixtures",)
+
+    def is_library(self, module: str) -> bool:
+        return any(_prefix_match(module, p) for p in self.library_prefixes)
+
+    def dtype_zone(self, module: str) -> Optional[str]:
+        best: Optional[Tuple[str, str]] = None
+        for prefix, expected in self.dtype_zones:
+            if _prefix_match(module, prefix):
+                if best is None or len(prefix) > len(best[0]):
+                    best = (prefix, expected)
+        return best[1] if best else None
+
+
+def _prefix_match(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+@dataclass
+class LintContext:
+    """Everything a rule may consult about the file under analysis."""
+
+    path: str
+    module: str
+    source_lines: Sequence[str]
+    config: LintConfig
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+
+
+class Rule(ast.NodeVisitor):
+    """Base class: one invariant, one id, one visitor pass.
+
+    Subclasses set ``id``/``title``/``autofixable`` and implement the
+    ``visit_*`` methods, reporting via :meth:`report`.
+    """
+
+    id: str = ""
+    title: str = ""
+    autofixable: bool = False
+
+    def __init__(self, ctx: LintContext) -> None:
+        self.ctx = ctx
+        self.findings: List[Finding] = []
+
+    @classmethod
+    def applies_to(cls, ctx: LintContext) -> bool:
+        """Whether this rule runs on the given module at all."""
+        return True
+
+    def report(self, node: ast.AST, message: str) -> None:
+        self.findings.append(Finding(
+            rule=self.id, path=self.ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message, autofixable=self.autofixable))
+
+    def run(self, tree: ast.AST) -> List[Finding]:
+        self.visit(tree)
+        return self.findings
+
+
+# ---------------------------------------------------------------------------
+# Pragmas and module identity.
+
+def _pragma_index(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids allowed on that line.
+
+    A pragma covers its own line; when the line holds nothing but the
+    pragma comment, it also covers the line below (so a long offending
+    statement can carry the pragma just above it).
+    """
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source_lines, start=1):
+        match = _PRAGMA_RE.search(text)
+        if not match:
+            continue
+        ids = {part.strip() for part in match.group(1).split(",")}
+        allowed.setdefault(lineno, set()).update(ids)
+        if text.lstrip().startswith("#"):
+            allowed.setdefault(lineno + 1, set()).update(ids)
+    return allowed
+
+
+def _declared_module(source_lines: Sequence[str]) -> Optional[str]:
+    for text in source_lines[:10]:
+        match = _MODULE_PRAGMA_RE.match(text.strip())
+        if match:
+            return match.group(1)
+    return None
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name from a repository-relative path.
+
+    ``src/repro/nn/gru.py`` -> ``repro.nn.gru``; files outside a
+    recognised package root fall back to their path-derived dotted name
+    (e.g. ``tests.analysis.test_rules``).
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for anchor in ("repro", "tests", "benchmarks", "examples"):
+        if anchor in parts:
+            parts = parts[parts.index(anchor):]
+            break
+    else:
+        parts = parts[-1:]
+    return ".".join(parts) if parts else path.stem
+
+
+# ---------------------------------------------------------------------------
+# Entry points.
+
+def analyze_source(source: str, path: str = "<string>",
+                   module: Optional[str] = None,
+                   config: Optional[LintConfig] = None,
+                   rules: Optional[Sequence[type]] = None) -> LintResult:
+    """Lint one source blob; returns kept and pragma-suppressed findings."""
+    from .rules import ALL_RULES
+    config = config or LintConfig()
+    source_lines = source.splitlines()
+    if module is None:
+        module = (_declared_module(source_lines)
+                  or module_name_for(Path(path)))
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        finding = Finding(rule="E000", path=path, line=exc.lineno or 1,
+                          col=(exc.offset or 1) - 1,
+                          message=f"syntax error: {exc.msg}")
+        return LintResult(findings=[finding])
+    ctx = LintContext(path=path, module=module,
+                      source_lines=source_lines, config=config)
+    result = LintResult()
+    allowed = _pragma_index(source_lines)
+    for rule_cls in (rules if rules is not None else ALL_RULES):
+        if not rule_cls.applies_to(ctx):
+            continue
+        for finding in rule_cls(ctx).run(tree):
+            if finding.rule in allowed.get(finding.line, ()):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return result
+
+
+def lint_source(source: str, path: str = "<string>",
+                module: Optional[str] = None,
+                config: Optional[LintConfig] = None,
+                rules: Optional[Sequence[type]] = None) -> List[Finding]:
+    return analyze_source(source, path, module, config, rules).findings
+
+
+def lint_file(path, config: Optional[LintConfig] = None,
+              rules: Optional[Sequence[type]] = None) -> List[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(encoding="utf-8"), str(path),
+                       config=config, rules=rules)
+
+
+def _iter_python_files(roots: Iterable, config: LintConfig
+                       ) -> List[Path]:
+    files: List[Path] = []
+    seen: Set[str] = set()
+    for root in roots:
+        root = Path(root)
+        if root.is_file():
+            candidates = [root]
+            # An explicitly named file is always linted, even when it
+            # lives under an excluded directory (the fixture self-tests
+            # rely on this).
+            excluded: Tuple[str, ...] = ()
+        elif root.is_dir():
+            candidates = sorted(root.rglob("*.py"))
+            # Walking into an excluded directory on purpose lints it.
+            excluded = tuple(part for part in config.exclude
+                             if part not in str(root).replace("\\", "/"))
+        else:
+            raise FileNotFoundError(f"no such file or directory: {root}")
+        for candidate in candidates:
+            posix = str(candidate).replace("\\", "/")
+            if any(part in posix for part in excluded):
+                continue
+            if posix not in seen:
+                seen.add(posix)
+                files.append(candidate)
+    return files
+
+
+def lint_paths(paths: Sequence, config: Optional[LintConfig] = None,
+               rules: Optional[Sequence[type]] = None) -> List[Finding]:
+    """Lint files and directories (recursively); returns all findings."""
+    config = config or LintConfig()
+    findings: List[Finding] = []
+    for path in _iter_python_files(paths, config):
+        findings.extend(lint_file(path, config=config, rules=rules))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Autofixes.
+
+_FIXERS = {
+    # H002: a bare handler keeps its body; only the clause widens.
+    "H002": ("except:", "except Exception:"),
+}
+
+
+def apply_fixes(findings: Sequence[Finding]) -> List[Finding]:
+    """Rewrite autofixable findings in place; returns the ones fixed."""
+    fixed: List[Finding] = []
+    by_path: Dict[str, List[Finding]] = {}
+    for finding in findings:
+        if finding.autofixable and finding.rule in _FIXERS:
+            by_path.setdefault(finding.path, []).append(finding)
+    for path, file_findings in by_path.items():
+        lines = Path(path).read_text(encoding="utf-8").splitlines(
+            keepends=True)
+        changed = False
+        for finding in file_findings:
+            old, new = _FIXERS[finding.rule]
+            index = finding.line - 1
+            if 0 <= index < len(lines) and old in lines[index]:
+                lines[index] = lines[index].replace(old, new, 1)
+                fixed.append(finding)
+                changed = True
+        if changed:
+            Path(path).write_text("".join(lines), encoding="utf-8")
+    return fixed

@@ -12,6 +12,7 @@ Subcommands::
                                 --methods TEMP LR GBM DeepOD
     python -m repro.cli sweep-w --city mini-chengdu --trips 2000 \\
                                 --jobs 4 --out sweep_w.json
+    python -m repro.cli lint    src tests benchmarks
     python -m repro.cli exp run     --runs-dir runs/ --checkpoint-every 50
     python -m repro.cli exp sweep   --runs-dir runs/ --jobs 4 \\
                                     --grid aux_weight=0.1,0.5,0.9 --seeds 0 1
@@ -272,6 +273,46 @@ def cmd_sweep_w(args) -> int:
         sweep.to_json(args.out)
         print(f"\nresults written to {args.out}")
     return 0 if not sweep.failed else 1
+
+
+def cmd_lint(args) -> int:
+    """reprolint over the given paths (exit 0 clean, 1 findings, 2 usage)."""
+    from .analysis import (
+        ALL_RULES, LintConfig, apply_fixes, lint_paths, rule_by_id,
+    )
+    if args.list_rules:
+        for rule in ALL_RULES:
+            fixable = " (autofixable)" if rule.autofixable else ""
+            print(f"{rule.id}  {rule.title}{fixable}")
+        return 0
+    rules = None
+    if args.rules:
+        try:
+            rules = [rule_by_id(rule_id.strip())
+                     for entry in args.rules
+                     for rule_id in entry.split(",") if rule_id.strip()]
+        except KeyError as exc:
+            print(str(exc.args[0]), file=sys.stderr)
+            return 2
+    try:
+        findings = lint_paths(args.paths, config=LintConfig(), rules=rules)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    if args.fix and findings:
+        fixed = apply_fixes(findings)
+        if fixed:
+            print(f"fixed {len(fixed)} finding(s)", file=sys.stderr)
+            findings = lint_paths(args.paths, config=LintConfig(),
+                                  rules=rules)
+    if args.format == "json":
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
 
 
 # ---------------------------------------------------------------------------
@@ -553,6 +594,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--out", default="",
                          help="write machine-readable results JSON here")
     p_sweep.set_defaults(func=cmd_sweep_w)
+
+    p_lint = sub.add_parser(
+        "lint", help="reprolint: project-invariant static analysis")
+    p_lint.add_argument("paths", nargs="*", default=["src"],
+                        help="files/directories to lint (default: src)")
+    p_lint.add_argument("--format", default="text",
+                        choices=["text", "json"])
+    p_lint.add_argument("--rules", action="append", default=[],
+                        metavar="ID[,ID...]",
+                        help="run only these rule ids (repeatable)")
+    p_lint.add_argument("--fix", action="store_true",
+                        help="apply autofixes (H002), then re-lint")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        dest="list_rules", help="print the rule catalogue")
+    p_lint.set_defaults(func=cmd_lint)
 
     p_exp = sub.add_parser(
         "exp", help="experiment pipeline: run / sweep / list / promote")

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from ..datagen.weather import N_WEATHER_TYPES
 from ..nn import (
     ConvBNReLU, Module, Tensor, TwoLayerMLP, concat, global_avg_pool2d,
@@ -29,6 +30,7 @@ class TrafficConditionCNN(Module):
     def __init__(self, d_traf: int,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
+        self.d_traf = d_traf
         self.block1 = ConvBNReLU(1, 8, kernel_size=3, stride=2, padding=1,
                                  rng=rng)
         self.block2 = ConvBNReLU(8, 16, kernel_size=3, stride=2, padding=1,
@@ -36,6 +38,7 @@ class TrafficConditionCNN(Module):
         self.block3 = ConvBNReLU(16, d_traf, kernel_size=3, stride=1,
                                  padding=1, rng=rng)
 
+    @shaped("(B, *, *) -> (B, d_traf)")
     def forward(self, matrices: Tensor) -> Tensor:
         """(batch, rows, cols) speed matrices -> (batch, d_traf)."""
         if matrices.ndim != 3:
@@ -58,6 +61,7 @@ class ExternalFeaturesEncoder(Module):
         self.mlp = TwoLayerMLP(N_WEATHER_TYPES + config.d_traf,
                                config.d5_m, config.d6_m, rng=rng)
 
+    @shaped("_, _ -> (B, config.d6_m)")
     def forward(self, weather_ids: Sequence[int],
                 speed_matrices: np.ndarray) -> Tensor:
         """Encode a batch of external features.

@@ -21,6 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from ..nn import (
     IntervalResNetBlock, Module, Tensor, TwoLayerMLP, concat,
 )
@@ -47,6 +48,7 @@ class TimeIntervalEncoder(Module):
     def slot_config(self) -> TimeSlotConfig:
         return self.slot_embedding.slot_config
 
+    @shaped("_ -> (B, config.d2_m)")
     def forward(self, intervals: Sequence[Tuple[float, float]]) -> Tensor:
         """Encode a batch of (start, end) timestamp intervals.
 

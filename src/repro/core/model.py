@@ -18,6 +18,7 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from ..nn import (
     Module, Tensor, TwoLayerMLP, euclidean_loss, mae_loss,
 )
@@ -45,8 +46,10 @@ class TravelTimeEstimatorHead(Module):
     def __init__(self, config: DeepODConfig,
                  rng: Optional[np.random.Generator] = None):
         super().__init__()
+        self.config = config
         self.mlp2 = TwoLayerMLP(config.d8_m, config.d9_m, 1, rng=rng)
 
+    @shaped("(B, config.d8_m) -> (B, 1)")
     def forward(self, code: Tensor) -> Tensor:
         return self.mlp2(code)
 

@@ -16,6 +16,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from ..nn import Module, Tensor, TwoLayerMLP, concat
 from ..trajectory.model import ODInput
 from .config import DeepODConfig
@@ -50,6 +51,7 @@ class ODEncoder(Module):
             in_width += 1                   # raw timestamp feature (T-stamp)
         self.mlp1 = TwoLayerMLP(in_width, config.d7_m, config.d8_m, rng=rng)
 
+    @shaped("_ -> (B, config.d8_m)")
     def forward(self, ods: Sequence[ODInput],
                 speed_matrices: Optional[np.ndarray] = None) -> Tensor:
         if not len(ods):

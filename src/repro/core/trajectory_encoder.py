@@ -22,6 +22,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from ..nn import GRU, LSTM, Linear, Module, Tensor, TwoLayerMLP, concat
 from ..trajectory.model import MatchedTrajectory
 from .config import DeepODConfig
@@ -42,6 +43,7 @@ class MeanSequenceEncoder(Module):
         self.proj = Linear(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
 
+    @shaped("(B, T, D), _ -> _, (B, hidden_size)")
     def forward(self, x: Tensor, lengths=None):
         batch, steps, _ = x.shape
         if lengths is None:
@@ -77,6 +79,7 @@ class TrajectoryEncoder(Module):
         self.mlp = TwoLayerMLP(config.d_h + 2, config.d3_m, config.d4_m,
                                rng=rng)
 
+    @shaped("_ -> (B, config.d4_m)")
     def forward(self, trajectories: Sequence[MatchedTrajectory]) -> Tensor:
         if not len(trajectories):
             raise ValueError("empty trajectory batch")

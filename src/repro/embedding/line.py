@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..roadnet.linegraph import WeightedDigraph
+from .walks import require_generator
 
 
 @dataclass
@@ -32,10 +33,13 @@ class LineConfig:
 
 
 def train_line(graph: WeightedDigraph, config: Optional[LineConfig] = None,
-               rng: Optional[np.random.Generator] = None) -> np.ndarray:
-    """Train LINE embeddings; returns a (num_nodes, dim) matrix."""
+               rng: np.random.Generator = None) -> np.ndarray:
+    """Train LINE embeddings; returns a (num_nodes, dim) matrix.
+
+    ``rng`` is required: pretraining must be reproducible (D002).
+    """
     config = config or LineConfig()
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "train_line")
     edges = list(graph.edges())
     if not edges:
         raise ValueError("graph has no edges")

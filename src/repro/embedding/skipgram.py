@@ -41,6 +41,7 @@ except ImportError:                      # sort+reduceat fallback
     _sparse = None
 
 from .alias import AliasTable
+from .walks import require_generator
 
 # Pairs per fast-path parameter update (upper bound — small pair sets use
 # smaller chunks so SGD still takes enough steps; an explicitly larger
@@ -125,10 +126,12 @@ def unigram_distribution(walks: Sequence[Sequence[int]], num_nodes: int,
     """
     flat = (np.concatenate([np.asarray(w, dtype=np.int64) for w in walks])
             if len(walks) else np.empty(0, dtype=np.int64))
+    # repro: allow[N001] float64 counts keep the cumsum normalisation exact
     counts = np.bincount(flat, minlength=num_nodes).astype(np.float64)
     observed = counts > 0
     if observed.sum() <= 1:
         return np.full(num_nodes, 1.0 / num_nodes)
+    # repro: allow[N001] noise distribution feeds AliasTable, which is float64
     dist = np.zeros(num_nodes, dtype=np.float64)
     dist[observed] = counts[observed] ** power
     return dist / dist.sum()
@@ -165,15 +168,16 @@ def _scatter_add(target: np.ndarray, idx: np.ndarray,
 
 def train_skipgram(walks: Sequence[Sequence[int]], num_nodes: int,
                    config: Optional[SkipGramConfig] = None,
-                   rng: Optional[np.random.Generator] = None) -> np.ndarray:
+                   rng: np.random.Generator = None) -> np.ndarray:
     """Train SGNS over walks; returns the (num_nodes, dim) input embeddings.
 
     Fast path: vectorised pair harvest, alias-sampled block-shared
     negatives (GEMM negative term), float32 parameters in one stacked
-    buffer, and a single segment-sum scatter per chunk.
+    buffer, and a single segment-sum scatter per chunk.  ``rng`` is
+    required: pretraining must be reproducible (D002).
     """
     config = config or SkipGramConfig()
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "train_skipgram")
     pairs = build_pairs(walks, config.window)
     noise = AliasTable(unigram_distribution(walks, num_nodes))
     dim, k = config.dim, config.negatives
@@ -200,6 +204,7 @@ def train_skipgram(walks: Sequence[Sequence[int]], num_nodes: int,
                      config.lr * (1.0 - step / max(total_steps, 1)))
             _sgns_chunk_fast(params, num_nodes, batch, noise, k, lr, rng)
             step += 1
+    # repro: allow[N001] public API returns the framework's float64 dtype
     return params[:num_nodes].astype(np.float64)
 
 
@@ -268,11 +273,11 @@ def _sgns_chunk_fast(params: np.ndarray, num_nodes: int, batch: np.ndarray,
 
 def train_skipgram_reference(walks: Sequence[Sequence[int]], num_nodes: int,
                              config: Optional[SkipGramConfig] = None,
-                             rng: Optional[np.random.Generator] = None
+                             rng: np.random.Generator = None
                              ) -> np.ndarray:
     """Original scalar-harvest / ``rng.choice`` / ``np.add.at`` SGNS."""
     config = config or SkipGramConfig()
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "train_skipgram_reference")
     pairs = build_pairs_reference(walks, config.window)
     noise = unigram_distribution(walks, num_nodes)
 

@@ -35,6 +35,20 @@ from ..roadnet.linegraph import WeightedDigraph
 from .alias import NodeAliasSampler
 
 
+def require_generator(rng, owner: str) -> np.random.Generator:
+    """Embedding pretraining must be reproducible (reprolint D002).
+
+    Seeded node2vec/SGNS initialisation is part of the paper's recipe
+    (Section 5.1); an entropy-seeded fallback here silently changes the
+    pretrained tables between runs, so callers must thread a Generator.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            f"{owner} requires an explicit np.random.Generator (got "
+            f"{type(rng).__name__}); pass np.random.default_rng(seed)")
+    return rng
+
+
 def weighted_choice(rng: np.random.Generator, items: Sequence[int],
                     weights: Sequence[float]) -> int:
     """Sample one item proportionally to non-negative weights.
@@ -77,14 +91,15 @@ def _rows_to_walks(matrix: np.ndarray) -> List[List[int]]:
 
 
 def generate_walks(graph: WeightedDigraph, num_walks: int, walk_length: int,
-                   rng: Optional[np.random.Generator] = None
+                   rng: np.random.Generator = None
                    ) -> List[List[int]]:
     """Weight-proportional random walks (DeepWalk-style), lockstep engine.
 
     ``num_walks`` walks start from every node; walks stop early at sinks.
+    ``rng`` is required: walk corpora must be reproducible (D002).
     """
     _validate(num_walks, walk_length)
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "generate_walks")
     csr = graph.to_csr()
     sampler = NodeAliasSampler(csr)
     out_degree = csr.out_degree
@@ -105,7 +120,7 @@ def generate_walks(graph: WeightedDigraph, num_walks: int, walk_length: int,
 
 def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
                             walk_length: int, p: float = 1.0, q: float = 1.0,
-                            rng: Optional[np.random.Generator] = None
+                            rng: np.random.Generator = None
                             ) -> List[List[int]]:
     """node2vec second-order biased walks, lockstep rejection engine.
 
@@ -126,7 +141,7 @@ def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
     _validate(num_walks, walk_length)
     if p <= 0 or q <= 0:
         raise ValueError("p and q must be positive")
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "generate_node2vec_walks")
     csr = graph.to_csr()
     sampler = NodeAliasSampler(csr)
     out_degree = csr.out_degree
@@ -174,11 +189,11 @@ def generate_node2vec_walks(graph: WeightedDigraph, num_walks: int,
 
 def generate_walks_reference(graph: WeightedDigraph, num_walks: int,
                              walk_length: int,
-                             rng: Optional[np.random.Generator] = None
+                             rng: np.random.Generator = None
                              ) -> List[List[int]]:
     """Scalar DeepWalk-style walks: one ``rng.choice`` per step."""
     _validate(num_walks, walk_length)
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "generate_walks_reference")
     walks: List[List[int]] = []
     nodes = np.arange(graph.num_nodes)
     for _ in range(num_walks):
@@ -199,12 +214,12 @@ def generate_walks_reference(graph: WeightedDigraph, num_walks: int,
 def generate_node2vec_walks_reference(
         graph: WeightedDigraph, num_walks: int, walk_length: int,
         p: float = 1.0, q: float = 1.0,
-        rng: Optional[np.random.Generator] = None) -> List[List[int]]:
+        rng: np.random.Generator = None) -> List[List[int]]:
     """Scalar node2vec walks: per-step biased ``rng.choice``."""
     _validate(num_walks, walk_length)
     if p <= 0 or q <= 0:
         raise ValueError("p and q must be positive")
-    rng = rng or np.random.default_rng()
+    rng = require_generator(rng, "generate_node2vec_walks_reference")
     # Neighbour-set cache for the prev-adjacency test.
     nbr_sets: Dict[int, set] = {}
 

@@ -15,7 +15,9 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from .functional import pad2d
+from .init import ensure_generator
 from .modules import Module, Parameter
 from .tensor import Tensor
 
@@ -59,10 +61,10 @@ class Conv2d(Module):
 
     def __init__(self, in_channels: int, out_channels: int,
                  kernel_size: IntPair, stride: IntPair = 1,
-                 padding: IntPair = 0, bias: bool = True,
-                 rng: Optional[np.random.Generator] = None):
+                 padding: IntPair = 0, bias: bool = True, *,
+                 rng: np.random.Generator):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_generator(rng, "Conv2d")
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = _pair(kernel_size)
@@ -80,6 +82,7 @@ class Conv2d(Module):
         else:
             self.bias = None
 
+    @shaped("(N, in_channels, *, *) -> (N, out_channels, *, *)")
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"Conv2d expects (N, C, H, W), got {x.shape}")
@@ -148,8 +151,8 @@ class ConvBNReLU(Module):
 
     def __init__(self, in_channels: int, out_channels: int,
                  kernel_size: IntPair = 3, stride: IntPair = 1,
-                 padding: IntPair = 1,
-                 rng: Optional[np.random.Generator] = None):
+                 padding: IntPair = 1, *,
+                 rng: np.random.Generator):
         super().__init__()
         self.conv = Conv2d(in_channels, out_channels, kernel_size,
                            stride=stride, padding=padding, rng=rng)
@@ -169,7 +172,7 @@ class IntervalResNetBlock(Module):
     the residual shapes agree.
     """
 
-    def __init__(self, rng: Optional[np.random.Generator] = None):
+    def __init__(self, *, rng: np.random.Generator):
         super().__init__()
         self.conv1 = Conv2d(1, 4, kernel_size=(3, 1), padding=(1, 0), rng=rng)
         self.bn1 = BatchNorm2d(4)
@@ -177,6 +180,7 @@ class IntervalResNetBlock(Module):
         self.bn2 = BatchNorm2d(8)
         self.conv3 = Conv2d(8, 1, kernel_size=(1, 1), rng=rng)
 
+    @shaped("(N, 1, S, D) -> (N, 1, S, D)")
     def forward(self, x: Tensor, mask: Optional[Tensor] = None) -> Tensor:
         """Apply the block.
 

@@ -41,12 +41,21 @@ def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
 
 
 def dropout(x: Tensor, p: float, training: bool,
-            rng: Optional[np.random.Generator] = None) -> Tensor:
-    """Inverted dropout; identity when ``training`` is False or ``p == 0``."""
+            rng: np.random.Generator = None) -> Tensor:
+    """Inverted dropout; identity when ``training`` is False or ``p == 0``.
+
+    Whenever a mask is actually drawn the caller must supply a seeded
+    Generator (reprolint D002): dropout masks are part of the training
+    stream, so an entropy-seeded fallback here would make
+    otherwise-identical runs diverge.  The identity paths (eval mode,
+    ``p == 0``) draw nothing and accept ``rng=None``.
+    """
     if not training or p <= 0.0:
         return x
-    if rng is None:
-        rng = np.random.default_rng()
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            "dropout requires an explicit np.random.Generator when a mask "
+            f"is drawn (got {type(rng).__name__})")
     mask = (rng.random(x.shape) >= p) / (1.0 - p)
     return x * Tensor(mask)
 

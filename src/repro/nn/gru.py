@@ -13,6 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import shaped
+from .init import ensure_generator
 from .modules import Module, Parameter
 from .tensor import Tensor, concat, stack
 
@@ -24,10 +26,10 @@ class GRUCell(Module):
     h~ = tanh(Wh [x, r ⊗ h]); h' = (1 − z) ⊗ h + z ⊗ h~.
     """
 
-    def __init__(self, input_size: int, hidden_size: int,
-                 rng: Optional[np.random.Generator] = None):
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: np.random.Generator):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_generator(rng, "GRUCell")
         self.input_size = input_size
         self.hidden_size = hidden_size
         k = 1.0 / np.sqrt(hidden_size)
@@ -39,6 +41,7 @@ class GRUCell(Module):
         self.weight_cand = Parameter(rng.uniform(-k, k, size=cand_shape))
         self.bias_cand = Parameter(rng.uniform(-k, k, size=(hidden_size,)))
 
+    @shaped("(B, input_size), (B, hidden_size) -> (B, hidden_size)")
     def forward(self, x: Tensor, h_prev: Tensor) -> Tensor:
         hs = self.hidden_size
         zx = concat([x, h_prev], axis=-1)
@@ -58,13 +61,14 @@ class GRU(Module):
     final hidden state), with padded steps frozen.
     """
 
-    def __init__(self, input_size: int, hidden_size: int,
-                 rng: Optional[np.random.Generator] = None):
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: np.random.Generator):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
         self.input_size = input_size
 
+    @shaped("(B, T, input_size) -> (B, T, hidden_size), (B, hidden_size)")
     def forward(self, x: Tensor, lengths: Optional[Sequence[int]] = None
                 ) -> Tuple[Tensor, Tensor]:
         batch, steps, _ = x.shape

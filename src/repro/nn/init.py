@@ -13,6 +13,22 @@ from typing import Tuple
 import numpy as np
 
 
+def ensure_generator(rng, owner: str) -> np.random.Generator:
+    """Reject anything that is not an explicit ``np.random.Generator``.
+
+    Randomised components must be handed a seeded Generator by their
+    caller (reprolint rule D002); accepting ``None`` and silently
+    falling back to entropy-seeded draws made runs irreproducible, and
+    a shared seeded fallback would make sibling layers identical.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError(
+            f"{owner} requires an explicit np.random.Generator (got "
+            f"{type(rng).__name__}); thread a seeded Generator from the "
+            f"caller, e.g. np.random.default_rng(seed)")
+    return rng
+
+
 def normal(shape: Tuple[int, ...], rng: np.random.Generator,
            std: float = 0.01) -> np.ndarray:
     """Plain normal initialisation (Algorithm 1, line 5)."""

@@ -14,7 +14,9 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import shaped
 from . import init as init_schemes
+from .init import ensure_generator
 from .tensor import Tensor
 
 
@@ -165,11 +167,11 @@ class Linear(Module):
     """Affine layer ``y = x W^T + b`` with PyTorch-compatible weight layout."""
 
     def __init__(self, in_features: int, out_features: int,
-                 bias: bool = True,
-                 rng: Optional[np.random.Generator] = None,
+                 bias: bool = True, *,
+                 rng: np.random.Generator,
                  init: str = "uniform_fan_in"):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_generator(rng, "Linear")
         self.in_features = in_features
         self.out_features = out_features
         scheme = getattr(init_schemes, init)
@@ -181,6 +183,7 @@ class Linear(Module):
         else:
             self.bias = None
 
+    @shaped("(..., in_features) -> (..., out_features)")
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight.T
         if self.bias is not None:
@@ -199,11 +202,14 @@ class TwoLayerMLP(Module):
     """
 
     def __init__(self, in_features: int, hidden: int, out_features: int,
-                 rng: Optional[np.random.Generator] = None):
+                 *, rng: np.random.Generator):
         super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
         self.fc1 = Linear(in_features, hidden, rng=rng)
         self.fc2 = Linear(hidden, out_features, rng=rng)
 
+    @shaped("(..., in_features) -> (..., out_features)")
     def forward(self, x: Tensor) -> Tensor:
         return self.fc2(self.fc1(x).relu())
 
@@ -250,14 +256,15 @@ class Embedding(Module):
     """
 
     def __init__(self, num_embeddings: int, embedding_dim: int,
-                 rng: Optional[np.random.Generator] = None):
+                 *, rng: np.random.Generator):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_generator(rng, "Embedding")
         self.num_embeddings = num_embeddings
         self.embedding_dim = embedding_dim
         self.weight = Parameter(
             rng.normal(0.0, 0.1, size=(num_embeddings, embedding_dim)))
 
+    @shaped("_ -> (..., embedding_dim)")
     def forward(self, indices) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
         if np.any(indices < 0) or np.any(indices >= self.num_embeddings):
@@ -295,13 +302,12 @@ class LayerNorm(Module):
 
 
 class Dropout(Module):
-    def __init__(self, p: float = 0.5,
-                 rng: Optional[np.random.Generator] = None):
+    def __init__(self, p: float = 0.5, *, rng: np.random.Generator):
         super().__init__()
         if not 0.0 <= p < 1.0:
             raise ValueError(f"dropout probability must be in [0, 1), got {p}")
         self.p = p
-        self._rng = rng or np.random.default_rng()
+        self._rng = ensure_generator(rng, "Dropout")
 
     def forward(self, x: Tensor) -> Tensor:
         from .functional import dropout

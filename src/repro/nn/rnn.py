@@ -13,6 +13,8 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..analysis.contracts import shaped
+from .init import ensure_generator
 from .modules import Module, Parameter
 from .tensor import Tensor, concat, stack
 
@@ -25,11 +27,11 @@ class LSTMCell(Module):
     compute o and [3H:4H] compute the tanh candidate.
     """
 
-    def __init__(self, input_size: int, hidden_size: int,
-                 rng: Optional[np.random.Generator] = None,
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: np.random.Generator,
                  forget_bias: float = 1.0):
         super().__init__()
-        rng = rng or np.random.default_rng()
+        rng = ensure_generator(rng, "LSTMCell")
         self.input_size = input_size
         self.hidden_size = hidden_size
         k = 1.0 / np.sqrt(hidden_size)
@@ -40,6 +42,7 @@ class LSTMCell(Module):
         bias[:hidden_size] += forget_bias
         self.bias = Parameter(bias)
 
+    @shaped("(B, input_size), _ -> (B, hidden_size), (B, hidden_size)")
     def forward(self, x: Tensor, state: Tuple[Tensor, Tensor]
                 ) -> Tuple[Tensor, Tensor]:
         """Advance one step.
@@ -69,13 +72,14 @@ class LSTMCell(Module):
 class LSTM(Module):
     """Unrolled LSTM over padded batches of variable-length sequences."""
 
-    def __init__(self, input_size: int, hidden_size: int,
-                 rng: Optional[np.random.Generator] = None):
+    def __init__(self, input_size: int, hidden_size: int, *,
+                 rng: np.random.Generator):
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
         self.input_size = input_size
 
+    @shaped("(B, T, input_size) -> (B, T, hidden_size), (B, hidden_size)")
     def forward(self, x: Tensor, lengths: Optional[Sequence[int]] = None
                 ) -> Tuple[Tensor, Tensor]:
         """Run the LSTM over a (batch, time, input_size) tensor.

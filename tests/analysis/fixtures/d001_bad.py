@@ -1,0 +1,4 @@
+"""Fixture: module-level np.random call (violates D001)."""
+import numpy as np
+
+NOISE = np.random.default_rng().normal(size=4)

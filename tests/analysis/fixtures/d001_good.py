@@ -1,0 +1,6 @@
+"""Fixture: random draws live inside a function (clean for D001)."""
+import numpy as np
+
+
+def noise(rng: np.random.Generator) -> np.ndarray:
+    return rng.normal(size=4)

@@ -1,0 +1,8 @@
+# repro: module repro.fixturepkg.d002_bad
+"""Fixture: unseeded default_rng() fallback in library code (violates D002)."""
+import numpy as np
+
+
+def init_weights(rng=None):
+    rng = rng or np.random.default_rng()
+    return rng.normal(size=(3, 3))

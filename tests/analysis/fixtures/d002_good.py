@@ -1,0 +1,9 @@
+# repro: module repro.fixturepkg.d002_good
+"""Fixture: the caller must thread a Generator (clean for D002)."""
+import numpy as np
+
+
+def init_weights(rng: np.random.Generator):
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError("rng required")
+    return rng.normal(size=(3, 3))

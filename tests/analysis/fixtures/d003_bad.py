@@ -1,0 +1,7 @@
+# repro: module repro.fixturepkg.d003_bad
+"""Fixture: wall-clock read in library code (violates D003)."""
+import time
+
+
+def stamp() -> float:
+    return time.time()

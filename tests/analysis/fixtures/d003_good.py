@@ -1,0 +1,7 @@
+# repro: module repro.fixturepkg.d003_good
+"""Fixture: durations via the monotonic clock (clean for D003)."""
+import time
+
+
+def elapsed(start: float) -> float:
+    return time.perf_counter() - start

@@ -1,0 +1,5 @@
+# repro: module repro.fixturepkg.h001_bad
+"""Fixture: import of the deprecated serving.metrics shim (violates H001)."""
+from repro.serving.metrics import MetricsRegistry
+
+__all__ = ["MetricsRegistry"]

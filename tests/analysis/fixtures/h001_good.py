@@ -1,0 +1,5 @@
+# repro: module repro.fixturepkg.h001_good
+"""Fixture: import from the promoted location (clean for H001)."""
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["MetricsRegistry"]

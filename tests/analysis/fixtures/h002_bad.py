@@ -1,0 +1,8 @@
+"""Fixture: bare except clause (violates H002, autofixable)."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except:
+        return None

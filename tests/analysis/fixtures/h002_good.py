@@ -1,0 +1,8 @@
+"""Fixture: except with an explicit exception class (clean for H002)."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

@@ -1,0 +1,11 @@
+"""Fixture: mutable default arguments (violates H003)."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket
+
+
+def index(key, table=dict(), *, seen=set()):
+    seen.add(key)
+    return table

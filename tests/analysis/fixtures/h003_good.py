@@ -1,0 +1,8 @@
+"""Fixture: None defaults created in the body (clean for H003)."""
+
+
+def collect(item, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(item)
+    return bucket

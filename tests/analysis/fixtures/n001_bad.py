@@ -1,0 +1,8 @@
+# repro: module repro.embedding.skipgram.fixture
+"""Fixture: float64 in a float32 hot-path zone (violates N001)."""
+import numpy as np
+
+
+def accumulate(block: np.ndarray) -> np.ndarray:
+    scores = np.zeros(len(block), dtype=np.float64)
+    return scores + block.astype(np.float64)

@@ -1,0 +1,7 @@
+# repro: module repro.nn.fixture
+"""Fixture: float32 cast inside the float64 nn zone (violates N001)."""
+import numpy as np
+
+
+def downcast(x: np.ndarray) -> np.ndarray:
+    return np.float32(x)

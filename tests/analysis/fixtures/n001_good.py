@@ -1,0 +1,7 @@
+# repro: module repro.embedding.skipgram.fixture_good
+"""Fixture: float32 parameters in the float32 zone (clean for N001)."""
+import numpy as np
+
+
+def buffer(n: int, dim: int) -> np.ndarray:
+    return np.zeros((n, dim), dtype=np.float32)

@@ -1,0 +1,10 @@
+# repro: module repro.fixturepkg.pragma_suppressed
+"""Fixture: violations silenced by justified pragmas (lints clean)."""
+import numpy as np
+
+
+def fallback(rng=None):
+    rng = rng or np.random.default_rng()  # repro: allow[D002] fixture only
+    # repro: allow[D002] pragma-above form covers the next line
+    other = np.random.default_rng()
+    return rng, other

@@ -1,0 +1,230 @@
+"""Runtime shape/dtype contract tests (repro.analysis.contracts)."""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ContractError,
+    ContractSpecError,
+    contract_checks,
+    contracts_enabled,
+    enable_contracts,
+    shaped,
+)
+from repro.analysis.contracts import ENV_VAR
+from repro.nn.modules import Linear
+from repro.nn.tensor import Tensor
+
+
+@pytest.fixture(autouse=True)
+def _contracts_off_between_tests():
+    previous = enable_contracts(False)
+    yield
+    enable_contracts(previous)
+
+
+class Doubler:
+    """Minimal instance carrying integer attrs for symbol resolution."""
+
+    def __init__(self):
+        self.width = 3
+        self.config = type("Cfg", (), {"d8_m": 4})()
+
+    @shaped("(B, width) -> (B, width)")
+    def forward(self, x):
+        return x * 2.0
+
+    @shaped("(B, config.d8_m) -> (B, 1)")
+    def head(self, x):
+        return x.sum(axis=1, keepdims=True)
+
+    @shaped("(..., width) -> (..., width)")
+    def variadic(self, x):
+        return x + 0.0
+
+    @shaped("(B, T, D) -> (B, D), (B, T)")
+    def split(self, x):
+        return x[:, 0, :], x[:, :, 0]
+
+    @shaped("(B, K) -> (B, K)")
+    def lying(self, x):
+        return x[:, :1]
+
+
+# ---------------------------------------------------------------------------
+# Toggling.
+
+class TestToggle:
+    def test_enable_disable_roundtrip(self):
+        assert not contracts_enabled()
+        assert enable_contracts(True) is False
+        assert contracts_enabled()
+        assert enable_contracts(False) is True
+        assert not contracts_enabled()
+
+    def test_context_manager_restores(self):
+        with contract_checks():
+            assert contracts_enabled()
+            with contract_checks(False):
+                assert not contracts_enabled()
+            assert contracts_enabled()
+        assert not contracts_enabled()
+
+    def test_env_var_initialises_state(self):
+        code = ("from repro.analysis import contracts_enabled; "
+                "import sys; sys.exit(0 if contracts_enabled() else 3)")
+        env = dict(os.environ, **{ENV_VAR: "1"})
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              cwd=os.path.join(os.path.dirname(__file__),
+                                               "..", ".."))
+        assert proc.returncode == 0
+        env[ENV_VAR] = "0"
+        proc = subprocess.run([sys.executable, "-c", code], env=env,
+                              cwd=os.path.join(os.path.dirname(__file__),
+                                               "..", ".."))
+        assert proc.returncode == 3
+
+
+# ---------------------------------------------------------------------------
+# Spec parsing.
+
+class TestSpecParsing:
+    @pytest.mark.parametrize("bad", [
+        "(B, D)",                    # no arrow
+        "(B) -> (B) -> (B)",         # two arrows
+        "B -> (B)",                  # group without parens
+        "(B, ) -> (B)",              # empty dim
+        "(B, ..., D) -> (B)",        # ... not leading
+        "((B) -> (B)",               # unbalanced
+    ])
+    def test_malformed_specs_raise_at_decoration(self, bad):
+        with pytest.raises(ContractSpecError):
+            shaped(bad)(lambda self, x: x)
+
+    def test_contract_and_wrapped_attrs(self):
+        assert Doubler.forward.__contract__ == "(B, width) -> (B, width)"
+        assert Doubler.forward.__wrapped__.__name__ == "forward"
+        assert Linear.forward.__contract__ == \
+            "(..., in_features) -> (..., out_features)"
+
+
+# ---------------------------------------------------------------------------
+# Disabled behaviour.
+
+class TestDisabled:
+    def test_disabled_wrapper_skips_all_checks(self):
+        d = Doubler()
+        wrong = np.zeros((2, 99))          # violates (B, width)
+        out = d.forward(wrong)
+        assert out.shape == (2, 99)
+
+
+# ---------------------------------------------------------------------------
+# Enabled behaviour.
+
+class TestEnabled:
+    def test_instance_attr_dim(self):
+        d = Doubler()
+        with contract_checks():
+            assert d.forward(np.zeros((5, 3))).shape == (5, 3)
+            with pytest.raises(ContractError, match="width"):
+                d.forward(np.zeros((5, 4)))
+
+    def test_dotted_attr_dim(self):
+        d = Doubler()
+        with contract_checks():
+            assert d.head(np.zeros((2, 4))).shape == (2, 1)
+            with pytest.raises(ContractError, match="d8_m"):
+                d.head(np.zeros((2, 5)))
+
+    def test_rank_mismatch(self):
+        d = Doubler()
+        with contract_checks(), pytest.raises(ContractError, match="rank"):
+            d.forward(np.zeros((5, 3, 1)))
+
+    def test_ellipsis_accepts_any_leading_axes(self):
+        d = Doubler()
+        with contract_checks():
+            assert d.variadic(np.zeros((7, 3))).shape == (7, 3)
+            assert d.variadic(np.zeros((2, 5, 3))).shape == (2, 5, 3)
+            with pytest.raises(ContractError):
+                d.variadic(np.zeros((2, 5, 4)))
+
+    def test_call_local_binding_must_agree(self):
+        d = Doubler()
+        with contract_checks():
+            out_a, out_b = d.split(np.zeros((2, 4, 6)))
+            assert out_a.shape == (2, 6)
+            assert out_b.shape == (2, 4)
+        with contract_checks(), pytest.raises(ContractError, match="bound"):
+            d.lying(np.zeros((2, 3)))
+
+    def test_dtype_violation(self):
+        d = Doubler()
+        with contract_checks(), pytest.raises(ContractError, match="float64"):
+            d.forward(np.zeros((2, 3), dtype=np.float32))
+
+    def test_integer_arrays_exempt_from_dtype(self):
+        class Indexer:
+            vocab = 7
+
+            @shaped("(B, T) -> (B, T)")
+            def forward(self, idx):
+                return idx
+
+        with contract_checks():
+            Indexer().forward(np.zeros((2, 5), dtype=np.int64))
+
+    def test_non_array_value_rejected(self):
+        d = Doubler()
+        with contract_checks(), pytest.raises(ContractError,
+                                              match="array-backed"):
+            d.forward([[1.0, 2.0, 3.0]])
+
+    def test_tuple_return_arity(self):
+        class Wrong:
+            @shaped("(B, D) -> (B, D), (B, D)")
+            def forward(self, x):
+                return x
+
+        with contract_checks(), pytest.raises(ContractError, match="tuple"):
+            Wrong().forward(np.zeros((2, 3)))
+
+
+# ---------------------------------------------------------------------------
+# Contracts wired onto the real nn stack.
+
+class TestNNIntegration:
+    def test_linear_catches_injected_width_mismatch(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(4, 2, rng=rng)
+        good = layer(Tensor(np.zeros((3, 4))))
+        assert good.data.shape == (3, 2)
+        with contract_checks(), pytest.raises(ContractError,
+                                              match="in_features"):
+            layer(Tensor(np.zeros((3, 5))))
+
+    def test_head_catches_wrong_fused_width(self):
+        from repro.core.config import DeepODConfig
+        from repro.core.model import TravelTimeEstimatorHead
+
+        config = DeepODConfig()
+        rng = np.random.default_rng(0)
+        head = TravelTimeEstimatorHead(config, rng=rng)
+        with contract_checks(), pytest.raises(ContractError):
+            head(Tensor(np.zeros((2, config.d8_m + 1))))
+
+    def test_gru_contract_passes_on_valid_input(self):
+        from repro.nn.gru import GRU
+
+        rng = np.random.default_rng(0)
+        gru = GRU(input_size=3, hidden_size=5, rng=rng)
+        with contract_checks():
+            seq, last = gru(Tensor(np.zeros((2, 4, 3))))
+        assert seq.data.shape == (2, 4, 5)
+        assert last.data.shape == (2, 5)

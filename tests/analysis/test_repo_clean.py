@@ -1,0 +1,15 @@
+"""The repository's own source must lint clean (the CI gate's invariant)."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_repo_lints_clean():
+    roots = [REPO_ROOT / name for name in
+             ("src", "tests", "benchmarks", "examples")
+             if (REPO_ROOT / name).is_dir()]
+    findings = lint_paths(roots)
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -16,7 +16,7 @@ from repro.trajectory import MatchedTrajectory, ODInput, PathElement
 CFG = DeepODConfig(d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8,
                    d5_m=16, d6_m=8, d7_m=16, d9_m=16, d_h=16, d_traf=8)
 SLOT_CFG = TimeSlotConfig(base_timestamp=0.0, slot_seconds=300.0)
-RNG = np.random.default_rng(0)
+RNG = np.random.default_rng(0)  # repro: allow[D001] seeded file-local RNG, shared on purpose
 
 
 @pytest.fixture

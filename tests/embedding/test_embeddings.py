@@ -216,7 +216,11 @@ class TestLine:
             LineConfig(order=3)
         g = WeightedDigraph(3)
         with pytest.raises(ValueError):
-            train_line(g)
+            train_line(g, rng=np.random.default_rng(0))
+
+    def test_line_requires_generator(self):
+        with pytest.raises(TypeError):
+            train_line(ring_graph(4))
 
 
 class TestDispatcher:

@@ -12,7 +12,7 @@ from repro.nn.init import (
 )
 
 
-RNG = np.random.default_rng(29)
+RNG = np.random.default_rng(29)  # repro: allow[D001] seeded file-local RNG, shared on purpose
 
 
 class TestPadding:

@@ -10,7 +10,7 @@ from repro.nn import (
 )
 
 
-RNG = np.random.default_rng(41)
+RNG = np.random.default_rng(41)  # repro: allow[D001] seeded file-local RNG, shared on purpose
 
 
 class TestGRU:

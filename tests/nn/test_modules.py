@@ -9,7 +9,7 @@ from repro.nn import (
 )
 
 
-RNG = np.random.default_rng(11)
+RNG = np.random.default_rng(11)  # repro: allow[D001] seeded file-local RNG, shared on purpose
 
 
 class TestLinear:
@@ -127,7 +127,7 @@ class TestModuleSystem:
         assert mlp.fc1.weight.grad is None
 
     def test_train_eval_mode_propagates(self):
-        seq = Sequential(Linear(3, 3, rng=RNG), Dropout(0.5), ReLU())
+        seq = Sequential(Linear(3, 3, rng=RNG), Dropout(0.5, rng=RNG), ReLU())
         seq.eval()
         assert all(not m.training for m in seq.modules())
         seq.train()
@@ -168,4 +168,12 @@ class TestSequentialAndMisc:
 
     def test_dropout_invalid_p(self):
         with pytest.raises(ValueError):
-            Dropout(1.0)
+            Dropout(1.0, rng=np.random.default_rng(0))
+
+    def test_dropout_requires_generator(self):
+        with pytest.raises(TypeError):
+            Dropout(0.5, rng=None)
+
+    def test_linear_requires_generator(self):
+        with pytest.raises(TypeError):
+            Linear(3, 3, rng=None)

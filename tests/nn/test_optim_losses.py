@@ -12,7 +12,7 @@ from repro.nn import (
 )
 
 
-RNG = np.random.default_rng(17)
+RNG = np.random.default_rng(17)  # repro: allow[D001] seeded file-local RNG, shared on purpose
 
 
 class TestLosses:

@@ -9,7 +9,7 @@ from repro.nn import (
 )
 
 
-RNG = np.random.default_rng(13)
+RNG = np.random.default_rng(13)  # repro: allow[D001] seeded file-local RNG, shared on purpose
 
 
 def numeric_grad(fn, x, eps=1e-6):

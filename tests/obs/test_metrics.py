@@ -33,6 +33,7 @@ class TestDeprecationShim:
         sys.modules.pop("repro.serving.metrics", None)
         with pytest.warns(DeprecationWarning,
                           match="repro.obs.metrics"):
+            # repro: allow[H001] this test exercises the shim itself
             import repro.serving.metrics as shim
         assert shim.Counter is obs_metrics.Counter
         assert shim.Histogram is obs_metrics.Histogram
@@ -54,6 +55,7 @@ class TestDeprecationShim:
     def test_shim_registry_snapshot_schema_unchanged(self):
         sys.modules.pop("repro.serving.metrics", None)
         with pytest.warns(DeprecationWarning):
+            # repro: allow[H001] this test exercises the shim itself
             from repro.serving.metrics import MetricsRegistry as Shimmed
         registry = Shimmed()
         registry.counter("queries_total").inc()
