@@ -8,6 +8,9 @@ Subcommands::
     python -m repro.cli train   --city mini-chengdu --trips 2000 \\
                                 --epochs 8 --save model/
     python -m repro.cli serve   --artifact model/ --port 8321
+    python -m repro.cli serve   --artifact deploy/current --workers 4
+    python -m repro.cli loadtest --artifact model/ --workers 4 \\
+                                 --rps 100 --out BENCH_serving.json
     python -m repro.cli compare --city mini-xian --trips 2000 \\
                                 --methods TEMP LR GBM DeepOD
     python -m repro.cli sweep-w --city mini-chengdu --trips 2000 \\
@@ -22,7 +25,15 @@ Subcommands::
 ``train --save`` writes a self-contained serving artifact (directory:
 weights + config + calibration + dataset fingerprint) that ``serve``
 reloads with no retraining; a path ending in ``.npz`` falls back to a
-bare weights file.  The ``exp`` group drives the experiment pipeline
+bare weights file.  ``serve --workers N`` (N > 1) swaps the
+single-process service for the sharded multi-process
+:class:`~repro.serving.ServingCluster` — point ``--artifact`` at a
+promotion gate's ``current`` symlink and workers hot-swap newly
+promoted models without dropping traffic.  ``loadtest`` replays a
+seeded synthetic query stream against a cluster at controlled RPS and
+writes the ``BENCH_serving.json`` SLO document (p50/p95/p99 latency,
+saturation throughput, multi-worker overlap).  The ``exp`` group
+drives the experiment pipeline
 (``repro.experiments``): checkpointed registry runs, parallel sweep
 grids, and gated promotion of the best artifact into a deployment
 directory that ``serve --artifact <deploy>/current`` picks up.
@@ -193,24 +204,40 @@ def cmd_serve(args) -> int:
         run_jsonl_loop, serve_http,
     )
     tracer = _make_tracer(args)
-    service_config = ServiceConfig(max_batch=args.max_batch,
-                                   max_wait_s=args.max_wait_ms / 1000.0)
-    try:
-        predictor = load_artifact(args.artifact)
-        service = TravelTimeService(predictor, config=service_config,
-                                    tracer=tracer)
-    except ArtifactError as exc:
-        if not args.fallback_city:
+    is_cluster = args.workers > 1
+    if is_cluster:
+        from .serving import ClusterConfig, ServingCluster
+        try:
+            service = ServingCluster(
+                args.artifact, tracer=tracer,
+                config=ClusterConfig(
+                    num_workers=args.workers, routing=args.routing,
+                    max_batch=args.max_batch,
+                    max_wait_s=args.max_wait_ms / 1000.0))
+        except ArtifactError as exc:
             raise SystemExit(f"invalid artifact: {exc}")
-        # Degraded mode: no model, historical-average answers only.
-        print(f"artifact rejected ({exc}); serving degraded from "
-              f"{args.fallback_city}", file=sys.stderr)
-        dataset = load_city(args.fallback_city, num_trips=args.trips,
-                            num_days=args.days)
-        service = TravelTimeService(dataset=dataset, config=service_config,
-                                    tracer=tracer)
+    else:
+        service_config = ServiceConfig(max_batch=args.max_batch,
+                                       max_wait_s=args.max_wait_ms / 1000.0)
+        try:
+            predictor = load_artifact(args.artifact)
+            service = TravelTimeService(predictor, config=service_config,
+                                        tracer=tracer)
+        except ArtifactError as exc:
+            if not args.fallback_city:
+                raise SystemExit(f"invalid artifact: {exc}")
+            # Degraded mode: no model, historical-average answers only.
+            print(f"artifact rejected ({exc}); serving degraded from "
+                  f"{args.fallback_city}", file=sys.stderr)
+            dataset = load_city(args.fallback_city, num_trips=args.trips,
+                                num_days=args.days)
+            service = TravelTimeService(dataset=dataset,
+                                        config=service_config,
+                                        tracer=tracer)
 
     def finish() -> None:
+        if is_cluster:
+            service.stop()
         _export_obs(args, tracer, snapshot=service.metrics_snapshot())
 
     if args.query:
@@ -219,17 +246,66 @@ def cmd_serve(args) -> int:
         except json.JSONDecodeError as exc:
             raise SystemExit(f"--query is not valid JSON: {exc}")
         from .serving import parse_query
+        if is_cluster:
+            service.start()
         response = service.query(parse_query(payload))
         print(json.dumps(response.to_dict()))
         finish()
         return 0
     if args.stdin:
+        if is_cluster:
+            service.start()
         run_jsonl_loop(service, sys.stdin, sys.stdout)
         finish()
         return 0
     serve_http(service, host=args.host, port=args.port,
                verbose=args.verbose)
     finish()
+    return 0
+
+
+def cmd_loadtest(args) -> int:
+    """Run the serving load harness and write ``BENCH_serving.json``."""
+    from .serving import ArtifactError
+    from .serving.cluster import run_load_test, write_bench
+    from .obs import MetricsRegistry
+    registry = MetricsRegistry()
+    try:
+        payload = run_load_test(
+            args.artifact, workers=args.workers, queries=args.queries,
+            rps=args.rps, seed=args.seed, stall_ms=args.stall_ms,
+            floor=args.floor, max_batch=args.max_batch,
+            max_wait_s=args.max_wait_ms / 1000.0, routing=args.routing,
+            metrics=registry)
+    except ArtifactError as exc:
+        raise SystemExit(f"invalid artifact: {exc}")
+    overlap, model = payload["overlap"], payload["model"]
+    latency = payload["open_loop"]["latency_ms"]
+    print(f"overlap ({args.workers} workers, {args.stall_ms:.0f}ms stall): "
+          f"{overlap['single_qps']:.1f} -> {overlap['cluster_qps']:.1f} "
+          f"qps ({overlap['speedup']:.2f}x, floor {overlap['floor']:.1f}x)")
+    print(f"model saturation: {model['single_qps']:.1f} qps single, "
+          f"{model['cluster_qps']:.1f} qps cluster "
+          f"({model['speedup']:.2f}x on {payload['cpus']} cpu(s))")
+    print(f"open loop @ {args.rps:.0f} rps: "
+          f"p50 {latency['p50']:.1f}ms  p95 {latency['p95']:.1f}ms  "
+          f"p99 {latency['p99']:.1f}ms  "
+          f"shed {payload['open_loop']['shed']} "
+          f"failed {payload['open_loop']['failed']}")
+    if args.out:
+        write_bench(args.out, payload)
+        print(f"bench written to {args.out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(registry.snapshot(), handle, indent=2,
+                      sort_keys=True)
+            handle.write("\n")
+        print(f"metrics snapshot written to {args.metrics_out}",
+              file=sys.stderr)
+    if args.assert_floor and overlap["speedup"] < overlap["floor"]:
+        print(f"FAIL: overlap speedup {overlap['speedup']:.2f}x below "
+              f"floor {overlap['floor']:.1f}x", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -564,6 +640,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
                          dest="max_wait_ms",
                          help="micro-batcher latency bound")
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker processes; >1 serves from the "
+                              "sharded ServingCluster (hot model swap, "
+                              "per-shard micro-batching)")
+    p_serve.add_argument("--routing", default="region",
+                         choices=["region", "round_robin"],
+                         help="cluster query -> shard policy")
     p_serve.add_argument("--fallback-city", default="",
                          dest="fallback_city",
                          help="serve degraded from this city preset if "
@@ -575,6 +658,42 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--verbose", action="store_true")
     obs(p_serve)
     p_serve.set_defaults(func=cmd_serve)
+
+    p_loadtest = sub.add_parser(
+        "loadtest", help="serving load harness -> BENCH_serving.json")
+    p_loadtest.add_argument("--artifact", required=True,
+                            help="artifact directory (or deploy/current)")
+    p_loadtest.add_argument("--workers", type=int, default=4,
+                            help="cluster shard count under test")
+    p_loadtest.add_argument("--queries", type=int, default=256,
+                            help="synthetic queries per measurement")
+    p_loadtest.add_argument("--rps", type=float, default=100.0,
+                            help="open-loop arrival rate")
+    p_loadtest.add_argument("--seed", type=int, default=0)
+    p_loadtest.add_argument("--stall-ms", type=float, default=50.0,
+                            dest="stall_ms",
+                            help="injected per-batch work for the "
+                                 "overlap measurement (model-latency "
+                                 "stand-in; see WorkerOptions)")
+    p_loadtest.add_argument("--floor", type=float, default=2.0,
+                            help="overlap speedup floor recorded in the "
+                                 "bench document")
+    p_loadtest.add_argument("--assert-floor", action="store_true",
+                            dest="assert_floor",
+                            help="exit 1 if overlap speedup < --floor")
+    p_loadtest.add_argument("--max-batch", type=int, default=16,
+                            dest="max_batch")
+    p_loadtest.add_argument("--max-wait-ms", type=float, default=2.0,
+                            dest="max_wait_ms")
+    p_loadtest.add_argument("--routing", default="region",
+                            choices=["region", "round_robin"])
+    p_loadtest.add_argument("--out", default="",
+                            help="write BENCH_serving.json here")
+    p_loadtest.add_argument("--metrics-out", default="",
+                            dest="metrics_out", metavar="OUT",
+                            help="write the harness metrics snapshot "
+                                 "JSON to this path")
+    p_loadtest.set_defaults(func=cmd_loadtest)
 
     p_cmp = sub.add_parser("compare", help="compare methods (Table 4)")
     common(p_cmp)

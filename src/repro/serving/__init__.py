@@ -21,6 +21,14 @@ the operational half of that story:
 ``service`` / ``server``
     The wired :class:`TravelTimeService` plus stdlib HTTP / JSON-lines
     front-ends (``python -m repro.cli serve``).
+``errors``
+    Capacity-error types (``SaturatedError`` → HTTP 503) shared by the
+    service, the cluster and the front-ends.
+``cluster``
+    Sharded multi-process serving (:class:`ServingCluster`): forked
+    copy-on-write workers, cross-connection micro-batching, hot model
+    swap off the promotion gate's ``current`` symlink, and the
+    load-test harness behind ``cli loadtest``.
 """
 
 from .artifact import (
@@ -31,9 +39,11 @@ from .batcher import MicroBatcher
 from .cache import LRUCache, ODMatchCache, SpeedSliceCache
 from ..obs.metrics import Counter, Histogram, MetricsRegistry
 from ..trajectory.model import Query
+from .errors import SaturatedError, ServiceUnavailable, WorkerUnavailableError
 from .fallback import HistoricalAverageFallback
 from .server import ServingHTTPServer, parse_query, run_jsonl_loop, serve_http
 from .service import ServiceConfig, ServingResponse, TravelTimeService
+from .cluster import ClusterConfig, ServingCluster
 
 __all__ = [
     "ArtifactError", "load_artifact", "read_manifest", "save_artifact",
@@ -41,7 +51,9 @@ __all__ = [
     "MicroBatcher",
     "LRUCache", "ODMatchCache", "SpeedSliceCache",
     "HistoricalAverageFallback",
+    "SaturatedError", "ServiceUnavailable", "WorkerUnavailableError",
     "Counter", "Histogram", "MetricsRegistry", "Query",
     "ServingHTTPServer", "parse_query", "run_jsonl_loop", "serve_http",
     "ServiceConfig", "ServingResponse", "TravelTimeService",
+    "ClusterConfig", "ServingCluster",
 ]

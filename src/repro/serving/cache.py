@@ -108,6 +108,10 @@ class SpeedSliceCache:
         return self._lru.get_or_compute(
             period, lambda: self.store.normalized_matrix_before(t))
 
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
+
     def stats(self) -> Dict[str, float]:
         return self._lru.stats()
 
@@ -141,6 +145,10 @@ class ODMatchCache:
         key = self._key(x, y)
         return self._lru.get_or_compute(
             key, lambda: self.index.nearest_edge(key[0], key[1]))
+
+    @property
+    def hit_rate(self) -> float:
+        return self._lru.hit_rate
 
     def stats(self) -> Dict[str, float]:
         return self._lru.stats()

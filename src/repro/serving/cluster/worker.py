@@ -1,0 +1,180 @@
+"""Shard worker: one process, one :class:`TravelTimeService`, hot swap.
+
+A worker owns a full single-process serving stack (caches, fallback,
+metrics) for its shard and answers batches shipped over a
+``multiprocessing`` pipe by the parent's dispatcher.  Workers are
+forked *after* the parent has built the dataset and loaded the deployed
+predictor, so both arrive by copy-on-write — no per-worker dataset
+regeneration, no per-worker weight load on a cold start.
+
+**Hot swap.**  The worker watches ``watch_path`` — typically the
+promotion gate's ``<deploy>/current`` symlink — by resolving its
+realpath before every batch and on every idle poll tick.  When the
+realpath changes (the gate's atomic symlink flip), the worker has by
+construction no in-flight work (it answers one batch at a time; queued
+requests wait in the pipe), so it reloads in place and the next batch
+runs on the new model.  A reload that fails — mid-copy artifact,
+checksum mismatch, dataset-fingerprint drift — keeps the old predictor
+serving and retries on the next tick: a bad push can never take a shard
+down, and no request is ever dropped across a swap.
+
+The wire protocol is deliberately tiny (tuples over a duplex pipe)::
+
+    ("batch", [(origin, destination, depart_time), ...])
+        -> ("ok", [(seconds, lower, upper, o_edge, d_edge,
+                    degraded, source), ...])
+        |  ("err", "<repr of the failure>")
+    ("ping",)  -> ("pong", {shard, pid, version, queries, swaps, ...})
+    ("stop",)  -> worker exits
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ...serving.artifact import ArtifactError, load_artifact
+from ...trajectory.model import Query
+from ..service import ServiceConfig, ServingResponse, TravelTimeService
+
+
+@dataclass
+class WorkerOptions:
+    """Per-worker knobs shipped from :class:`ClusterConfig`.
+
+    ``batch_stall_s`` injects a fixed sleep before every answered batch.
+    It exists for the load harness and the degradation tests: a
+    controlled stand-in for model latency on bigger hardware (the same
+    fixed-duration-work pattern as ``benchmarks/test_sweep_parallel``),
+    and a deterministic way to saturate a shard.  Production configs
+    leave it at 0.
+    """
+
+    swap_poll_s: float = 0.05
+    batch_stall_s: float = 0.0
+    service: Optional[ServiceConfig] = None
+
+
+ResponseRow = Tuple[float, float, float, int, int, bool, str]
+
+
+def response_to_row(response: ServingResponse) -> ResponseRow:
+    return (response.seconds, response.lower, response.upper,
+            response.origin_edge, response.destination_edge,
+            response.degraded, response.source)
+
+
+def row_to_response(row: ResponseRow) -> ServingResponse:
+    return ServingResponse(seconds=row[0], lower=row[1], upper=row[2],
+                           origin_edge=row[3], destination_edge=row[4],
+                           degraded=row[5], source=row[6])
+
+
+class _WorkerState:
+    """The live model + service of one worker, reloadable in place."""
+
+    def __init__(self, shard_id: int, watch_path: str, version: str,
+                 predictor, dataset, options: WorkerOptions):
+        self.shard_id = shard_id
+        self.watch_path = watch_path
+        self.version = version
+        self.dataset = dataset
+        self.options = options
+        self.swaps = 0
+        self.swap_failures = 0
+        self._build_service(predictor)
+
+    def _build_service(self, predictor) -> None:
+        # The worker answers pre-batched requests synchronously, so its
+        # service never starts the internal micro-batcher thread —
+        # batching happens once, in the parent, across connections.
+        self.service = TravelTimeService(
+            predictor=predictor, dataset=self.dataset,
+            config=self.options.service or ServiceConfig())
+
+    def maybe_reload(self) -> bool:
+        """Reload iff the watched artifact now resolves elsewhere.
+
+        Fail-closed on a broken candidate: the old model keeps serving
+        and the reload is retried on the next tick.
+        """
+        target = os.path.realpath(self.watch_path)
+        if target == self.version:
+            return False
+        try:
+            predictor = load_artifact(target, dataset=self.dataset)
+        except ArtifactError:
+            self.swap_failures += 1
+            return False
+        self._build_service(predictor)
+        self.version = target
+        self.swaps += 1
+        return True
+
+    def answer(self, rows: List[Tuple]) -> List[ResponseRow]:
+        if self.options.batch_stall_s > 0:
+            time.sleep(self.options.batch_stall_s)
+        queries = [Query.coerce(row) for row in rows]
+        return [response_to_row(r)
+                for r in self.service.query_batch(queries)]
+
+    def info(self) -> dict:
+        metrics = self.service.metrics
+        return {
+            "shard": self.shard_id,
+            "pid": os.getpid(),
+            "version": self.version,
+            "queries": metrics.counter("queries_total").value,
+            "swaps": self.swaps,
+            "swap_failures": self.swap_failures,
+            "degraded": self.service.degraded,
+            "od_cache_hit_rate": (self.service.od_cache.hit_rate
+                                  if self.service.od_cache else 0.0),
+        }
+
+
+def worker_main(conn, shard_id: int, watch_path: str,
+                inherited: Optional[Tuple], options: WorkerOptions) -> None:
+    """Process entry point: serve batches from ``conn`` until told to stop.
+
+    ``inherited`` is ``(version, predictor, dataset)`` under the fork
+    start method (copy-on-write, nothing pickled); ``None`` under spawn,
+    in which case the worker loads the artifact itself (the manifest's
+    recorded build parameters regenerate the dataset).
+    """
+    if inherited is not None:
+        version, predictor, dataset = inherited
+    else:
+        version = os.path.realpath(watch_path)
+        predictor = load_artifact(version)
+        dataset = predictor.dataset
+    state = _WorkerState(shard_id, watch_path, version, predictor,
+                         dataset, options)
+    try:
+        while True:
+            if not conn.poll(options.swap_poll_s):
+                state.maybe_reload()      # idle tick: pick up swaps
+                continue
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                return
+            if kind == "ping":
+                state.maybe_reload()
+                conn.send(("pong", state.info()))
+                continue
+            if kind == "batch":
+                state.maybe_reload()      # swap lands between batches
+                try:
+                    conn.send(("ok", state.answer(message[1])))
+                except Exception as exc:  # containment: shard survives
+                    conn.send(("err", repr(exc)))
+                continue
+            conn.send(("err", f"unknown message kind {kind!r}"))
+    except (EOFError, BrokenPipeError, ConnectionResetError, OSError,
+            KeyboardInterrupt):
+        return                            # parent went away; exit quietly
+    finally:
+        conn.close()

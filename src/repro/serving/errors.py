@@ -1,0 +1,38 @@
+"""Serving-layer error types shared by the service, cluster and HTTP
+front-end.
+
+A production front door distinguishes *caller* errors (bad query →
+HTTP 400) from *capacity* errors (the stack is up but cannot take more
+work right now → HTTP 503 with a Retry-After hint).  The second family
+lives here so every layer — single-process :class:`TravelTimeService`,
+the sharded :class:`~repro.serving.cluster.ServingCluster`, and the
+stdlib HTTP server — raises and handles the same types.
+"""
+
+from __future__ import annotations
+
+
+class ServiceUnavailable(Exception):
+    """The serving stack is temporarily unable to answer (HTTP 503).
+
+    ``retry_after_s`` is a hint for the ``Retry-After`` header: how long
+    a well-behaved caller should back off before retrying.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 0.05):
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+class SaturatedError(ServiceUnavailable):
+    """The admission queue is full; shedding load instead of buffering.
+
+    Raised by ``submit`` when the pending-query bound is reached — the
+    alternative (unbounded queueing) turns overload into unbounded
+    latency for every caller instead of fast 503s for the excess.
+    """
+
+
+class WorkerUnavailableError(ServiceUnavailable):
+    """A shard's worker process cannot answer (crashed and not yet
+    restarted, or unresponsive past the dispatch timeout)."""

@@ -8,10 +8,21 @@ Two transports, zero dependencies beyond the standard library:
     "destination": [x, y], "depart_time": t}``
   - ``POST /estimate_batch``  ``{"queries": [query, ...]}``
   - ``GET  /metrics``         the service's JSON metrics snapshot
-  - ``GET  /healthz``         liveness + degraded flag
+  - ``GET  /healthz``         liveness + degraded flag (plus per-shard
+    detail when the backend is a :class:`ServingCluster`)
 
   Single-query POSTs go through the micro-batcher, so concurrent
-  request threads coalesce into vectorised model calls.
+  request threads coalesce into vectorised model calls.  The backend is
+  duck-typed: anything exposing ``answer`` / ``query_batch`` /
+  ``metrics_snapshot`` / ``degraded`` serves — the single-process
+  :class:`TravelTimeService` and the sharded
+  :class:`~repro.serving.cluster.ServingCluster` interchangeably.
+
+  Capacity errors are first-class: a saturated admission queue
+  (:class:`SaturatedError`) or an artifact reload caught mid-swap
+  (:class:`ArtifactError`) answers **503** with a JSON error body and a
+  ``Retry-After`` header instead of a socket reset, so callers can
+  back off and retry rather than treating shed load as an outage.
 
 * **JSON lines** (``run_jsonl_loop``) — one query object per input
   line, one response object per output line; ``{"cmd": "metrics"}``
@@ -26,6 +37,8 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import IO, Optional, Tuple
 
 from ..trajectory.model import Query
+from .artifact import ArtifactError
+from .errors import ServiceUnavailable
 from .service import TravelTimeService
 
 
@@ -65,11 +78,17 @@ class _Handler(BaseHTTPRequestHandler):
         return self.server.service    # type: ignore[attr-defined]
 
     # -- plumbing --------------------------------------------------------
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   retry_after_s: Optional[float] = None) -> None:
         body = json.dumps(payload).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Retry-After is integer seconds; round up so "0.004s" does
+            # not tell clients to hammer back immediately.
+            self.send_header("Retry-After",
+                             str(max(1, int(-(-retry_after_s // 1)))))
         self.end_headers()
         self.wfile.write(body)
 
@@ -86,8 +105,13 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes ----------------------------------------------------------
     def do_GET(self):
         if self.path == "/healthz":
-            self._send_json(200, {"status": "ok",
-                                  "degraded": self.service.degraded})
+            health = {"status": "ok", "degraded": self.service.degraded}
+            snapshot = getattr(self.service, "health_snapshot", None)
+            if snapshot is not None:    # cluster backend: shard detail
+                health.update(snapshot())
+                if health["degraded"]:
+                    health["status"] = "degraded"
+            self._send_json(200, health)
         elif self.path == "/metrics":
             self._send_json(200, self.service.metrics_snapshot())
         else:
@@ -102,10 +126,7 @@ class _Handler(BaseHTTPRequestHandler):
         try:
             if self.path == "/estimate":
                 query = parse_query(payload)
-                if self.service.batcher.running:
-                    response = self.service.submit(query).result()
-                else:
-                    response = self.service.query(query)
+                response = self.service.answer(query)
                 self._send_json(200, response.to_dict())
             elif self.path == "/estimate_batch":
                 queries = [parse_query(q)
@@ -117,6 +138,13 @@ class _Handler(BaseHTTPRequestHandler):
                 self._send_json(404, {"error": f"no route {self.path}"})
         except ValueError as exc:
             self._send_json(400, {"error": str(exc)})
+        except ServiceUnavailable as exc:
+            self._send_json(503, {"error": str(exc), "saturated": True},
+                            retry_after_s=exc.retry_after_s)
+        except ArtifactError as exc:
+            self._send_json(503, {"error": f"artifact mid-swap: {exc}",
+                                  "saturated": False},
+                            retry_after_s=0.5)
         except Exception as exc:    # never kill the connection thread
             self._send_json(500, {"error": f"internal error: {exc}"})
 

@@ -31,15 +31,24 @@ from ..obs.tracing import Tracer
 from ..trajectory.model import ODInput, Query
 from .batcher import MicroBatcher
 from .cache import ODMatchCache, SpeedSliceCache
+from .errors import SaturatedError
 from .fallback import HistoricalAverageFallback
 
 
 @dataclass
 class ServiceConfig:
-    """Operational knobs of the serving stack."""
+    """Operational knobs of the serving stack.
+
+    ``max_pending`` bounds the micro-batcher admission queue: once that
+    many queries are waiting, :meth:`TravelTimeService.submit` sheds
+    load with :class:`~repro.serving.errors.SaturatedError` (the HTTP
+    front-end turns it into a 503) instead of buffering without bound.
+    ``0`` keeps the queue unbounded.
+    """
 
     max_batch: int = 128
     max_wait_s: float = 0.005
+    max_pending: int = 0
     od_cache_size: int = 4096
     slice_cache_size: int = 64
     match_quantize_metres: float = 0.0
@@ -50,6 +59,8 @@ class ServiceConfig:
             raise ValueError("max_batch must be >= 1")
         if self.max_wait_s < 0:
             raise ValueError("max_wait_s must be >= 0")
+        if self.max_pending < 0:
+            raise ValueError("max_pending must be >= 0")
 
 
 @dataclass
@@ -126,6 +137,16 @@ class TravelTimeService(Instrumented):
                     capacity=self.config.slice_cache_size)
                 self.metrics.register_gauge("speed_slice_cache",
                                             self.slice_cache.stats)
+        # Standard-schema cache-effectiveness gauges (dashboards key on
+        # these names; the full stats dicts above stay for debugging).
+        # A cache that does not exist on this service reads 0.0 rather
+        # than vanishing from the snapshot.
+        self.metrics.register_gauge(
+            "serve.cache.od.hit_rate",
+            lambda: self.od_cache.hit_rate if self.od_cache else 0.0)
+        self.metrics.register_gauge(
+            "serve.cache.speed.hit_rate",
+            lambda: self.slice_cache.hit_rate if self.slice_cache else 0.0)
 
         self.batcher = MicroBatcher(
             self._answer_batch,
@@ -182,18 +203,36 @@ class TravelTimeService(Instrumented):
 
         The batcher worker must be running (see :meth:`start`); the
         future resolves to a :class:`ServingResponse`.  Accepts the
-        same query forms as :meth:`query`.
+        same query forms as :meth:`query`.  When the admission queue is
+        full (``config.max_pending``), sheds load by raising
+        :class:`SaturatedError` instead of queueing.
         """
         if destination_xy is not None:
             query = Query(origin_xy=tuple(query),
                           destination_xy=tuple(destination_xy),
                           depart_time=depart_time)
+        limit = self.config.max_pending
+        if limit and self.batcher.pending >= limit:
+            self.metrics.counter("saturated_rejections").inc()
+            raise SaturatedError(
+                f"serving queue full ({limit} queries pending)",
+                retry_after_s=self.config.max_wait_s * 2)
         enqueued = time.perf_counter()
         future = self.batcher.submit(Query.coerce(query))
         future.add_done_callback(
             lambda f: self.metrics.histogram("latency_ms").observe(
                 (time.perf_counter() - enqueued) * 1000.0))
         return future
+
+    def answer(self, query) -> ServingResponse:
+        """Answer one query on the best available path: through the
+        micro-batcher when its worker is running (so concurrent callers
+        coalesce), synchronously otherwise.  This is the front-end entry
+        point shared with :class:`~repro.serving.cluster.ServingCluster`.
+        """
+        if self.batcher.running:
+            return self.submit(query).result()
+        return self.query(query)
 
     # -- internals -------------------------------------------------------
     def _answer_batch(self, queries: List[Query]) -> List[ServingResponse]:

@@ -1,0 +1,34 @@
+"""Cluster-test fixtures: started clusters with guaranteed teardown.
+
+The session-scoped trained model, dataset and artifact come from
+``tests/serving/conftest.py``; everything here layers process
+management on top.  ``cluster_factory`` hands out started
+:class:`ServingCluster` instances and stops every one of them at test
+exit, so a failing assertion can never leak worker processes into the
+rest of the run.
+"""
+
+import pytest
+
+from repro.serving import ClusterConfig, ServingCluster
+
+
+@pytest.fixture()
+def cluster_factory(artifact_dir, serving_dataset):
+    clusters = []
+
+    def make(artifact=None, **config_kwargs):
+        config = ClusterConfig(**config_kwargs)
+        cluster = ServingCluster(artifact or artifact_dir,
+                                 dataset=serving_dataset, config=config)
+        clusters.append(cluster)
+        return cluster.start()
+
+    yield make
+    for cluster in clusters:
+        cluster.stop()
+
+
+def sample_queries(dataset, n=8):
+    return [(t.od.origin_xy, t.od.destination_xy, t.od.depart_time)
+            for t in dataset.split.test[:n]]

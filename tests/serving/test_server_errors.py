@@ -1,0 +1,164 @@
+"""HTTP front-end capacity errors: 503s, Retry-After, cluster healthz.
+
+The handler is duck-typed over its backend, so these tests drive it
+with stub services that fail on demand — the 503 contract is a
+property of the front-end, independent of which backend saturates.
+The real saturation paths (service/cluster raising ``SaturatedError``)
+are covered in ``test_service.py`` and ``cluster/test_degradation.py``.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serving import (
+    ArtifactError, SaturatedError, ServingHTTPServer, ServingResponse,
+)
+
+QUERY = {"origin": [100.0, 100.0], "destination": [900.0, 700.0],
+         "depart_time": 3600.0}
+
+
+class PlainStub:
+    """Minimal duck-typed backend: answers, or raises what it is told.
+
+    Deliberately has *no* ``health_snapshot`` attribute — the handler
+    must treat it exactly like a plain ``TravelTimeService``.
+    """
+
+    def __init__(self, raise_exc=None, degraded=False):
+        self.raise_exc = raise_exc
+        self.degraded = degraded
+
+    def answer(self, query):
+        if self.raise_exc is not None:
+            raise self.raise_exc
+        return ServingResponse(seconds=60.0, lower=50.0, upper=70.0,
+                               origin_edge=1, destination_edge=2,
+                               degraded=self.degraded, source="model")
+
+    def query_batch(self, queries):
+        return [self.answer(q) for q in queries]
+
+    def metrics_snapshot(self):
+        return {"counters": {}, "histograms": {}, "gauges": {},
+                "degraded": self.degraded}
+
+
+class ClusterStub(PlainStub):
+    """A backend that, like ``ServingCluster``, reports shard health."""
+
+    def __init__(self, snapshot, **kwargs):
+        super().__init__(**kwargs)
+        self._snapshot = snapshot
+
+    def health_snapshot(self):
+        return dict(self._snapshot)
+
+
+@pytest.fixture()
+def http_server():
+    """Factory: serve a stub, yield its base URL, always clean up."""
+    servers = []
+
+    def serve(service):
+        server = ServingHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        servers.append((server, thread))
+        return f"http://127.0.0.1:{server.server_address[1]}"
+
+    yield serve
+    for server, thread in servers:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5)
+
+
+def post_estimate(base):
+    request = urllib.request.Request(
+        f"{base}/estimate", data=json.dumps(QUERY).encode(),
+        headers={"Content-Type": "application/json"})
+    return urllib.request.urlopen(request, timeout=10)
+
+
+class TestSaturation503:
+    def test_saturated_returns_503_json_with_retry_after(self,
+                                                         http_server):
+        base = http_server(PlainStub(
+            raise_exc=SaturatedError("queue full (8 queries pending)",
+                                     retry_after_s=0.25)))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_estimate(base)
+        error = excinfo.value
+        assert error.code == 503
+        assert error.headers["Content-Type"] == "application/json"
+        assert int(error.headers["Retry-After"]) >= 1
+        body = json.loads(error.read())
+        assert body["saturated"] is True
+        assert "queue full" in body["error"]
+
+    def test_artifact_mid_swap_returns_503(self, http_server):
+        base = http_server(PlainStub(
+            raise_exc=ArtifactError("weights checksum mismatch")))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_estimate(base)
+        error = excinfo.value
+        assert error.code == 503
+        assert "Retry-After" in error.headers
+        body = json.loads(error.read())
+        assert body["saturated"] is False
+        assert "mid-swap" in body["error"]
+
+    def test_batch_route_sheds_too(self, http_server):
+        base = http_server(PlainStub(
+            raise_exc=SaturatedError("shard 1 queue full")))
+        request = urllib.request.Request(
+            f"{base}/estimate_batch",
+            data=json.dumps({"queries": [QUERY]}).encode(),
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 503
+
+    def test_unexpected_errors_stay_500(self, http_server):
+        base = http_server(PlainStub(raise_exc=RuntimeError("boom")))
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            post_estimate(base)
+        assert excinfo.value.code == 500
+
+
+class TestHealthz:
+    def test_plain_backend_shape_unchanged(self, http_server):
+        base = http_server(PlainStub())
+        with urllib.request.urlopen(f"{base}/healthz",
+                                    timeout=10) as reply:
+            health = json.loads(reply.read())
+        assert health == {"status": "ok", "degraded": False}
+
+    def test_cluster_backend_reports_shards(self, http_server):
+        snapshot = {"workers": 2, "healthy": 2, "degraded": False,
+                    "shards": [{"shard": 0, "alive": True},
+                               {"shard": 1, "alive": True}]}
+        base = http_server(ClusterStub(snapshot))
+        with urllib.request.urlopen(f"{base}/healthz",
+                                    timeout=10) as reply:
+            health = json.loads(reply.read())
+        assert health["status"] == "ok"
+        assert health["workers"] == 2
+        assert len(health["shards"]) == 2
+
+    def test_degraded_cluster_reports_degraded_status(self, http_server):
+        snapshot = {"workers": 1, "healthy": 0, "degraded": True,
+                    "shards": [{"shard": 0, "alive": False}]}
+        base = http_server(ClusterStub(snapshot, degraded=True))
+        with urllib.request.urlopen(f"{base}/healthz",
+                                    timeout=10) as reply:
+            health = json.loads(reply.read())
+        assert health["status"] == "degraded"
+        assert health["degraded"] is True
+        assert health["healthy"] == 0

@@ -10,8 +10,8 @@ import pytest
 
 from repro.cli import main
 from repro.serving import (
-    ServiceConfig, ServingHTTPServer, TravelTimeService, parse_query,
-    run_jsonl_loop,
+    SaturatedError, ServiceConfig, ServingHTTPServer, TravelTimeService,
+    parse_query, run_jsonl_loop,
 )
 
 
@@ -72,6 +72,65 @@ class TestModelPath:
         direct = [service.query(*q).seconds for q in queries]
         assert [r.seconds for r in results] == pytest.approx(direct)
         assert service.metrics.histogram("batch_size").count >= 1
+
+
+class TestCapacity:
+    def test_submit_sheds_past_max_pending(self, trained_predictor,
+                                           serving_dataset):
+        # Manually-driven batcher (never started): pending grows with
+        # each submit, so the shed point is exact and deterministic.
+        service = TravelTimeService(
+            trained_predictor, config=ServiceConfig(max_pending=2))
+        queries = sample_queries(serving_dataset, 5)
+        futures = [service.submit(*queries[0]) for _ in range(2)]
+        with pytest.raises(SaturatedError) as excinfo:
+            service.submit(*queries[1])
+        assert excinfo.value.retry_after_s > 0
+        snap = service.metrics_snapshot()
+        assert snap["counters"]["saturated_rejections"] == 1
+        # Admitted queries still drain and answer.
+        service.batcher.drain()
+        assert all(f.result(timeout=0).seconds > 0 for f in futures)
+
+    def test_unbounded_by_default(self, service, serving_dataset):
+        query = sample_queries(serving_dataset, 1)[0]
+        futures = [service.submit(*query) for _ in range(64)]
+        service.batcher.drain()
+        assert all(f.result(timeout=0).seconds > 0 for f in futures)
+
+    def test_answer_uses_batcher_only_when_running(self, service,
+                                                   serving_dataset):
+        query = sample_queries(serving_dataset, 1)[0]
+        direct = service.answer(query)          # batcher not running
+        assert direct.source == "model"
+        service.start()
+        try:
+            batched = service.answer(query)
+        finally:
+            service.stop()
+        assert batched.seconds == pytest.approx(direct.seconds)
+
+    def test_max_pending_validation(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            ServiceConfig(max_pending=-1)
+
+
+class TestCacheGauges:
+    def test_hit_rates_in_standard_snapshot(self, trained_predictor,
+                                            serving_dataset):
+        from repro.obs import validate_metrics_snapshot
+        service = TravelTimeService(trained_predictor)
+        query = sample_queries(serving_dataset, 1)[0]
+        service.query(*query)
+        service.query(*query)
+        snap = service.metrics_snapshot()
+        validate_metrics_snapshot(snap)
+        assert snap["gauges"]["serve.cache.od.hit_rate"] > 0.0
+        assert snap["gauges"]["serve.cache.od.hit_rate"] == \
+            pytest.approx(service.od_cache.hit_rate)
+        # No external features in the test config -> no slice cache;
+        # the gauge must still exist and read 0.
+        assert snap["gauges"]["serve.cache.speed.hit_rate"] == 0.0
 
 
 class TestFallback:
