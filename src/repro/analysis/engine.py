@@ -63,6 +63,9 @@ class LintConfig:
 
     ``wallclock_allowlist`` names the modules allowed to read wall-clock
     time (timestamp fields in the tracer and the run registry);
+    ``eventclock_zones`` names module prefixes where time may only come
+    from an injected ``EventClock`` — there even the monotonic clock is
+    off-limits (replays must be deterministic and fast-forwardable);
     ``deprecated_modules`` maps retired import paths to their
     replacements; ``dtype_zones`` pins the float dtype convention per
     module prefix (longest prefix wins).
@@ -71,6 +74,7 @@ class LintConfig:
     library_prefixes: Tuple[str, ...] = ("repro",)
     wallclock_allowlist: Tuple[str, ...] = (
         "repro.obs.tracing", "repro.experiments.registry")
+    eventclock_zones: Tuple[str, ...] = ("repro.streaming",)
     deprecated_modules: Tuple[Tuple[str, str], ...] = (
         ("repro.serving.metrics", "repro.obs.metrics"),)
     dtype_zones: Tuple[Tuple[str, str], ...] = (
@@ -83,6 +87,9 @@ class LintConfig:
 
     def is_library(self, module: str) -> bool:
         return any(_prefix_match(module, p) for p in self.library_prefixes)
+
+    def eventclock_zone(self, module: str) -> bool:
+        return any(_prefix_match(module, p) for p in self.eventclock_zones)
 
     def dtype_zone(self, module: str) -> Optional[str]:
         best: Optional[Tuple[str, str]] = None

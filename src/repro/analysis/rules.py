@@ -14,7 +14,11 @@ deterministic path reads the wall clock:
   (``repro.nn.init`` is the model: every scheme *requires* one).
 * ``D003`` — no ``time.time()`` / ``datetime.now()`` outside the
   allowlisted timestamp sites (tracer spans, run-registry records);
-  durations belong to ``time.perf_counter``.
+  durations belong to ``time.perf_counter``.  Inside *event-clock
+  zones* (``repro.streaming``) even the monotonic clocks and
+  ``time.sleep`` are forbidden: replayed streams must take their time
+  from an injected ``EventClock`` so runs are deterministic and tests
+  can fast-forward simulated hours.
 
 API hygiene:
 
@@ -118,6 +122,12 @@ class D003WallClock(Rule):
         "datetime.utcnow", "datetime.datetime.utcnow",
         "date.today", "datetime.date.today",
     }
+    # In event-clock zones real time must not leak in at all: no
+    # monotonic reads (pacing must come from the injected clock) and no
+    # sleeping (replays fast-forward instead of waiting).
+    _EVENTCLOCK_EXTRA = {
+        "time.monotonic", "time.perf_counter", "time.sleep",
+    }
 
     @classmethod
     def applies_to(cls, ctx: LintContext) -> bool:
@@ -134,6 +144,13 @@ class D003WallClock(Rule):
                               "for durations, or add the module to the "
                               "lint config's wallclock_allowlist if it "
                               "records genuine timestamps")
+        elif dotted in self._EVENTCLOCK_EXTRA and \
+                self.ctx.config.eventclock_zone(self.ctx.module):
+            self.report(node, f"{dotted}() reads real time inside the "
+                              f"event-clock zone {self.ctx.module}; "
+                              "streaming code must take time from the "
+                              "injected EventClock so replays stay "
+                              "deterministic")
         self.generic_visit(node)
 
 

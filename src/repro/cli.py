@@ -11,6 +11,8 @@ Subcommands::
     python -m repro.cli serve   --artifact deploy/current --workers 4
     python -m repro.cli loadtest --artifact model/ --workers 4 \\
                                  --rps 100 --out BENCH_serving.json
+    python -m repro.cli stream  --city mini-chengdu --trips 300 \\
+                                --deploy deploy/ --shift-factor 1.8
     python -m repro.cli compare --city mini-xian --trips 2000 \\
                                 --methods TEMP LR GBM DeepOD
     python -m repro.cli sweep-w --city mini-chengdu --trips 2000 \\
@@ -306,6 +308,105 @@ def cmd_loadtest(args) -> int:
         print(f"FAIL: overlap speedup {overlap['speedup']:.2f}x below "
               f"floor {overlap['floor']:.1f}x", file=sys.stderr)
         return 1
+    return 0
+
+
+def cmd_stream(args) -> int:
+    """Replay a live trip stream against a deployment: live speed
+    slices, drift detection and gated continuous learning end to end."""
+    from .experiments.promote import deployed_artifact_path, promote
+    from .obs import MetricsRegistry
+    from .serving import load_artifact, save_artifact
+    from .streaming import (
+        StreamingConfig, StreamingController, shift_travel_times,
+    )
+    tracer = _make_tracer(args)
+    registry = MetricsRegistry()
+    dataset = load_city(args.city, num_trips=args.trips,
+                        num_days=args.days, tracer=tracer)
+
+    # Bootstrap: with no deployed incumbent, train one and promote it —
+    # the continuous loop always fine-tunes *from* the deployed model.
+    if deployed_artifact_path(args.deploy) is None:
+        print("no deployed incumbent; bootstrapping one", file=sys.stderr)
+        config = _default_config(args)
+        model = build_deepod(dataset, config, tracer=tracer)
+        trainer = DeepODTrainer(model, dataset, eval_every=0,
+                                tracer=tracer)
+        trainer.fit()
+        predictor = TravelTimePredictor(trainer, coverage=args.coverage)
+        bootstrap_dir = save_artifact(
+            f"{args.workdir}/bootstrap", predictor)
+        decision = promote(bootstrap_dir, args.deploy, dataset=dataset)
+        if not decision.promoted:
+            raise SystemExit("bootstrap promotion refused: "
+                             + "; ".join(decision.reasons))
+
+    # The replayed "future": the chronological validation + test tail,
+    # optionally slowed down mid-stream to inject a regime shift.
+    trips = list(dataset.split.validation) + list(dataset.split.test)
+    shift_time = None
+    if args.shift_factor != 1.0:
+        departs = np.array([t.od.depart_time for t in trips])
+        shift_time = float(np.quantile(departs, args.shift_at))
+        trips = shift_travel_times(trips, shift_time, args.shift_factor,
+                                   seed=args.seed)
+        print(f"regime shift x{args.shift_factor:.2f} from event time "
+              f"{shift_time:.0f}s", file=sys.stderr)
+
+    deployed = deployed_artifact_path(args.deploy)
+    is_cluster = args.workers > 1
+    if is_cluster:
+        from .serving import ClusterConfig, ServingCluster
+        target = ServingCluster(
+            f"{args.deploy}/current", dataset=dataset,
+            metrics=registry, tracer=tracer,
+            config=ClusterConfig(num_workers=args.workers))
+        target.start()
+    else:
+        from .serving import TravelTimeService
+        target = TravelTimeService(
+            load_artifact(deployed, dataset=dataset),
+            metrics=registry, tracer=tracer)
+
+    controller = StreamingController(
+        dataset, trips, target,
+        deploy_root=args.deploy, workdir=args.workdir,
+        config=StreamingConfig(
+            batch_seconds=args.batch_seconds,
+            drift_window=args.drift_window,
+            drift_ratio=args.drift_ratio,
+            cooldown_batches=args.cooldown,
+            fine_tune_epochs=args.fine_tune_epochs),
+        seed=args.seed, metrics=registry, tracer=tracer)
+    try:
+        report = controller.run(max_batches=args.max_batches or None)
+    finally:
+        if is_cluster:
+            target.stop()
+    if shift_time is not None:
+        report["shift"] = {"factor": args.shift_factor,
+                           "event_time": shift_time}
+
+    print(f"stream: {report['served']}/{report['stream_total']} trips "
+          f"served over {report['batches']} batches "
+          f"({report['dropped']} dropped)")
+    print(f"  speed slices published: {report['published_slices']}")
+    print(f"  drift events: {len(report['drift_batches'])} "
+          f"at batches {report['drift_batches']}")
+    for promo in report["promotions"]:
+        print(f"  promoted {promo['version']} at batch {promo['batch']} "
+              f"(candidate MAE {promo['candidate_mae']:.2f}s vs "
+              f"incumbent {promo['incumbent_mae']:.2f}s)")
+    if report["baseline_mae"] is not None:
+        print(f"  rolling MAE: baseline {report['baseline_mae']:.2f}s "
+              f"-> final {report['final_rolling_mae']:.2f}s")
+    if args.report:
+        with open(args.report, "w") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"report written to {args.report}")
+    _export_obs(args, tracer, snapshot=registry.snapshot())
     return 0
 
 
@@ -694,6 +795,49 @@ def build_parser() -> argparse.ArgumentParser:
                             help="write the harness metrics snapshot "
                                  "JSON to this path")
     p_loadtest.set_defaults(func=cmd_loadtest)
+
+    p_stream = sub.add_parser(
+        "stream", help="replay a live trip stream: speed feed, drift "
+                       "detection, continuous learning")
+    common(p_stream)
+    p_stream.add_argument("--deploy", required=True,
+                          help="deployment root (bootstrapped with a "
+                               "trained incumbent when empty)")
+    p_stream.add_argument("--workdir", default="stream-work",
+                          help="scratch dir for fine-tune candidates")
+    p_stream.add_argument("--workers", type=int, default=1,
+                          help=">1 serves the stream from a "
+                               "ServingCluster with hot swap")
+    p_stream.add_argument("--batch-seconds", type=float, default=60.0,
+                          dest="batch_seconds",
+                          help="event-time seconds per controller tick")
+    p_stream.add_argument("--max-batches", type=int, default=0,
+                          dest="max_batches",
+                          help="stop after this many ticks (0: drain "
+                               "the stream)")
+    p_stream.add_argument("--drift-window", type=int, default=50,
+                          dest="drift_window")
+    p_stream.add_argument("--drift-ratio", type=float, default=1.5,
+                          dest="drift_ratio")
+    p_stream.add_argument("--cooldown", type=int, default=10,
+                          help="ticks between fine-tune attempts")
+    p_stream.add_argument("--fine-tune-epochs", type=int, default=1,
+                          dest="fine_tune_epochs")
+    p_stream.add_argument("--shift-factor", type=float, default=1.0,
+                          dest="shift_factor",
+                          help="inject a regime shift: trips after "
+                               "--shift-at slow down by this factor")
+    p_stream.add_argument("--shift-at", type=float, default=0.5,
+                          dest="shift_at",
+                          help="depart-time quantile where the shift "
+                               "starts")
+    p_stream.add_argument("--coverage", type=float, default=0.8,
+                          help="confidence-band coverage for the "
+                               "bootstrap artifact")
+    p_stream.add_argument("--report", default="",
+                          help="write the run report JSON here")
+    obs(p_stream)
+    p_stream.set_defaults(func=cmd_stream)
 
     p_cmp = sub.add_parser("compare", help="compare methods (Table 4)")
     common(p_cmp)

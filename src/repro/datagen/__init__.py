@@ -6,7 +6,9 @@ from .weather import (
     N_WEATHER_TYPES, WEATHER_TYPES, WeatherConfig, WeatherProcess,
 )
 from .trips import TripConfig, TripGenerator, sample_departure_time
-from .speed_matrix import SpeedGridConfig, SpeedMatrixStore
+from .speed_matrix import (
+    LiveSpeedStore, SpeedGridConfig, SpeedMatrixStore, edge_cell_indices,
+)
 from .dataset import (
     DatasetSplit, TaxiDataset, chronological_split, dataset_fingerprint,
     strip_trajectories, subsample_training,
@@ -20,7 +22,8 @@ __all__ = [
     "TrafficConfig", "TrafficModel",
     "N_WEATHER_TYPES", "WEATHER_TYPES", "WeatherConfig", "WeatherProcess",
     "TripConfig", "TripGenerator", "sample_departure_time",
-    "SpeedGridConfig", "SpeedMatrixStore",
+    "LiveSpeedStore", "SpeedGridConfig", "SpeedMatrixStore",
+    "edge_cell_indices",
     "DatasetSplit", "TaxiDataset", "chronological_split",
     "dataset_fingerprint", "strip_trajectories", "subsample_training",
     "PRESETS", "CityPreset", "build_city", "load_city",

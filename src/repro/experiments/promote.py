@@ -22,7 +22,7 @@ import hashlib
 import os
 import shutil
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -63,10 +63,18 @@ def deployed_artifact_path(deploy_root: str) -> Optional[str]:
     return os.path.realpath(link)
 
 
-def heldout_mae(predictor, dataset: TaxiDataset) -> float:
+def heldout_mae(predictor, dataset: TaxiDataset,
+                eval_trips: Optional[Sequence] = None) -> float:
     """Held-out error of a loaded predictor: MAE over the test split,
-    with trajectories stripped (the online protocol — only OD inputs)."""
-    test = strip_trajectories(dataset.split.test)
+    with trajectories stripped (the online protocol — only OD inputs).
+
+    ``eval_trips`` overrides the evaluation window — the streaming
+    continuous-learning loop passes its rolling held-out trips so a
+    fine-tuned candidate and the incumbent are both judged on the
+    traffic regime actually being served, not the frozen test split.
+    """
+    test = strip_trajectories(dataset.split.test if eval_trips is None
+                              else eval_trips)
     if not test:
         raise PromotionError("dataset has no held-out test trips")
     preds = predictor.trainer.predict(test)
@@ -117,14 +125,18 @@ def _install(candidate_dir: str, deploy_root: str, version: str) -> str:
 # ---------------------------------------------------------------------------
 def promote(candidate_dir: str, deploy_root: str,
             dataset: Optional[TaxiDataset] = None,
-            min_improvement: float = 0.0) -> PromotionDecision:
+            min_improvement: float = 0.0,
+            eval_trips: Optional[Sequence] = None) -> PromotionDecision:
     """Gate and (maybe) deploy a candidate artifact.
 
     The candidate must load cleanly; its held-out MAE must beat (or tie,
     under ``min_improvement = 0``) the incumbent's on the same data.
     ``dataset`` skips regeneration when the caller already holds the
-    evaluation dataset.  Refusals return ``promoted=False`` with the
-    reasons; only a broken deployment *directory* raises.
+    evaluation dataset.  ``eval_trips`` swaps the evaluation window (see
+    :func:`heldout_mae`) — candidate and incumbent are always compared
+    on the *same* trips, whichever window is chosen.  Refusals return
+    ``promoted=False`` with the reasons; only a broken deployment
+    *directory* raises.
     """
     decision = PromotionDecision(promoted=False,
                                  candidate_dir=candidate_dir)
@@ -134,13 +146,15 @@ def promote(candidate_dir: str, deploy_root: str,
         decision.reasons.append(f"candidate artifact invalid: {exc}")
         return decision
     dataset = candidate.dataset
-    decision.candidate_mae = heldout_mae(candidate, dataset)
+    decision.candidate_mae = heldout_mae(candidate, dataset,
+                                         eval_trips=eval_trips)
 
     incumbent_path = deployed_artifact_path(deploy_root)
     if incumbent_path is not None:
         try:
             incumbent = load_artifact(incumbent_path, dataset=dataset)
-            decision.incumbent_mae = heldout_mae(incumbent, dataset)
+            decision.incumbent_mae = heldout_mae(incumbent, dataset,
+                                                 eval_trips=eval_trips)
         except ArtifactError as exc:
             # An unloadable or non-comparable incumbent cannot defend
             # its slot, but the replacement is recorded as such.

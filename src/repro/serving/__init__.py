@@ -13,6 +13,10 @@ the operational half of that story:
     LRU caches for map matches and speed-matrix slices.
 ``fallback``
     TEMP-style historical-average degradation when the model path fails.
+``route_baseline``
+    Tier 1 of the degradation ladder: shortest path × current cell
+    speeds (taxisim's ``predict_trip_duration`` shape), live-traffic
+    aware once ``repro.streaming`` feeds slices in.
 ``metrics``
     Deprecated re-export of ``repro.obs.metrics`` (counters and latency
     histograms with a JSON snapshot now live in the shared
@@ -41,6 +45,7 @@ from ..obs.metrics import Counter, Histogram, MetricsRegistry
 from ..trajectory.model import Query
 from .errors import SaturatedError, ServiceUnavailable, WorkerUnavailableError
 from .fallback import HistoricalAverageFallback
+from .route_baseline import RouteTimeBaseline
 from .server import ServingHTTPServer, parse_query, run_jsonl_loop, serve_http
 from .service import ServiceConfig, ServingResponse, TravelTimeService
 from .cluster import ClusterConfig, ServingCluster
@@ -50,7 +55,7 @@ __all__ = [
     "validate_artifact",
     "MicroBatcher",
     "LRUCache", "ODMatchCache", "SpeedSliceCache",
-    "HistoricalAverageFallback",
+    "HistoricalAverageFallback", "RouteTimeBaseline",
     "SaturatedError", "ServiceUnavailable", "WorkerUnavailableError",
     "Counter", "Histogram", "MetricsRegistry", "Query",
     "ServingHTTPServer", "parse_query", "run_jsonl_loop", "serve_http",

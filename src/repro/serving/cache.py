@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Dict, Hashable, Optional, Tuple
+from typing import Dict, Hashable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -86,34 +86,80 @@ class LRUCache:
 
 
 class SpeedSliceCache:
-    """Normalised speed-matrix slices keyed by time-slot (period) index.
+    """Normalised speed-matrix slices keyed by (period, version).
 
     ``SpeedMatrixStore.normalized_matrix_before`` recomputes the clip and
     scale on every call; all queries departing inside the same Δt period
-    share one slice, so the cache key is the period index itself.
+    share one slice, so the natural cache key is the period index.  A
+    bare period key is only safe while the store is immutable — once
+    ``repro.streaming`` pushes live slices, a period's matrix can change
+    under the cache, and a key that never changes would serve the stale
+    pre-update slice forever.  Keys therefore carry a per-period version
+    (plus a store-wide generation bumped on :meth:`swap_store`): an
+    :meth:`invalidate` makes the old entry unreachable — it ages out of
+    the LRU — and the next read recomputes from the live store.
     """
 
     def __init__(self, store: SpeedMatrixStore, capacity: int = 64):
-        self.store = store
+        self._store = store
         self._lru = LRUCache(capacity)
+        self._lock = threading.Lock()
+        self._generation = 0
+        self._versions: Dict[int, int] = {}
+        self.invalidations = 0
+
+    @property
+    def store(self) -> SpeedMatrixStore:
+        return self._store
 
     def period_of(self, t: float) -> int:
         if t < 0:
             raise ValueError("time must be non-negative")
-        p = int(t // self.store.config.period_seconds) - 1
-        return int(np.clip(p, 0, self.store.periods - 1))
+        p = int(t // self._store.config.period_seconds) - 1
+        return int(np.clip(p, 0, self._store.periods - 1))
+
+    def _key(self, period: int) -> Tuple[int, int, int]:
+        return (period, self._generation, self._versions.get(period, 0))
 
     def normalized_matrix_before(self, t: float) -> np.ndarray:
         period = self.period_of(t)
+        with self._lock:
+            key = self._key(period)
         return self._lru.get_or_compute(
-            period, lambda: self.store.normalized_matrix_before(t))
+            key, lambda: self._store.normalized_matrix_before(t))
+
+    def invalidate(self, periods: Optional[Sequence[int]] = None) -> int:
+        """Version-bump cached slices: the named periods, or every
+        period (``None``).  Returns how many invalidation events were
+        recorded (one per named period; one for a full flush)."""
+        with self._lock:
+            if periods is None:
+                self._generation += 1
+                self._versions.clear()
+                self.invalidations += 1
+                return 1
+            touched = [int(p) for p in periods]
+            for period in touched:
+                self._versions[period] = self._versions.get(period, 0) + 1
+            self.invalidations += len(touched)
+            return len(touched)
+
+    def swap_store(self, store: SpeedMatrixStore) -> None:
+        """Point the cache at a new store; every cached slice dies."""
+        with self._lock:
+            self._store = store
+            self._generation += 1
+            self._versions.clear()
+            self.invalidations += 1
 
     @property
     def hit_rate(self) -> float:
         return self._lru.hit_rate
 
     def stats(self) -> Dict[str, float]:
-        return self._lru.stats()
+        stats = self._lru.stats()
+        stats["invalidations"] = self.invalidations
+        return stats
 
 
 class ODMatchCache:

@@ -303,12 +303,48 @@ class ServingCluster(Instrumented):
         bands = self.fallback.bands(seconds)
         return [ServingResponse(seconds=float(s), lower=lo, upper=hi,
                                 origin_edge=-1, destination_edge=-1,
-                                degraded=True, source="fallback")
+                                degraded=True, source="fallback",
+                                degraded_tier=2)
                 for s, (lo, hi) in zip(seconds, bands)]
 
     def _require_started(self) -> None:
         if not self._started:
             raise RuntimeError("cluster not started; call start() first")
+
+    # -- live traffic state ----------------------------------------------
+    def publish_speeds(self, slices: Dict) -> int:
+        """Broadcast freshly estimated speed-matrix slices to every
+        shard (see ``TravelTimeService.apply_live_speeds``).
+
+        Returns the number of shards that acknowledged the push.  A
+        shard that is dead or mid-restart simply misses this round — it
+        catches up on the next publish, and in the meantime answers from
+        the training-time store (stale but valid), so a push can never
+        take a shard down.
+        """
+        self._require_started()
+        if not slices:
+            return 0
+        payload = {int(p): m for p, m in slices.items()}
+        acknowledged = 0
+        for handle in self._handles:
+            if not handle.alive:
+                continue
+            try:
+                with handle.lock:
+                    handle.conn.send(("speeds", payload))
+                    if not handle.conn.poll(self.config.dispatch_timeout_s):
+                        raise TimeoutError(
+                            f"shard {handle.shard_id} did not ack speeds")
+                    kind, _ = handle.conn.recv()
+                if kind == "ok":
+                    acknowledged += 1
+                else:
+                    self.metrics.counter("cluster.shard_errors").inc()
+            except _DISPATCH_ERRORS:
+                self.metrics.counter("cluster.shard_errors").inc()
+        self.metrics.counter("cluster.speed_publishes").inc(len(payload))
+        return acknowledged
 
     # -- query paths -----------------------------------------------------
     def query(self, query, destination_xy=None,

@@ -22,9 +22,12 @@ The wire protocol is deliberately tiny (tuples over a duplex pipe)::
 
     ("batch", [(origin, destination, depart_time), ...])
         -> ("ok", [(seconds, lower, upper, o_edge, d_edge,
-                    degraded, source), ...])
+                    degraded, source, degraded_tier), ...])
         |  ("err", "<repr of the failure>")
     ("ping",)  -> ("pong", {shard, pid, version, queries, swaps, ...})
+    ("speeds", {period: matrix, ...})
+        -> ("ok", n_slices)   (live speed-slice push; see
+                               ``TravelTimeService.apply_live_speeds``)
     ("stop",)  -> worker exits
 """
 
@@ -57,19 +60,20 @@ class WorkerOptions:
     service: Optional[ServiceConfig] = None
 
 
-ResponseRow = Tuple[float, float, float, int, int, bool, str]
+ResponseRow = Tuple[float, float, float, int, int, bool, str, int]
 
 
 def response_to_row(response: ServingResponse) -> ResponseRow:
     return (response.seconds, response.lower, response.upper,
             response.origin_edge, response.destination_edge,
-            response.degraded, response.source)
+            response.degraded, response.source, response.degraded_tier)
 
 
 def row_to_response(row: ResponseRow) -> ServingResponse:
     return ServingResponse(seconds=row[0], lower=row[1], upper=row[2],
                            origin_edge=row[3], destination_edge=row[4],
-                           degraded=row[5], source=row[6])
+                           degraded=row[5], source=row[6],
+                           degraded_tier=row[7] if len(row) > 7 else 0)
 
 
 class _WorkerState:
@@ -84,6 +88,7 @@ class _WorkerState:
         self.options = options
         self.swaps = 0
         self.swap_failures = 0
+        self._live_slices: dict = {}
         self._build_service(predictor)
 
     def _build_service(self, predictor) -> None:
@@ -93,6 +98,15 @@ class _WorkerState:
         self.service = TravelTimeService(
             predictor=predictor, dataset=self.dataset,
             config=self.options.service or ServiceConfig())
+        if self._live_slices:
+            # Live traffic state outlives a hot swap: the new model must
+            # not serve from stale training-time speeds.
+            self.service.apply_live_speeds(dict(self._live_slices))
+
+    def apply_speeds(self, slices: dict) -> int:
+        self._live_slices.update(
+            {int(p): m for p, m in slices.items()})
+        return self.service.apply_live_speeds(slices)
 
     def maybe_reload(self) -> bool:
         """Reload iff the watched artifact now resolves elsewhere.
@@ -169,6 +183,12 @@ def worker_main(conn, shard_id: int, watch_path: str,
                 state.maybe_reload()      # swap lands between batches
                 try:
                     conn.send(("ok", state.answer(message[1])))
+                except Exception as exc:  # containment: shard survives
+                    conn.send(("err", repr(exc)))
+                continue
+            if kind == "speeds":
+                try:
+                    conn.send(("ok", state.apply_speeds(message[1])))
                 except Exception as exc:  # containment: shard survives
                     conn.send(("err", repr(exc)))
                 continue

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..core.predictor import TravelTimePredictor, normalize_depart_time
 from ..datagen.dataset import TaxiDataset
+from ..datagen.speed_matrix import LiveSpeedStore
 from ..obs.instrument import Instrumented
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import Tracer
@@ -33,6 +34,7 @@ from .batcher import MicroBatcher
 from .cache import ODMatchCache, SpeedSliceCache
 from .errors import SaturatedError
 from .fallback import HistoricalAverageFallback
+from .route_baseline import RouteTimeBaseline
 
 
 @dataclass
@@ -53,6 +55,9 @@ class ServiceConfig:
     slice_cache_size: int = 64
     match_quantize_metres: float = 0.0
     fallback_band_ratios: Tuple[float, float] = (0.5, 2.0)
+    # Tier 1 of the degradation ladder: when the model path raises, try
+    # a shortest-path × current-speed estimate before the TEMP average.
+    route_fallback: bool = True
 
     def __post_init__(self):
         if self.max_batch < 1:
@@ -65,7 +70,13 @@ class ServiceConfig:
 
 @dataclass
 class ServingResponse:
-    """One answered query, with provenance."""
+    """One answered query, with provenance.
+
+    ``degraded_tier`` names the rung of the degradation ladder that
+    produced the answer: 0 = model, 1 = shortest-path × live-speed
+    baseline, 2 = TEMP historical average.  ``degraded`` stays the
+    boolean summary (tier > 0) the existing clients key on.
+    """
 
     seconds: float
     lower: float
@@ -73,7 +84,8 @@ class ServingResponse:
     origin_edge: int
     destination_edge: int
     degraded: bool
-    source: str                 # "model" | "fallback"
+    source: str                 # "model" | "route" | "fallback"
+    degraded_tier: int = 0      # 0 model | 1 route baseline | 2 TEMP
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -84,6 +96,7 @@ class ServingResponse:
             "destination_edge": self.destination_edge,
             "degraded": self.degraded,
             "source": self.source,
+            "degraded_tier": self.degraded_tier,
         }
 
 
@@ -123,8 +136,14 @@ class TravelTimeService(Instrumented):
         self.fallback = HistoricalAverageFallback(
             self.dataset, band_ratios=self.config.fallback_band_ratios)
 
+        # Live traffic state: ``apply_live_speeds`` lazily wraps the
+        # training-time store in a LiveSpeedStore overlay; until then
+        # every consumer reads the static store directly.
+        self._live_store: Optional[LiveSpeedStore] = None
+
         self.od_cache: Optional[ODMatchCache] = None
         self.slice_cache: Optional[SpeedSliceCache] = None
+        self.route_baseline: Optional[RouteTimeBaseline] = None
         if predictor is not None:
             self.od_cache = ODMatchCache(
                 predictor.index, capacity=self.config.od_cache_size,
@@ -137,6 +156,9 @@ class TravelTimeService(Instrumented):
                     capacity=self.config.slice_cache_size)
                 self.metrics.register_gauge("speed_slice_cache",
                                             self.slice_cache.stats)
+            if self.config.route_fallback:
+                self.route_baseline = RouteTimeBaseline(
+                    self.dataset.net, lambda: self.speed_store)
         # Standard-schema cache-effectiveness gauges (dashboards key on
         # these names; the full stats dicts above stay for debugging).
         # A cache that does not exist on this service reads 0.0 rather
@@ -168,6 +190,69 @@ class TravelTimeService(Instrumented):
     def degraded(self) -> bool:
         """True when no model path exists (fallback-only service)."""
         return self.predictor is None
+
+    @property
+    def speed_store(self):
+        """The speed store queries read from: the live overlay once
+        streaming updates have arrived, the training store before."""
+        return (self._live_store if self._live_store is not None
+                else self.dataset.speed_store)
+
+    # -- live traffic state ----------------------------------------------
+    def apply_live_speeds(self, slices: Dict[int, np.ndarray]) -> int:
+        """Overlay freshly estimated speed-matrix slices.
+
+        ``slices`` maps period index → raw mean-speed matrix (m/s, grid
+        shaped).  The first call swaps the slice cache and the route
+        baseline onto a :class:`LiveSpeedStore` overlay; every call
+        version-bumps the touched periods' cache keys so no stale slice
+        survives (counted in ``serve.cache.speed.invalidations``).
+        Returns the number of slices applied.
+        """
+        if not slices:
+            return 0
+        if self._live_store is None:
+            self._live_store = LiveSpeedStore(self.dataset.speed_store)
+            if self.slice_cache is not None:
+                self.slice_cache.swap_store(self._live_store)
+                self.metrics.counter(
+                    "serve.cache.speed.invalidations").inc()
+        for period, matrix in slices.items():
+            self._live_store.update_slice(int(period), matrix)
+        if self.slice_cache is not None:
+            invalidated = self.slice_cache.invalidate(
+                [int(p) for p in slices])
+            self.metrics.counter(
+                "serve.cache.speed.invalidations").inc(invalidated)
+        self.metrics.counter("serve.speed_updates").inc(len(slices))
+        return len(slices)
+
+    def swap_predictor(self, predictor: TravelTimePredictor) -> None:
+        """Replace the model in place (single-process hot swap).
+
+        The cluster's workers reload from the promotion gate's symlink
+        themselves; a bare :class:`TravelTimeService` is swapped by its
+        owner — the streaming controller does this after a promotion.
+        Caches are rebound to the new predictor's index; applied live
+        speed slices survive the swap.
+        """
+        if predictor is None:
+            raise ValueError("swap_predictor needs a predictor")
+        self.predictor = predictor
+        self.od_cache = ODMatchCache(
+            predictor.index, capacity=self.config.od_cache_size,
+            quantize_metres=self.config.match_quantize_metres)
+        if predictor.model.config.use_external_features:
+            if self.slice_cache is None:
+                self.slice_cache = SpeedSliceCache(
+                    self.speed_store,
+                    capacity=self.config.slice_cache_size)
+        else:
+            self.slice_cache = None
+        if self.config.route_fallback and self.route_baseline is None:
+            self.route_baseline = RouteTimeBaseline(
+                self.dataset.net, lambda: self.speed_store)
+        self.metrics.counter("serve.model_swaps").inc()
 
     # -- query paths -----------------------------------------------------
     def query(self, query, destination_xy: Optional[Tuple[float, float]]
@@ -249,6 +334,14 @@ class TravelTimeService(Instrumented):
                 except Exception:
                     self.metrics.counter("model_failures").inc()
                     self.tracer.annotate(model_failed=True)
+            if self.route_baseline is not None:
+                try:
+                    responses = self._route_answers(queries)
+                    self.metrics.counter("route_answers").inc(len(queries))
+                    return responses
+                except Exception:
+                    self.metrics.counter("route_failures").inc()
+                    self.tracer.annotate(route_failed=True)
             return self._fallback_answers(queries)
 
     def _match(self, query: Query) -> ODInput:
@@ -286,6 +379,21 @@ class TravelTimeService(Instrumented):
                     degraded=False, source="model")
                 for e in estimates]
 
+    def _route_answers(self, queries: List[Query]
+                       ) -> List[ServingResponse]:
+        """Tier 1: shortest path × current (possibly live) cell speeds."""
+        with self.tracer.span("serve.route", queries=len(queries)):
+            ods = [self._match(q) for q in queries]
+            seconds = self.route_baseline.estimate_from_ods(ods)
+        lo_r, hi_r = self.config.fallback_band_ratios
+        return [ServingResponse(
+                    seconds=float(s), lower=float(s * lo_r),
+                    upper=float(s * hi_r),
+                    origin_edge=od.origin_edge,
+                    destination_edge=od.destination_edge,
+                    degraded=True, source="route", degraded_tier=1)
+                for s, od in zip(seconds, ods)]
+
     def _fallback_answers(self, queries: List[Query]
                           ) -> List[ServingResponse]:
         self.metrics.counter("fallback_answers").inc(len(queries))
@@ -295,7 +403,7 @@ class TravelTimeService(Instrumented):
         return [ServingResponse(
                     seconds=float(s), lower=lo, upper=hi,
                     origin_edge=-1, destination_edge=-1,
-                    degraded=True, source="fallback")
+                    degraded=True, source="fallback", degraded_tier=2)
                 for s, (lo, hi) in zip(seconds, bands)]
 
     # -- observability ---------------------------------------------------

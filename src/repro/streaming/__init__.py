@@ -1,0 +1,47 @@
+"""Live traffic state, drift detection and continuous learning.
+
+The paper's model is trained once on a frozen window of historical
+trajectories; real road networks keep moving.  This package closes the
+loop for the serving stack in ``repro.serving``:
+
+``clock`` / ``stream``
+    An injected, controllable event clock (the whole package is a
+    reprolint D003 event-clock zone — no wall-clock reads) and a
+    deterministic, resumable replay of trips as a *completion* stream.
+``estimator``
+    Incremental distance-weighted, exponentially decayed per-cell speed
+    estimation (the taxisim average-velocity shape), materialising
+    SpeedMatrixStore-compatible slices per completed period.
+``feed``
+    Fan-out of fresh slices into serving — in-process overlay on a
+    :class:`TravelTimeService`, worker broadcast on a
+    :class:`ServingCluster` — with versioned cache invalidation.
+``drift``
+    Rolling-MAE drift detection on served-vs-actual travel times,
+    exported through ``repro.obs.metrics`` gauges.
+``learner``
+    Fine-tune the *deployed* artifact on the recent window and submit
+    the candidate to the promotion gate, judged on the same rolling
+    held-out trips as the incumbent.
+``controller``
+    The batch loop wiring all of it together behind one ``run()``
+    (surfaced as ``python -m repro.cli stream``).
+"""
+
+from .clock import EventClock
+from .controller import StreamingConfig, StreamingController
+from .drift import DriftDetector
+from .estimator import StreamingSpeedEstimator
+from .feed import LiveSpeedFeed
+from .learner import ContinuousLearner
+from .stream import TripStream, shift_travel_times, trip_arrival_time
+
+__all__ = [
+    "EventClock",
+    "StreamingConfig", "StreamingController",
+    "DriftDetector",
+    "StreamingSpeedEstimator",
+    "LiveSpeedFeed",
+    "ContinuousLearner",
+    "TripStream", "shift_travel_times", "trip_arrival_time",
+]

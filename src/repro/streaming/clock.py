@@ -1,0 +1,56 @@
+"""The injected event clock every streaming component shares.
+
+Streaming code must never read the wall clock: replays have to be
+deterministic (same seed → same batches, same drift trigger, same
+promoted artifact), and tests have to fast-forward hours of simulated
+traffic in milliseconds.  reprolint's D003 rule enforces this — the
+whole ``repro.streaming`` package is an *event-clock zone* where even
+``time.monotonic``/``time.perf_counter`` are flagged; time only enters
+through an :class:`EventClock` owned by the caller.
+"""
+
+from __future__ import annotations
+
+
+class EventClock:
+    """A controllable, monotonic event-time clock (simulated seconds).
+
+    The owner advances it explicitly; everything downstream — the trip
+    stream's release gate, the estimator's period boundaries, the
+    controller's batch cadence — reads ``now()``.  Monotonicity is
+    enforced so a replayed stream can never observe time running
+    backwards.
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ValueError("clock must start at a non-negative time")
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds``; returns the new time."""
+        if seconds < 0:
+            raise ValueError("cannot advance by a negative duration")
+        self._now += float(seconds)
+        return self._now
+
+    def set(self, t: float) -> float:
+        """Jump to an absolute time (must not move backwards)."""
+        t = float(t)
+        if t < self._now:
+            raise ValueError(
+                f"clock cannot move backwards ({t} < {self._now})")
+        self._now = t
+        return self._now
+
+    def state_dict(self) -> dict:
+        return {"now": self._now}
+
+    def load_state_dict(self, state: dict) -> None:
+        self._now = float(state["now"])
+
+    def __repr__(self) -> str:
+        return f"EventClock(t={self._now:.1f}s)"

@@ -1,0 +1,255 @@
+"""StreamingController: the closed loop tying the subsystem together.
+
+Each :meth:`step` is one batch tick of event time::
+
+    advance clock → poll completed trips → query the serving front door
+    (the estimate a rider would have been given at departure) → score
+    served vs actual into the drift detector → feed the trips to the
+    speed estimator → publish completed speed slices to serving →
+    maybe fine-tune-and-promote → maybe hot-swap
+
+Everything downstream of the clock is deterministic for a fixed seed:
+the stream release order, the estimator's slices, the drift trigger
+batch, the fine-tuned candidate and the promotion decision.  The
+controller never reads wall-clock time (reprolint D003 enforces this
+for the whole package).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..datagen.dataset import TaxiDataset
+from ..experiments.promote import deployed_artifact_path
+from ..obs.instrument import Instrumented
+from ..obs.metrics import MetricsRegistry, global_registry
+from ..obs.tracing import Tracer
+from ..serving.artifact import load_artifact
+from ..trajectory.model import Query, TripRecord
+from .clock import EventClock
+from .drift import DriftDetector
+from .estimator import StreamingSpeedEstimator
+from .feed import LiveSpeedFeed
+from .learner import ContinuousLearner
+from .stream import TripStream
+
+
+@dataclass
+class StreamingConfig:
+    """Knobs of the streaming loop.
+
+    ``batch_seconds`` is the tick length in *event* time.  The drift
+    window/ratio parameterise :class:`DriftDetector`; after a fine-tune
+    attempt the loop holds off for ``cooldown_batches`` ticks before it
+    will consider another.  ``recent_window`` bounds the completed-trip
+    buffer fine-tuning draws from, split ``holdout_fraction`` (most
+    recent trips) for evaluation vs the rest for training.
+    """
+
+    batch_seconds: float = 60.0
+    drift_window: int = 50
+    drift_ratio: float = 1.5
+    cooldown_batches: int = 10
+    recent_window: int = 400
+    min_fine_tune_trips: int = 24
+    holdout_fraction: float = 0.25
+    fine_tune_epochs: int = 1
+    min_improvement: float = 0.0
+    half_life_periods: float = 2.0
+    report_jitter_s: float = 0.0
+
+    def __post_init__(self):
+        if self.batch_seconds <= 0:
+            raise ValueError("batch_seconds must be positive")
+        if not 0.0 < self.holdout_fraction < 1.0:
+            raise ValueError("holdout_fraction must be in (0, 1)")
+        if self.min_fine_tune_trips < 2:
+            raise ValueError("min_fine_tune_trips must be >= 2")
+        if self.recent_window < self.min_fine_tune_trips:
+            raise ValueError("recent_window must cover min_fine_tune_trips")
+
+
+class StreamingController(Instrumented):
+    """Drive the live loop against a serving target.
+
+    Parameters
+    ----------
+    dataset / trips:
+        The training dataset (grid geometry, fine-tune base) and the
+        trips to replay — typically the chronological tail the deployed
+        model has never trained on, optionally regime-shifted via
+        :func:`repro.streaming.stream.shift_travel_times`.
+    target:
+        The serving front door — a :class:`TravelTimeService` or a
+        :class:`ServingCluster`; must expose ``query_batch``.  Slices
+        flow to it through :class:`LiveSpeedFeed`; promotions reach a
+        cluster via its own symlink watch (``health`` completes swaps)
+        and a bare service via ``swap_predictor``.
+    deploy_root / workdir:
+        Enable continuous learning: the promotion gate's deployment
+        directory and a scratch dir for candidates.  Omit both to run
+        observe-only (drift gauges still export, nothing retrains).
+    """
+
+    def __init__(self, dataset: TaxiDataset,
+                 trips: Sequence[TripRecord], target,
+                 deploy_root: Optional[str] = None,
+                 workdir: Optional[str] = None,
+                 config: Optional[StreamingConfig] = None,
+                 clock: Optional[EventClock] = None, seed: int = 0,
+                 metrics: Optional[MetricsRegistry] = None,
+                 tracer: Optional[Tracer] = None):
+        if not hasattr(target, "query_batch"):
+            raise TypeError("serving target must expose query_batch")
+        if (deploy_root is None) != (workdir is None):
+            raise ValueError("deploy_root and workdir go together")
+        self.dataset = dataset
+        self.target = target
+        self.deploy_root = deploy_root
+        self.config = config or StreamingConfig()
+        self.metrics = metrics if metrics is not None else global_registry()
+        self.tracer = tracer
+
+        cfg = self.config
+        start = min((t.od.depart_time for t in trips), default=0.0)
+        self.clock = clock if clock is not None else EventClock(start)
+        self.stream = TripStream(trips, self.clock, seed=seed,
+                                 report_jitter_s=cfg.report_jitter_s)
+        self.estimator = StreamingSpeedEstimator(
+            dataset.net, dataset.speed_store,
+            half_life_periods=cfg.half_life_periods)
+        # Periods wholly before the stream start are never observed;
+        # skip straight to the live frontier instead of publishing
+        # global-mean slices for the dead past.
+        self.estimator.advance_to(self.clock.now())
+        self.feed = LiveSpeedFeed([target], metrics=self.metrics)
+        self.detector = DriftDetector(window=cfg.drift_window,
+                                      ratio_threshold=cfg.drift_ratio,
+                                      metrics=self.metrics)
+        self.learner: Optional[ContinuousLearner] = None
+        if deploy_root is not None:
+            self.learner = ContinuousLearner(
+                dataset, deploy_root, workdir,
+                fine_tune_epochs=cfg.fine_tune_epochs,
+                min_improvement=cfg.min_improvement,
+                metrics=self.metrics, tracer=tracer)
+
+        self._recent: deque = deque(maxlen=cfg.recent_window)
+        self._cooldown = 0
+        self.batches = 0
+        self.served = 0
+        self.dropped = 0
+        self.drift_batches: List[int] = []
+        self.promotions: List[Dict[str, object]] = []
+
+    # ------------------------------------------------------------------
+    def step(self) -> Dict[str, object]:
+        """One batch tick; returns a summary of what happened in it."""
+        cfg = self.config
+        self.clock.advance(cfg.batch_seconds)
+        batch = self.stream.poll()
+        event: Dict[str, object] = {
+            "batch": self.batches, "event_time": self.clock.now(),
+            "completed_trips": len(batch),
+        }
+        with self.tracer.span("stream.step", batch=self.batches,
+                              trips=len(batch)):
+            if batch:
+                self._score_batch(batch, event)
+                self._recent.extend(batch)
+                self.estimator.observe(batch)
+            slices = self.estimator.advance_to(self.clock.now())
+            if slices:
+                event["published_periods"] = [p for p, _ in slices]
+                self.feed.publish(dict(slices))
+            self._cooldown = max(0, self._cooldown - 1)
+            if self._cooldown == 0 and self.detector.drifted():
+                event["drift"] = True
+                self.drift_batches.append(self.batches)
+                if (self.learner is not None
+                        and len(self._recent) >= cfg.min_fine_tune_trips):
+                    event["promotion"] = self._fine_tune()
+                self._cooldown = cfg.cooldown_batches
+        self.batches += 1
+        self.metrics.counter("stream.batches").inc()
+        return event
+
+    def _score_batch(self, batch: List[TripRecord],
+                     event: Dict[str, object]) -> None:
+        """Ask serving for the estimate each completed trip *would* have
+        received at departure, and score it against the realised time."""
+        queries = [Query(origin_xy=t.od.origin_xy,
+                         destination_xy=t.od.destination_xy,
+                         depart_time=t.od.depart_time) for t in batch]
+        try:
+            responses = self.target.query_batch(queries)
+        except Exception as exc:
+            self.dropped += len(batch)
+            self.metrics.counter("stream.dropped").inc(len(batch))
+            event["dropped"] = len(batch)
+            event["error"] = f"{type(exc).__name__}: {exc}"
+            return
+        for trip, response in zip(batch, responses):
+            self.detector.observe(response.seconds, trip.travel_time)
+        self.served += len(batch)
+        self.metrics.counter("stream.served").inc(len(batch))
+
+    def _fine_tune(self) -> Dict[str, object]:
+        """One continuous-learning round off the recent window."""
+        recent = list(self._recent)
+        n_holdout = max(1, int(len(recent) * self.config.holdout_fraction))
+        train, holdout = recent[:-n_holdout], recent[-n_holdout:]
+        tag = f"ft-b{self.batches:05d}"
+        decision = self.learner.fine_tune_and_promote(train, holdout, tag)
+        record: Dict[str, object] = {
+            "tag": tag, "batch": self.batches,
+            "promoted": decision.promoted,
+            "version": decision.version,
+            "candidate_mae": decision.candidate_mae,
+            "incumbent_mae": decision.incumbent_mae,
+            "pre_swap_rolling_mae": self.detector.rolling_mae,
+        }
+        if decision.promoted:
+            self._activate_deployment()
+            self.detector.rebase()
+            self.promotions.append(record)
+        return record
+
+    def _activate_deployment(self) -> None:
+        """Make the target actually serve the freshly promoted model."""
+        if hasattr(self.target, "health"):
+            # Cluster workers watch the ``current`` symlink themselves;
+            # a health ping deterministically completes the swap on
+            # every shard before the next batch is scored.
+            self.target.health()
+        elif hasattr(self.target, "swap_predictor"):
+            deployed = deployed_artifact_path(self.deploy_root)
+            predictor = load_artifact(deployed, dataset=self.dataset)
+            self.target.swap_predictor(predictor)
+
+    # ------------------------------------------------------------------
+    def run(self, max_batches: Optional[int] = None) -> Dict[str, object]:
+        """Drive ticks until the stream drains (or ``max_batches``);
+        returns the final :meth:`report`."""
+        while not self.stream.exhausted and (
+                max_batches is None or self.batches < max_batches):
+            self.step()
+        return self.report()
+
+    def report(self) -> Dict[str, object]:
+        """Stable summary of the run (deterministic for a fixed seed)."""
+        return {
+            "batches": self.batches,
+            "stream_total": len(self.stream),
+            "served": self.served,
+            "dropped": self.dropped,
+            "scored": self.detector.scored,
+            "drift_batches": list(self.drift_batches),
+            "promotions": [dict(p) for p in self.promotions],
+            "published_slices": self.feed.published_slices,
+            "observations": self.estimator.observations,
+            "baseline_mae": self.detector.baseline_mae,
+            "final_rolling_mae": self.detector.rolling_mae,
+        }

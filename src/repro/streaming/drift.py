@@ -1,0 +1,109 @@
+"""Drift detection on the served-accuracy signal.
+
+Every completed trip yields a free label: the served estimate (made at
+departure, through the real front door) versus the travel time the trip
+actually took.  The detector keeps a rolling window of those absolute
+errors; the first full window arms a *baseline* MAE, and when the
+rolling MAE exceeds ``ratio_threshold`` × baseline the regime has
+drifted — the signal the continuous-learning loop fine-tunes on.
+
+State is exported continuously through ``repro.obs.metrics`` gauges
+(``stream.drift.rolling_mae`` / ``baseline_mae`` / ``ratio``) and a
+``stream.drift.triggers`` counter, so a dashboard sees the drift build
+before the trigger fires.  After a promotion the caller ``rebase()``s:
+the new model defines a new baseline.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Optional
+
+from ..obs.metrics import MetricsRegistry, global_registry
+
+
+class DriftDetector:
+    """Rolling-MAE drift detector over (predicted, actual) pairs.
+
+    Parameters
+    ----------
+    window:
+        Number of scored trips in the rolling window; the baseline arms
+        once the first ``window`` observations have arrived.
+    ratio_threshold:
+        Drift fires when ``rolling_mae > ratio_threshold * baseline_mae``
+        (with an armed baseline).
+    """
+
+    def __init__(self, window: int = 50, ratio_threshold: float = 1.5,
+                 metrics: Optional[MetricsRegistry] = None):
+        if window < 2:
+            raise ValueError("window must be >= 2")
+        if ratio_threshold <= 1.0:
+            raise ValueError("ratio_threshold must exceed 1.0")
+        self.window = window
+        self.ratio_threshold = float(ratio_threshold)
+        self._errors: deque = deque(maxlen=window)
+        self._error_sum = 0.0
+        self.baseline_mae: Optional[float] = None
+        self.scored = 0
+        self.metrics = metrics if metrics is not None else global_registry()
+        self.metrics.register_gauge("stream.drift.rolling_mae",
+                                    lambda: self.rolling_mae or 0.0)
+        self.metrics.register_gauge("stream.drift.baseline_mae",
+                                    lambda: self.baseline_mae or 0.0)
+        self.metrics.register_gauge("stream.drift.ratio",
+                                    lambda: self.ratio or 0.0)
+
+    # ------------------------------------------------------------------
+    def observe(self, predicted: float, actual: float) -> None:
+        """Score one served trip against its realised travel time."""
+        error = abs(float(predicted) - float(actual))
+        if len(self._errors) == self.window:
+            self._error_sum -= self._errors[0]
+        self._errors.append(error)
+        self._error_sum += error
+        self.scored += 1
+        if self.baseline_mae is None and len(self._errors) == self.window:
+            self.baseline_mae = self.rolling_mae
+
+    @property
+    def armed(self) -> bool:
+        return self.baseline_mae is not None
+
+    @property
+    def rolling_mae(self) -> Optional[float]:
+        if not self._errors:
+            return None
+        return self._error_sum / len(self._errors)
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """Rolling / baseline MAE, the quantity the threshold tests."""
+        if self.baseline_mae is None or self.baseline_mae <= 0:
+            return None
+        return self.rolling_mae / self.baseline_mae
+
+    def drifted(self) -> bool:
+        """True when the armed baseline is exceeded by the threshold
+        ratio; increments ``stream.drift.triggers`` on each True."""
+        ratio = self.ratio
+        fired = ratio is not None and ratio > self.ratio_threshold
+        if fired:
+            self.metrics.counter("stream.drift.triggers").inc()
+        return fired
+
+    def rebase(self) -> None:
+        """Adopt the current rolling window as the new baseline (after a
+        model swap the new model defines normal)."""
+        if self._errors:
+            self.baseline_mae = self.rolling_mae
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "scored": self.scored,
+            "window": len(self._errors),
+            "rolling_mae": self.rolling_mae,
+            "baseline_mae": self.baseline_mae,
+            "ratio": self.ratio,
+        }

@@ -1,0 +1,170 @@
+"""TripStream: replay historical trips as a live completion stream.
+
+The dataset's trips are departure-time ordered; what a streaming
+consumer sees, though, is each trip *completing* — only then are its
+trajectory and travel time known, only then can it update speed state
+or be scored against a prediction.  :class:`TripStream` therefore
+releases each replayed trip once the injected event clock passes its
+arrival time, in arrival order.
+
+The stream is seeded (an optional jitter perturbs release times to
+model report latency without touching the trips themselves) and
+resumable: ``state_dict``/``load_state_dict`` snapshot the cursor so a
+restarted consumer continues exactly where it stopped.
+
+:func:`shift_travel_times` injects a synthetic traffic-regime shift —
+every trip departing after a chosen time slows down by a factor (with
+seeded per-trip noise) — the workload that drives the drift-detection
+and continuous-learning loop end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..trajectory.model import (
+    MatchedTrajectory, ODInput, PathElement, TripRecord,
+)
+from .clock import EventClock
+
+
+def trip_arrival_time(trip: TripRecord) -> float:
+    """When a trip completes: trajectory arrival when known, else
+    departure + travel time."""
+    if trip.trajectory is not None:
+        return float(trip.trajectory.arrive_time)
+    return float(trip.od.depart_time + trip.travel_time)
+
+
+class TripStream:
+    """Ordered replay of trips, released as the event clock reaches
+    each trip's completion time.
+
+    Parameters
+    ----------
+    trips:
+        The records to replay (typically a dataset's validation + test
+        tail — the "future" relative to the trained model).
+    clock:
+        The shared :class:`EventClock`; ``poll()`` releases every
+        not-yet-delivered trip whose (jittered) arrival time is
+        ``<= clock.now()``.
+    seed / report_jitter_s:
+        With ``report_jitter_s > 0``, each trip's release time gains a
+        seeded uniform delay in ``[0, report_jitter_s]`` — completed
+        trips reach the pipeline a little late, as they would from real
+        telemetry.  Deterministic for a fixed seed.
+    """
+
+    def __init__(self, trips: Sequence[TripRecord], clock: EventClock,
+                 seed: int = 0, report_jitter_s: float = 0.0):
+        if report_jitter_s < 0:
+            raise ValueError("report_jitter_s must be >= 0")
+        self.clock = clock
+        order = sorted(range(len(trips)),
+                       key=lambda i: (trip_arrival_time(trips[i]),
+                                      trips[i].od.depart_time, i))
+        self._trips: List[TripRecord] = [trips[i] for i in order]
+        rng = np.random.default_rng(seed)
+        jitter = (rng.uniform(0.0, report_jitter_s, size=len(self._trips))
+                  if report_jitter_s > 0 else np.zeros(len(self._trips)))
+        self._release = np.array(
+            [trip_arrival_time(t) for t in self._trips]) + jitter
+        # Jitter can reorder near-simultaneous completions; release
+        # times must stay sorted for the cursor to be a prefix.
+        resort = np.argsort(self._release, kind="stable")
+        self._trips = [self._trips[i] for i in resort]
+        self._release = self._release[resort]
+        self._cursor = 0
+
+    # ------------------------------------------------------------------
+    def poll(self) -> List[TripRecord]:
+        """Every trip completed (and reported) by the clock's now."""
+        now = self.clock.now()
+        released: List[TripRecord] = []
+        while (self._cursor < len(self._trips)
+               and self._release[self._cursor] <= now):
+            released.append(self._trips[self._cursor])
+            self._cursor += 1
+        return released
+
+    def peek_next_release(self) -> Optional[float]:
+        """Release time of the next undelivered trip (None when done)."""
+        if self._cursor >= len(self._trips):
+            return None
+        return float(self._release[self._cursor])
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._trips)
+
+    @property
+    def remaining(self) -> int:
+        return len(self._trips) - self._cursor
+
+    def __len__(self) -> int:
+        return len(self._trips)
+
+    # -- resumability ----------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        return {"cursor": self._cursor, "clock": self.clock.state_dict()}
+
+    def load_state_dict(self, state: Dict[str, object]) -> None:
+        cursor = int(state["cursor"])
+        if not 0 <= cursor <= len(self._trips):
+            raise ValueError(f"cursor {cursor} outside the stream")
+        self._cursor = cursor
+        self.clock.load_state_dict(state["clock"])
+
+
+def shift_travel_times(trips: Sequence[TripRecord], at_time: float,
+                       factor: float, seed: int = 0,
+                       noise: float = 0.05) -> List[TripRecord]:
+    """A synthetic traffic-regime shift: trips departing at or after
+    ``at_time`` take ``factor``× as long (times a small seeded log-normal
+    per-trip wobble so the shifted regime is not a single constant).
+
+    Durations stretch around the unchanged departure time — path-element
+    enter/exit times, the total travel time and the recorded speeds all
+    slow down consistently, exactly as a city-wide slowdown would look
+    to the speed estimator.  Trips departing before ``at_time`` are
+    returned untouched (same objects).
+    """
+    if factor <= 0:
+        raise ValueError("shift factor must be positive")
+    rng = np.random.default_rng(seed)
+    shifted: List[TripRecord] = []
+    for trip in trips:
+        depart = trip.od.depart_time
+        if depart < at_time:
+            shifted.append(trip)
+            continue
+        f = factor * float(np.exp(rng.normal(0.0, noise))) if noise > 0 \
+            else factor
+        trajectory = None
+        if trip.trajectory is not None:
+            path = [PathElement(
+                        edge_id=el.edge_id,
+                        enter_time=depart + (el.enter_time - depart) * f,
+                        exit_time=depart + (el.exit_time - depart) * f)
+                    for el in trip.trajectory.path]
+            trajectory = MatchedTrajectory(
+                path=path,
+                ratio_start=trip.trajectory.ratio_start,
+                ratio_end=trip.trajectory.ratio_end)
+        od = ODInput(
+            origin_xy=trip.od.origin_xy,
+            destination_xy=trip.od.destination_xy,
+            depart_time=trip.od.depart_time,
+            origin_edge=trip.od.origin_edge,
+            destination_edge=trip.od.destination_edge,
+            ratio_start=trip.od.ratio_start,
+            ratio_end=trip.od.ratio_end,
+            weather=trip.od.weather,
+            external=trip.od.external)
+        shifted.append(TripRecord(od=od,
+                                  travel_time=trip.travel_time * f,
+                                  trajectory=trajectory, raw=None))
+    return shifted

@@ -1,0 +1,10 @@
+# repro: module repro.streaming.badfeed
+"""Fixture: real-time reads inside the streaming event-clock zone
+(violates D003 three times — wall clock, monotonic clock, sleep)."""
+import time
+
+
+def tick() -> float:
+    start = time.monotonic()
+    time.sleep(0.1)
+    return time.time() - start

@@ -1,0 +1,7 @@
+# repro: module repro.streaming.goodfeed
+"""Fixture: streaming code paced by the injected clock (clean D003)."""
+
+
+def tick(clock) -> float:
+    clock.advance(60.0)
+    return clock.now()

@@ -18,6 +18,9 @@ CASES = [
     ("D001", "d001_bad.py", "d001_good.py", 1),
     ("D002", "d002_bad.py", "d002_good.py", 1),
     ("D003", "d003_bad.py", "d003_good.py", 1),
+    # The streaming package is an event-clock zone: monotonic reads and
+    # sleeps are D003 findings there too.
+    ("D003", "d003_stream_bad.py", "d003_stream_good.py", 3),
     ("H001", "h001_bad.py", "h001_good.py", 1),
     ("H002", "h002_bad.py", "h002_good.py", 1),
     ("H003", "h003_bad.py", "h003_good.py", 3),

@@ -4,8 +4,9 @@ import numpy as np
 import pytest
 
 from repro.datagen import (
-    SpeedGridConfig, SpeedMatrixStore, TaxiDataset, TrafficModel, TripConfig,
-    TripGenerator, WeatherProcess, chronological_split, load_city,
+    LiveSpeedStore, SpeedGridConfig, SpeedMatrixStore, TaxiDataset,
+    TrafficModel, TripConfig, TripGenerator, WeatherProcess,
+    chronological_split, edge_cell_indices, load_city,
     sample_departure_time, strip_trajectories, subsample_training,
 )
 from repro.roadnet import grid_city, is_connected_path
@@ -128,6 +129,112 @@ class TestSpeedMatrixStore:
     def test_config_validation(self):
         with pytest.raises(ValueError):
             SpeedGridConfig(cell_metres=0.0)
+
+    def test_empty_slot_falls_back_to_global_mean(self, small_dataset):
+        """Periods no trajectory ever touched must answer with the dense
+        global-mean imputation, not zeros or NaNs."""
+        net = small_dataset.net
+        horizon = small_dataset.horizon_seconds
+        store = SpeedMatrixStore(net, small_dataset.trips[:1], horizon)
+        trip = small_dataset.trips[0]
+        trip_period = min(
+            int(trip.trajectory.path[0].enter_time
+                // store.config.period_seconds),
+            store.periods - 1)
+        # Any period entirely after the single trip's arrival is empty.
+        empty_period = min(
+            int((trip.od.depart_time + trip.travel_time)
+                // store.config.period_seconds) + 2,
+            store.periods - 1)
+        empty = store.matrix_at(empty_period)
+        assert np.allclose(empty, store.global_mean_speed)
+        assert store.global_mean_speed > 0
+        assert not np.allclose(store.matrix_at(trip_period),
+                               store.global_mean_speed)
+
+    def test_out_of_horizon_clamps_to_final_period(self, small_dataset):
+        store = small_dataset.speed_store
+        horizon = store.periods * store.config.period_seconds
+        assert store.period_before(horizon * 10.0) == store.periods - 1
+        np.testing.assert_array_equal(
+            store.matrix_before(horizon * 10.0),
+            store.matrix_at(store.periods - 1))
+
+    def test_matrix_at_range_checked(self, small_dataset):
+        store = small_dataset.speed_store
+        with pytest.raises(ValueError):
+            store.matrix_at(-1)
+        with pytest.raises(ValueError):
+            store.matrix_at(store.periods)
+
+    def test_save_load_round_trip_identity(self, small_dataset, tmp_path):
+        store = small_dataset.speed_store
+        path = store.save(str(tmp_path / "speeds"))
+        loaded = SpeedMatrixStore.load(path)
+        assert loaded.shape == store.shape
+        assert loaded.periods == store.periods
+        assert loaded.min_x == store.min_x
+        assert loaded.min_y == store.min_y
+        assert loaded.config.cell_metres == store.config.cell_metres
+        assert loaded.config.period_seconds == store.config.period_seconds
+        assert loaded.global_mean_speed == store.global_mean_speed
+        for period in range(store.periods):
+            np.testing.assert_array_equal(loaded.matrix_at(period),
+                                          store.matrix_at(period))
+
+    def test_edge_cell_indices_match_scalar_cells(self, small_dataset):
+        net = small_dataset.net
+        store = small_dataset.speed_store
+        rows, cols = edge_cell_indices(net, store)
+        assert rows.shape == cols.shape == (net.num_edges,)
+        assert (0 <= rows).all() and (rows < store.rows).all()
+        assert (0 <= cols).all() and (cols < store.cols).all()
+        for eid in range(0, net.num_edges, 7):
+            a, b = net.edge_vector(eid)
+            mid = (np.asarray(a) + np.asarray(b)) / 2.0
+            assert (rows[eid], cols[eid]) == store._cell(mid[0], mid[1])
+
+
+class TestLiveSpeedStore:
+    def test_overlay_answers_live_and_falls_through(self, small_dataset):
+        base = small_dataset.speed_store
+        live = LiveSpeedStore(base)
+        period = 3
+        fresh = np.full(base.shape, 1.25)
+        live.update_slice(period, fresh)
+        np.testing.assert_array_equal(live.matrix_at(period), fresh)
+        other = (period + 1) % base.periods
+        np.testing.assert_array_equal(live.matrix_at(other),
+                                      base.matrix_at(other))
+        assert live.live_periods == [period]
+
+    def test_version_bumps_per_update(self, small_dataset):
+        live = LiveSpeedStore(small_dataset.speed_store)
+        assert live.version == 0
+        live.update_slice(0, np.ones(live.shape))
+        live.update_slice(1, np.ones(live.shape))
+        assert live.version == 2
+
+    def test_normalisation_keeps_base_scale(self, small_dataset):
+        """Live congestion must show as genuinely lower normalised
+        values: the scale is the BASE global mean, not the live mean."""
+        base = small_dataset.speed_store
+        live = LiveSpeedStore(base)
+        period = base.period_before(2 * SECONDS_PER_DAY)
+        congested = base.matrix_at(period) * 0.5
+        live.update_slice(period, congested)
+        t = (period + 1) * base.config.period_seconds + 1.0
+        normal = base.normalized_matrix_before(t)
+        slowed = live.normalized_matrix_before(t)
+        assert (slowed <= normal + 1e-12).all()
+        assert slowed.mean() < normal.mean()
+
+    def test_shape_and_range_validated(self, small_dataset):
+        live = LiveSpeedStore(small_dataset.speed_store)
+        with pytest.raises(ValueError):
+            live.update_slice(0, np.ones((1, 1)))
+        with pytest.raises(ValueError):
+            live.update_slice(live.periods, np.ones(live.shape))
 
 
 class TestSplits:

@@ -134,9 +134,9 @@ class TestCacheGauges:
 
 
 class TestFallback:
-    def test_model_failure_activates_fallback(self, trained_predictor,
-                                              serving_dataset,
-                                              monkeypatch):
+    def test_model_failure_activates_route_tier(self, trained_predictor,
+                                                serving_dataset,
+                                                monkeypatch):
         service = TravelTimeService(trained_predictor)
 
         def explode(*args, **kwargs):
@@ -145,18 +145,54 @@ class TestFallback:
                             explode)
         response = service.query(*sample_queries(serving_dataset, 1)[0])
         assert response.degraded
-        assert response.source == "fallback"
+        assert response.source == "route"
+        assert response.degraded_tier == 1
+        assert response.origin_edge >= 0     # route tier still matches
         assert response.seconds > 0
         assert response.lower < response.seconds < response.upper
         snap = service.metrics_snapshot()
         assert snap["counters"]["model_failures"] == 1
+        assert snap["counters"]["route_answers"] == 1
+
+    def test_route_failure_falls_to_temp(self, trained_predictor,
+                                         serving_dataset, monkeypatch):
+        service = TravelTimeService(trained_predictor)
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected failure")
+        monkeypatch.setattr(service.predictor, "estimate_from_ods",
+                            explode)
+        monkeypatch.setattr(service.route_baseline, "estimate_from_ods",
+                            explode)
+        response = service.query(*sample_queries(serving_dataset, 1)[0])
+        assert response.degraded
+        assert response.source == "fallback"
+        assert response.degraded_tier == 2
+        snap = service.metrics_snapshot()
+        assert snap["counters"]["route_failures"] == 1
         assert snap["counters"]["fallback_answers"] == 1
+
+    def test_route_tier_can_be_disabled(self, trained_predictor,
+                                        serving_dataset, monkeypatch):
+        from repro.serving import ServiceConfig
+        service = TravelTimeService(
+            trained_predictor, config=ServiceConfig(route_fallback=False))
+        assert service.route_baseline is None
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("injected model failure")
+        monkeypatch.setattr(service.predictor, "estimate_from_ods",
+                            explode)
+        response = service.query(*sample_queries(serving_dataset, 1)[0])
+        assert response.source == "fallback"
+        assert response.degraded_tier == 2
 
     def test_fallback_only_service(self, serving_dataset):
         service = TravelTimeService(dataset=serving_dataset)
         assert service.degraded
         response = service.query(*sample_queries(serving_dataset, 1)[0])
         assert response.degraded and response.source == "fallback"
+        assert response.degraded_tier == 2
 
     def test_needs_predictor_or_dataset(self):
         with pytest.raises(ValueError):

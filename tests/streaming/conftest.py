@@ -1,0 +1,68 @@
+"""Shared fixtures for the streaming suite: a tiny trained deployment.
+
+One dataset and one trained artifact are built per session; each E2E
+test gets its own deployment root (fine-tuning mutates it) seeded by
+promoting that artifact as the incumbent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DeepODConfig, DeepODTrainer, TravelTimePredictor, build_deepod,
+)
+from repro.datagen import load_city
+from repro.experiments import promote
+from repro.streaming import shift_travel_times
+
+STREAM_TRIPS = 110
+STREAM_DAYS = 7
+
+TINY_CFG = DeepODConfig(
+    d_s=8, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8, d5_m=16, d6_m=8,
+    d7_m=16, d9_m=16, d_h=16, d_traf=8, batch_size=16, epochs=1,
+    use_external_features=False, seed=0)
+
+
+@pytest.fixture(scope="session")
+def stream_dataset():
+    return load_city("mini-chengdu", num_trips=STREAM_TRIPS,
+                     num_days=STREAM_DAYS)
+
+
+@pytest.fixture(scope="session")
+def stream_artifact(tmp_path_factory, stream_dataset):
+    from repro.serving import save_artifact
+    model = build_deepod(stream_dataset, TINY_CFG)
+    trainer = DeepODTrainer(model, stream_dataset, eval_every=0)
+    trainer.fit(track_validation=False)
+    predictor = TravelTimePredictor(trainer, coverage=0.8)
+    directory = tmp_path_factory.mktemp("stream-artifact")
+    return save_artifact(str(directory), predictor)
+
+
+@pytest.fixture()
+def deploy_root(tmp_path, stream_artifact, stream_dataset):
+    """A fresh deployment root with the session artifact as incumbent."""
+    root = tmp_path / "deploy"
+    decision = promote(stream_artifact, str(root), dataset=stream_dataset)
+    assert decision.promoted
+    return str(root)
+
+
+@pytest.fixture(scope="session")
+def shifted_stream(stream_dataset):
+    """The validation+test tail with a 3.5x slowdown injected at the 40%
+    depart-time quantile; returns ``(trips, shift_time)``.
+
+    The factor is sized against the tiny 1-epoch incumbent: it over-
+    predicts the unshifted tail by ~70%, so a mild slowdown *reduces*
+    its error — the regime shift must overshoot the bias for the served
+    error signal to rise and drift to fire.
+    """
+    trips = (list(stream_dataset.split.validation)
+             + list(stream_dataset.split.test))
+    departs = np.array([t.od.depart_time for t in trips])
+    shift_time = float(np.quantile(departs, 0.4))
+    shifted = shift_travel_times(trips, shift_time, 3.5, seed=7)
+    return shifted, shift_time

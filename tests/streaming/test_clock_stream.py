@@ -1,0 +1,130 @@
+"""EventClock and TripStream: determinism, gating, resume, shifts."""
+
+import numpy as np
+import pytest
+
+from repro.streaming import (
+    EventClock, TripStream, shift_travel_times, trip_arrival_time,
+)
+
+
+class TestEventClock:
+    def test_advance_and_set(self):
+        clock = EventClock(100.0)
+        assert clock.now() == 100.0
+        assert clock.advance(50.0) == 150.0
+        assert clock.set(200.0) == 200.0
+
+    def test_monotonicity_enforced(self):
+        clock = EventClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+        with pytest.raises(ValueError):
+            clock.set(5.0)
+        with pytest.raises(ValueError):
+            EventClock(-1.0)
+
+    def test_state_round_trip(self):
+        clock = EventClock(42.0)
+        clock.advance(8.0)
+        restored = EventClock()
+        restored.load_state_dict(clock.state_dict())
+        assert restored.now() == 50.0
+
+
+class TestTripStream:
+    def test_releases_in_arrival_order(self, stream_dataset):
+        trips = stream_dataset.split.test
+        clock = EventClock(0.0)
+        stream = TripStream(trips, clock)
+        assert stream.poll() == []          # nothing has completed yet
+        clock.set(max(trip_arrival_time(t) for t in trips) + 1.0)
+        released = stream.poll()
+        assert len(released) == len(trips)
+        arrivals = [trip_arrival_time(t) for t in released]
+        assert arrivals == sorted(arrivals)
+        assert stream.exhausted and stream.remaining == 0
+
+    def test_gating_is_incremental(self, stream_dataset):
+        trips = stream_dataset.split.test
+        clock = EventClock(0.0)
+        stream = TripStream(trips, clock)
+        arrivals = sorted(trip_arrival_time(t) for t in trips)
+        midpoint = arrivals[len(arrivals) // 2]
+        clock.set(midpoint)
+        first = stream.poll()
+        assert 0 < len(first) < len(trips)
+        assert all(trip_arrival_time(t) <= midpoint for t in first)
+        assert stream.peek_next_release() > midpoint
+
+    def test_same_seed_same_release_order(self, stream_dataset):
+        trips = stream_dataset.split.test
+        streams = [TripStream(trips, EventClock(0.0), seed=3,
+                              report_jitter_s=120.0) for _ in range(2)]
+        for stream in streams:
+            stream.clock.set(10 * 24 * 3600.0)
+        a, b = (s.poll() for s in streams)
+        assert [id(t.od) for t in a] == [id(t.od) for t in b]
+
+    def test_resume_from_state_dict(self, stream_dataset):
+        trips = stream_dataset.split.test
+        clock = EventClock(0.0)
+        stream = TripStream(trips, clock, seed=1)
+        arrivals = sorted(trip_arrival_time(t) for t in trips)
+        clock.set(arrivals[4])
+        head = stream.poll()
+        state = stream.state_dict()
+
+        resumed = TripStream(trips, EventClock(0.0), seed=1)
+        resumed.load_state_dict(state)
+        assert resumed.remaining == stream.remaining
+        resumed.clock.set(arrivals[-1] + 1.0)
+        tail = resumed.poll()
+        assert len(head) + len(tail) == len(trips)
+        # No trip is replayed or lost across the resume.
+        seen = {id(t) for t in head} | {id(t) for t in tail}
+        assert len(seen) == len(trips)
+
+    def test_bad_cursor_rejected(self, stream_dataset):
+        stream = TripStream(stream_dataset.split.test, EventClock(0.0))
+        with pytest.raises(ValueError):
+            stream.load_state_dict({"cursor": 10_000,
+                                    "clock": {"now": 0.0}})
+
+
+class TestShiftTravelTimes:
+    def test_pre_shift_trips_untouched(self, stream_dataset):
+        trips = stream_dataset.split.test
+        at = trips[3].od.depart_time
+        shifted = shift_travel_times(trips, at, 2.0, seed=0)
+        for orig, new in zip(trips, shifted):
+            if orig.od.depart_time < at:
+                assert new is orig
+
+    def test_factor_scales_times_consistently(self, stream_dataset):
+        trips = stream_dataset.split.test
+        shifted = shift_travel_times(trips, 0.0, 1.5, seed=0, noise=0.0)
+        for orig, new in zip(trips, shifted):
+            assert new.travel_time == pytest.approx(
+                orig.travel_time * 1.5)
+            assert new.od.depart_time == orig.od.depart_time
+            # Path elements stretch around the unchanged departure: the
+            # trajectory still starts at depart and lasts 1.5x as long.
+            assert new.trajectory.depart_time == pytest.approx(
+                orig.trajectory.depart_time)
+            assert new.trajectory.travel_time == pytest.approx(
+                orig.trajectory.travel_time * 1.5)
+            assert new.trajectory.edge_ids == orig.trajectory.edge_ids
+
+    def test_noise_is_seeded(self, stream_dataset):
+        trips = stream_dataset.split.test
+        a = shift_travel_times(trips, 0.0, 2.0, seed=5, noise=0.1)
+        b = shift_travel_times(trips, 0.0, 2.0, seed=5, noise=0.1)
+        assert [t.travel_time for t in a] == [t.travel_time for t in b]
+        mean_factor = np.mean([x.travel_time / o.travel_time
+                               for x, o in zip(a, trips)])
+        assert mean_factor == pytest.approx(2.0, rel=0.15)
+
+    def test_invalid_factor(self, stream_dataset):
+        with pytest.raises(ValueError):
+            shift_travel_times(stream_dataset.split.test, 0.0, 0.0)

@@ -1,0 +1,70 @@
+"""DriftDetector: arming, triggering, rebasing, metrics export."""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.streaming import DriftDetector
+
+
+def feed(detector, error, n):
+    """Feed n scored trips each with absolute error ``error``."""
+    for _ in range(n):
+        detector.observe(100.0 + error, 100.0)
+
+
+class TestDriftDetector:
+    def test_arms_at_first_full_window(self):
+        det = DriftDetector(window=5, metrics=MetricsRegistry())
+        feed(det, 10.0, 4)
+        assert not det.armed and det.baseline_mae is None
+        assert not det.drifted()        # unarmed never drifts
+        feed(det, 10.0, 1)
+        assert det.armed
+        assert det.baseline_mae == pytest.approx(10.0)
+
+    def test_trigger_and_counter(self):
+        registry = MetricsRegistry()
+        det = DriftDetector(window=4, ratio_threshold=1.5,
+                            metrics=registry)
+        feed(det, 10.0, 4)              # baseline 10
+        feed(det, 12.0, 4)              # ratio 1.2 — below threshold
+        assert not det.drifted()
+        feed(det, 20.0, 4)              # ratio 2.0 — drifted
+        assert det.ratio == pytest.approx(2.0)
+        assert det.drifted() and det.drifted()
+        assert registry.counter("stream.drift.triggers").value == 2
+
+    def test_rebase_adopts_current_window(self):
+        det = DriftDetector(window=4, ratio_threshold=1.5,
+                            metrics=MetricsRegistry())
+        feed(det, 10.0, 4)
+        feed(det, 30.0, 4)
+        assert det.drifted()
+        det.rebase()                    # e.g. after a promotion
+        assert det.baseline_mae == pytest.approx(30.0)
+        assert not det.drifted()
+
+    def test_rolling_window_forgets(self):
+        det = DriftDetector(window=3, metrics=MetricsRegistry())
+        feed(det, 9.0, 3)
+        feed(det, 3.0, 3)               # old errors fully evicted
+        assert det.rolling_mae == pytest.approx(3.0)
+        assert det.scored == 6
+
+    def test_gauges_in_snapshot(self):
+        registry = MetricsRegistry()
+        det = DriftDetector(window=2, metrics=registry)
+        snap = registry.snapshot()["gauges"]
+        assert snap["stream.drift.rolling_mae"] == 0.0
+        feed(det, 8.0, 2)
+        snap = registry.snapshot()["gauges"]
+        assert snap["stream.drift.rolling_mae"] == pytest.approx(8.0)
+        assert snap["stream.drift.baseline_mae"] == pytest.approx(8.0)
+        assert snap["stream.drift.ratio"] == pytest.approx(1.0)
+        assert det.snapshot()["scored"] == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftDetector(window=1, metrics=MetricsRegistry())
+        with pytest.raises(ValueError):
+            DriftDetector(ratio_threshold=1.0, metrics=MetricsRegistry())
