@@ -43,6 +43,18 @@ def bench_embed_engine() -> str:
     return engine
 
 
+def bench_nn_engine() -> str:
+    """nn hot-path engine every benchmark model is built with.
+
+    ``REPRO_NN_ENGINE=reference`` reruns the suite on the per-op
+    oracles, mirroring ``REPRO_EMBED_ENGINE`` for the fused kernels.
+    """
+    engine = os.environ.get("REPRO_NN_ENGINE", "fast")
+    if engine not in ("fast", "reference"):
+        raise ValueError("REPRO_NN_ENGINE must be fast or reference")
+    return engine
+
+
 @dataclass
 class BenchParams:
     scale: float
@@ -77,7 +89,8 @@ def small_deepod_config(params: BenchParams, **overrides) -> DeepODConfig:
                 batch_size=64, epochs=params.epochs, seed=0,
                 aux_weight=0.3, lr_decay_epochs=4,
                 use_external_features=False,
-                embed_engine=bench_embed_engine())
+                embed_engine=bench_embed_engine(),
+                nn_engine=bench_nn_engine())
     base.update(overrides)
     return DeepODConfig(**base)
 

@@ -61,7 +61,7 @@ from .core import (
 )
 from .datagen import PRESETS, load_city, strip_trajectories
 from .eval import format_table, mape, run_comparison
-from .nn import save_state
+from .nn import NN_ENGINES, default_nn_engine, save_state
 
 
 def _make_tracer(args):
@@ -99,6 +99,7 @@ def _default_config(args) -> DeepODConfig:
         epochs=args.epochs, batch_size=64, aux_weight=args.aux_weight,
         lr_decay_epochs=4, use_external_features=args.external,
         embed_engine=getattr(args, "embed_engine", "vectorized"),
+        nn_engine=getattr(args, "nn_engine", None) or default_nn_engine(),
         seed=args.seed)
 
 
@@ -502,6 +503,8 @@ def _exp_config(args) -> "DeepODConfig":
             epochs=args.epochs, aux_weight=args.aux_weight,
             use_external_features=args.external,
             embed_engine=getattr(args, "embed_engine", "vectorized"),
+            nn_engine=getattr(args, "nn_engine", None)
+            or default_nn_engine(),
             seed=args.seed)
     return config
 
@@ -673,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="embed_engine",
                        help="walk/SGNS implementation for embedding "
                             "pre-training")
+        p.add_argument("--nn-engine", default=None,
+                       choices=list(NN_ENGINES),
+                       dest="nn_engine",
+                       help="nn hot-path implementation: fused batched "
+                            "kernels (fast) or per-op oracles "
+                            "(reference); default honours "
+                            "REPRO_NN_ENGINE, then fast")
         p.add_argument("--seed", type=int, default=0)
 
     def obs(p):

@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Optional
 
+from ..nn.engine import NN_ENGINES, default_nn_engine
+
 
 @dataclass
 class DeepODConfig:
@@ -70,6 +72,11 @@ class DeepODConfig:
     # alias-sampled lockstep engine (default) or the scalar reference
     # oracle it is tested against.
     embed_engine: str = "vectorized"       # vectorized | reference
+    # Hot-path engine for the nn layers (LSTM/GRU unrolls, Conv2d,
+    # BatchNorm2d, losses): the fused batched kernels (default) or the
+    # per-op reference oracles they are tested against.  The default
+    # honours REPRO_NN_ENGINE, mirroring the embed_engine knob.
+    nn_engine: str = field(default_factory=default_nn_engine)  # fast | reference
     temporal_graph: str = "weekly"         # weekly | daily(T-day)
     use_timestamp_directly: bool = False   # True => T-stamp
     # Sequence model of the Trajectory Encoder.  The paper instantiates
@@ -100,6 +107,8 @@ class DeepODConfig:
             raise ValueError("unknown slot-embedding initialisation")
         if self.embed_engine not in ("vectorized", "reference"):
             raise ValueError("embed_engine must be vectorized or reference")
+        if self.nn_engine not in NN_ENGINES:
+            raise ValueError("nn_engine must be one of " + "|".join(NN_ENGINES))
         if self.temporal_graph not in ("weekly", "daily"):
             raise ValueError("temporal_graph must be weekly or daily")
         if self.sequence_encoder not in ("lstm", "gru", "mean"):

@@ -102,9 +102,13 @@ class TimeSlotEmbedding(Embedding):
 
     def lookup_slots(self, slots: Sequence[int]):
         """Embed absolute slot indices (wrapping into the graph period)."""
-        nodes = np.array([self.node_of_slot(int(s)) for s in slots],
-                         dtype=np.int64)
-        return self(nodes)
+        slots = np.asarray(slots, dtype=np.int64)
+        if slots.size and slots.min() < 0:
+            raise ValueError("slot must be non-negative")
+        period = (self.slot_config.slots_per_week
+                  if self.graph_kind == "weekly"
+                  else self.slot_config.slots_per_day)
+        return self(slots % period)
 
     @classmethod
     def pretrained(cls, slot_config: TimeSlotConfig, dim: int,

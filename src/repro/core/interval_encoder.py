@@ -17,13 +17,14 @@ the padding.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..analysis.contracts import shaped
 from ..nn import (
-    IntervalResNetBlock, Module, Tensor, TwoLayerMLP, concat,
+    IntervalResNetBlock, Module, Tensor, TwoLayerMLP,
+    masked_mean_pool,
 )
 from ..temporal.timeslot import TimeSlotConfig
 from .config import DeepODConfig
@@ -39,10 +40,10 @@ class TimeIntervalEncoder(Module):
         super().__init__()
         self.config = config
         self.slot_embedding = slot_embedding
-        self.resnet = IntervalResNetBlock(rng=rng)
+        self.resnet = IntervalResNetBlock(rng=rng, engine=config.nn_engine)
         # Eq. 11: input is Z5 (d_t) concatenated with the two remainders.
         self.mlp = TwoLayerMLP(config.d_t + 2, config.d1_m, config.d2_m,
-                               rng=rng)
+                               rng=rng, engine=config.nn_engine)
 
     @property
     def slot_config(self) -> TimeSlotConfig:
@@ -54,31 +55,29 @@ class TimeIntervalEncoder(Module):
 
         Returns a (batch, d2_m) tensor of tcodes.
         """
-        if not len(intervals):
-            raise ValueError("empty interval batch")
+        arr = np.asarray(intervals, dtype=np.float64)
+        if arr.ndim != 2 or arr.shape[1] != 2 or not arr.shape[0]:
+            raise ValueError(
+                f"expected a non-empty (batch, 2) interval array, got "
+                f"shape {arr.shape}")
+        if np.any(arr[:, 1] < arr[:, 0]):
+            raise ValueError("interval end precedes start")
         cfg = self.slot_config
-        slot_lists: List[np.ndarray] = []
-        remainders = np.zeros((len(intervals), 2))
-        for i, (t_start, t_end) in enumerate(intervals):
-            if t_end < t_start:
-                raise ValueError("interval end precedes start")
-            slots = np.fromiter(cfg.interval_slots(t_start, t_end),
-                                dtype=np.int64)
-            slot_lists.append(slots)
-            # Remainders normalised to [0, 1) so they do not dominate.
-            remainders[i, 0] = cfg.remainder_of(t_start) / cfg.slot_seconds
-            remainders[i, 1] = cfg.remainder_of(t_end) / cfg.slot_seconds
+        batch = arr.shape[0]
+        # Vectorised Eq. 2-4 over the whole batch: first/last slot per
+        # interval and both remainders (normalised to [0, 1) so they do
+        # not dominate).
+        first = cfg.slots_of(arr[:, 0])
+        counts = cfg.slots_of(arr[:, 1]) - first + 1      # Δd per row
+        remainders = cfg.remainders_of(arr) / cfg.slot_seconds
 
-        max_len = max(len(s) for s in slot_lists)
-        batch = len(intervals)
         # Pad slot indices with each interval's last slot; the pooling mask
         # below removes the padded rows from the average.
-        padded = np.zeros((batch, max_len), dtype=np.int64)
-        mask = np.zeros((batch, max_len))
-        for i, slots in enumerate(slot_lists):
-            padded[i, :len(slots)] = slots
-            padded[i, len(slots):] = slots[-1]
-            mask[i, :len(slots)] = 1.0
+        max_len = int(counts.max())
+        offs = np.arange(max_len)
+        padded = first[:, None] + np.minimum(offs[None, :],
+                                             (counts - 1)[:, None])
+        mask = (offs[None, :] < counts[:, None]).astype(np.float64)
 
         # (batch * max_len,) -> (batch, 1, max_len, d_t)
         emb = self.slot_embedding.lookup_slots(padded.reshape(-1))
@@ -88,8 +87,11 @@ class TimeIntervalEncoder(Module):
         z4 = self.resnet(dt_tensor, mask=row_mask)        # Eq. 5-8
         z4 = z4.reshape(batch, max_len, d_t)
         # Masked average pool over the slot axis (Eq. 10).
-        mask_t = Tensor(mask[:, :, None])
-        counts = Tensor(mask.sum(axis=1, keepdims=True))
-        z5 = (z4 * mask_t).sum(axis=1) / counts
-        z6 = concat([z5, Tensor(remainders)], axis=1)     # (batch, d_t + 2)
-        return self.mlp(z6)                               # Eq. 11
+        if self.config.nn_engine == "fast":
+            z5 = masked_mean_pool(z4, mask)
+        else:
+            mask_t = Tensor(mask[:, :, None])
+            counts_t = Tensor(mask.sum(axis=1, keepdims=True))
+            z5 = (z4 * mask_t).sum(axis=1) / counts_t
+        # Eq. 11 with the constant remainders fused in as the MLP tail.
+        return self.mlp.forward_with_tail(z5, remainders)

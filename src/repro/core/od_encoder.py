@@ -49,7 +49,8 @@ class ODEncoder(Module):
                     + 3)                    # r[1], r[-1], t_r
         if config.use_timestamp_directly:
             in_width += 1                   # raw timestamp feature (T-stamp)
-        self.mlp1 = TwoLayerMLP(in_width, config.d7_m, config.d8_m, rng=rng)
+        self.mlp1 = TwoLayerMLP(in_width, config.d7_m, config.d8_m, rng=rng,
+                                engine=config.nn_engine)
 
     @shaped("_ -> (B, config.d8_m)")
     def forward(self, ods: Sequence[ODInput],
@@ -73,12 +74,13 @@ class ODEncoder(Module):
             origin = Tensor(np.zeros((batch, cfg.d_s)))
             dest = Tensor(np.zeros((batch, cfg.d_s)))
 
-        # Temporal part: slot embedding of the departure time + remainder.
+        # Temporal part: slot embedding of the departure time + remainder
+        # (vectorised Eq. 2-3 over the batch).
         slot_cfg = self.slot_embedding.slot_config
-        slots = [slot_cfg.slot_of(od.depart_time) for od in ods]
-        remainders = np.array(
-            [slot_cfg.remainder_of(od.depart_time) for od in ods])
-        remainders = remainders / slot_cfg.slot_seconds
+        departs = np.fromiter((od.depart_time for od in ods),
+                              dtype=np.float64, count=batch)
+        slots = slot_cfg.slots_of(departs)
+        remainders = slot_cfg.remainders_of(departs) / slot_cfg.slot_seconds
         if cfg.use_temporal_encoding and not cfg.use_timestamp_directly:
             d_t = self.slot_embedding.lookup_slots(slots)
         else:

@@ -200,7 +200,8 @@ class DeepODTrainer(Instrumented):
         tracer = self.tracer
         with tracer.span("train.fit", epochs=epochs,
                          batch_size=cfg.batch_size,
-                         train_size=len(train)):
+                         train_size=len(train),
+                         nn_engine=cfg.nn_engine):
             while self._epoch < epochs and not done:
                 epoch_ctx = tracer.span("train.epoch", epoch=self._epoch)
                 epoch_span = epoch_ctx.__enter__()

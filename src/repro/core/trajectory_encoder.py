@@ -23,7 +23,10 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..analysis.contracts import shaped
-from ..nn import GRU, LSTM, Linear, Module, Tensor, TwoLayerMLP, concat
+from ..nn import (
+    GRU, LSTM, Linear, Module, Tensor, TwoLayerMLP, concat,
+    masked_mean_pool, resolve_nn_engine, sequence_mask,
+)
 from ..trajectory.model import MatchedTrajectory
 from .config import DeepODConfig
 from .embeddings import RoadSegmentEmbedding
@@ -38,21 +41,25 @@ class MeanSequenceEncoder(Module):
     """
 
     def __init__(self, input_size: int, hidden_size: int,
-                 rng: Optional[np.random.Generator] = None):
+                 rng: Optional[np.random.Generator] = None,
+                 engine: Optional[str] = None):
         super().__init__()
         self.proj = Linear(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
+        self.engine = resolve_nn_engine(engine)
 
     @shaped("(B, T, D), _ -> _, (B, hidden_size)")
     def forward(self, x: Tensor, lengths=None):
         batch, steps, _ = x.shape
         if lengths is None:
             lengths = [steps] * batch
-        mask = np.zeros((batch, steps, 1))
-        for i, n in enumerate(lengths):
-            mask[i, :n, 0] = 1.0
-        counts = Tensor(mask.sum(axis=1))
-        pooled = (x * Tensor(mask)).sum(axis=1) / counts
+        lengths = np.asarray(lengths, dtype=np.int64)
+        mask = sequence_mask(lengths, steps).astype(x.dtype)
+        if self.engine == "fast":
+            pooled = masked_mean_pool(x, mask)
+        else:
+            counts = Tensor(mask.sum(axis=1, keepdims=True))
+            pooled = (x * Tensor(mask[:, :, None])).sum(axis=1) / counts
         h = self.proj(pooled).tanh()
         return None, h
 
@@ -70,56 +77,64 @@ class TrajectoryEncoder(Module):
         self.interval_encoder = interval_encoder
         input_size = config.d2_m + config.d_s      # D^st = [tcode, D^s]
         if config.sequence_encoder == "lstm":
-            self.lstm = LSTM(input_size, config.d_h, rng=rng)
+            self.lstm = LSTM(input_size, config.d_h, rng=rng,
+                             engine=config.nn_engine)
         elif config.sequence_encoder == "gru":
-            self.lstm = GRU(input_size, config.d_h, rng=rng)
+            self.lstm = GRU(input_size, config.d_h, rng=rng,
+                            engine=config.nn_engine)
         else:
             self.lstm = MeanSequenceEncoder(input_size, config.d_h,
-                                            rng=rng)
+                                            rng=rng,
+                                            engine=config.nn_engine)
         self.mlp = TwoLayerMLP(config.d_h + 2, config.d3_m, config.d4_m,
-                               rng=rng)
+                               rng=rng, engine=config.nn_engine)
 
     @shaped("_ -> (B, config.d4_m)")
     def forward(self, trajectories: Sequence[MatchedTrajectory]) -> Tensor:
         if not len(trajectories):
             raise ValueError("empty trajectory batch")
         cfg = self.config
-        lengths = [len(t) for t in trajectories]
-        max_len = max(lengths)
         batch = len(trajectories)
 
-        # Flatten all path elements, encode in one go, then scatter into a
-        # padded (batch, max_len, d) layout.
-        all_intervals = []
-        all_edges = []
-        for traj in trajectories:
-            for el in traj.path:
-                all_intervals.append(el.interval)
-                all_edges.append(el.edge_id)
+        # Flatten all path elements into contiguous arrays (cached per
+        # trajectory, so later epochs skip the per-element Python loop),
+        # encode in one go, then scatter into a padded layout.
+        per_traj = [t.encoder_arrays() for t in trajectories]
+        lengths = np.fromiter((len(t) for t in trajectories),
+                              dtype=np.int64, count=batch)
+        max_len = int(lengths.max())
+        all_edges = np.concatenate([edges for edges, _ in per_traj])
+        all_intervals = np.concatenate(
+            [intervals for _, intervals in per_traj], axis=0)
 
         if cfg.use_temporal_encoding:
             tcodes = self.interval_encoder(all_intervals)   # (total, d2_m)
         else:
             tcodes = Tensor(np.zeros((len(all_intervals), cfg.d2_m)))
         if cfg.use_spatial_encoding:
-            scodes = self.road_embedding(np.asarray(all_edges))
+            scodes = self.road_embedding(all_edges)
         else:
             scodes = Tensor(np.zeros((len(all_edges), cfg.d_s)))
-        dst = concat([tcodes, scodes], axis=1)              # (total, d)
 
-        # Scatter flat encodings into padded batch rows.  The scatter is a
-        # differentiable gather with a precomputed index map.
-        d = cfg.d2_m + cfg.d_s
-        index_map = np.zeros((batch, max_len), dtype=np.int64)
-        offset = 0
-        for i, n in enumerate(lengths):
-            index_map[i, :n] = np.arange(offset, offset + n)
-            index_map[i, n:] = offset + n - 1   # pad rows repeat last step
-            offset += n
-        padded = dst[index_map.reshape(-1)].reshape(batch, max_len, d)
-
-        _, h_n = self.lstm(padded, lengths=lengths)         # Eq. 12-16
+        # Pad flat encodings into batch rows via a precomputed index
+        # map: row i covers flat rows [starts[i], starts[i] + n_i), pad
+        # columns repeating the last step.
+        starts = np.concatenate([[0], np.cumsum(lengths)[:-1]])
+        offs = np.arange(max_len)
+        index_map = starts[:, None] + np.minimum(offs[None, :],
+                                                 (lengths - 1)[:, None])
         ratios = np.array([[t.ratio_start, t.ratio_end]
                            for t in trajectories])
-        z7 = concat([h_n, Tensor(ratios)], axis=1)
-        return self.mlp(z7)                                 # Eq. 17
+
+        if isinstance(self.lstm, LSTM) and self.lstm.engine == "fast":
+            # Hot path: concat + gather + unroll + last-step slice as
+            # one fused node (Eq. 12-16).
+            h_n = self.lstm.encode_spans(tcodes, scodes, index_map,
+                                         lengths)
+        else:
+            d = cfg.d2_m + cfg.d_s
+            dst = concat([tcodes, scodes], axis=1)          # (total, d)
+            padded = dst[index_map.reshape(-1)].reshape(
+                batch, max_len, d)
+            _, h_n = self.lstm(padded, lengths=lengths)     # Eq. 12-16
+        return self.mlp.forward_with_tail(h_n, ratios)      # Eq. 17

@@ -16,6 +16,10 @@ from typing import Optional, Tuple, Union
 import numpy as np
 
 from ..analysis.contracts import shaped
+from .engine import (
+    batchnorm2d_fused, conv2d_fused, conv_bn_relu_fused,
+    interval_resnet_fused, resolve_nn_engine,
+)
 from .functional import pad2d
 from .init import ensure_generator
 from .modules import Module, Parameter
@@ -62,9 +66,11 @@ class Conv2d(Module):
     def __init__(self, in_channels: int, out_channels: int,
                  kernel_size: IntPair, stride: IntPair = 1,
                  padding: IntPair = 0, bias: bool = True, *,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 engine: Optional[str] = None):
         super().__init__()
         rng = ensure_generator(rng, "Conv2d")
+        self.engine = resolve_nn_engine(engine)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = _pair(kernel_size)
@@ -86,6 +92,13 @@ class Conv2d(Module):
     def forward(self, x: Tensor) -> Tensor:
         if x.ndim != 4:
             raise ValueError(f"Conv2d expects (N, C, H, W), got {x.shape}")
+        if self.engine == "fast":
+            return conv2d_fused(x, self.weight, self.bias, self.stride,
+                                self.padding)
+        return self._forward_reference(x)
+
+    def _forward_reference(self, x: Tensor) -> Tensor:
+        """Oracle path: differentiable slicing + concat im2col."""
         ph, pw = self.padding
         if ph or pw:
             x = pad2d(x, (ph, ph, pw, pw))
@@ -110,8 +123,10 @@ class BatchNorm2d(Module):
     """Batch normalisation over (N, H, W) per channel, with running stats."""
 
     def __init__(self, num_features: int, eps: float = 1e-5,
-                 momentum: float = 0.1):
+                 momentum: float = 0.1, *,
+                 engine: Optional[str] = None):
         super().__init__()
+        self.engine = resolve_nn_engine(engine)
         self.num_features = num_features
         self.eps = eps
         self.momentum = momentum
@@ -127,11 +142,12 @@ class BatchNorm2d(Module):
         if self.training:
             mean = x.data.mean(axis=axes)
             var = x.data.var(axis=axes)
-            m = self.momentum
-            self.update_buffer(
-                "running_mean", (1 - m) * self.running_mean + m * mean)
-            self.update_buffer(
-                "running_var", (1 - m) * self.running_var + m * var)
+            self._update_running(mean, var)
+            if self.engine == "fast":
+                # One fused node: normalise + affine with hand-written
+                # backward (the running stats above are engine-shared).
+                return batchnorm2d_fused(x, self.weight, self.bias,
+                                         self.eps)
             # Normalise with batch statistics via differentiable ops.
             mu = x.mean(axis=axes, keepdims=True)
             centered = x - mu
@@ -145,6 +161,15 @@ class BatchNorm2d(Module):
         b = self.bias.reshape(1, self.num_features, 1, 1)
         return norm * w + b
 
+    def _update_running(self, mean: np.ndarray, var: np.ndarray) -> None:
+        """Fold one batch's statistics into the running buffers — shared
+        by both engines and by the fused Conv→BN→ReLU block."""
+        m = self.momentum
+        self.update_buffer(
+            "running_mean", (1 - m) * self.running_mean + m * mean)
+        self.update_buffer(
+            "running_var", (1 - m) * self.running_var + m * var)
+
 
 class ConvBNReLU(Module):
     """The Conv2d → BatchNorm2d → ReLU block of the traffic-condition CNN."""
@@ -152,13 +177,22 @@ class ConvBNReLU(Module):
     def __init__(self, in_channels: int, out_channels: int,
                  kernel_size: IntPair = 3, stride: IntPair = 1,
                  padding: IntPair = 1, *,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 engine: Optional[str] = None):
         super().__init__()
         self.conv = Conv2d(in_channels, out_channels, kernel_size,
-                           stride=stride, padding=padding, rng=rng)
-        self.bn = BatchNorm2d(out_channels)
+                           stride=stride, padding=padding, rng=rng,
+                           engine=engine)
+        self.bn = BatchNorm2d(out_channels, engine=engine)
 
     def forward(self, x: Tensor) -> Tensor:
+        if self.conv.engine == "fast" and self.training:
+            out, mean, var = conv_bn_relu_fused(
+                x, self.conv.weight, self.conv.bias, self.bn.weight,
+                self.bn.bias, self.conv.stride, self.conv.padding,
+                self.bn.eps)
+            self.bn._update_running(mean, var)
+            return out
         return self.bn(self.conv(x)).relu()
 
 
@@ -172,13 +206,17 @@ class IntervalResNetBlock(Module):
     the residual shapes agree.
     """
 
-    def __init__(self, *, rng: np.random.Generator):
+    def __init__(self, *, rng: np.random.Generator,
+                 engine: Optional[str] = None):
         super().__init__()
-        self.conv1 = Conv2d(1, 4, kernel_size=(3, 1), padding=(1, 0), rng=rng)
-        self.bn1 = BatchNorm2d(4)
-        self.conv2 = Conv2d(4, 8, kernel_size=(3, 1), padding=(1, 0), rng=rng)
-        self.bn2 = BatchNorm2d(8)
-        self.conv3 = Conv2d(8, 1, kernel_size=(1, 1), rng=rng)
+        self.conv1 = Conv2d(1, 4, kernel_size=(3, 1), padding=(1, 0),
+                            rng=rng, engine=engine)
+        self.bn1 = BatchNorm2d(4, engine=engine)
+        self.conv2 = Conv2d(4, 8, kernel_size=(3, 1), padding=(1, 0),
+                            rng=rng, engine=engine)
+        self.bn2 = BatchNorm2d(8, engine=engine)
+        self.conv3 = Conv2d(8, 1, kernel_size=(1, 1), rng=rng,
+                            engine=engine)
 
     @shaped("(N, 1, S, D) -> (N, 1, S, D)")
     def forward(self, x: Tensor, mask: Optional[Tensor] = None) -> Tensor:
@@ -196,6 +234,21 @@ class IntervalResNetBlock(Module):
         if x.ndim != 4 or x.shape[1] != 1:
             raise ValueError(
                 f"IntervalResNetBlock expects (N, 1, Δd, d_t), got {x.shape}")
+        if self.conv1.engine == "fast" and self.training:
+            # The whole block — input mask, both Conv→BN→ReLU(→mask)
+            # stages, 1x1 conv and residual — as one autograd node in
+            # transpose-free (N, Δd, d_t, C) layout.
+            out, m1, v1, m2, v2 = interval_resnet_fused(
+                x, self.conv1.weight, self.conv1.bias,
+                self.bn1.weight, self.bn1.bias,
+                self.conv2.weight, self.conv2.bias,
+                self.bn2.weight, self.bn2.bias,
+                self.conv3.weight, self.conv3.bias,
+                self.bn1.eps, self.bn2.eps,
+                mask=None if mask is None else mask.data)
+            self.bn1._update_running(m1, v1)
+            self.bn2._update_running(m2, v2)
+            return out
         if mask is not None:
             x = x * mask
         z1 = self.bn1(self.conv1(x)).relu()          # Eq. 5

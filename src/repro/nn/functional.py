@@ -62,6 +62,13 @@ def dropout(x: Tensor, p: float, training: bool,
 
 # ----------------------------------------------------------------------
 # Losses
+#
+# Each loss has two implementations: the original per-op chain (kept as
+# the ``*_reference`` oracle, also the default under the bare name for
+# backwards compatibility) and a ``*_fused`` single-autograd-node twin
+# whose backward is written by hand.  The fast nn engine dispatches to
+# the fused forms (see ``DeepOD.training_losses``); fused buffers keep
+# the input dtype so a float32 model never silently upcasts.
 # ----------------------------------------------------------------------
 def mae_loss(pred: Tensor, target: Tensor) -> Tensor:
     """Mean absolute error — the paper's main loss (Algorithm 1, line 11)."""
@@ -98,6 +105,60 @@ def smooth_l1_loss(pred: Tensor, target: Tensor, beta: float = 1.0) -> Tensor:
     return (quad + lin).mean()
 
 
+# Reference aliases, mirroring the embedding engine's naming scheme.
+mae_loss_reference = mae_loss
+mse_loss_reference = mse_loss
+euclidean_loss_reference = euclidean_loss
+smooth_l1_loss_reference = smooth_l1_loss
+
+
+def mae_loss_fused(pred: Tensor, target: Tensor) -> Tensor:
+    """Single-node mean absolute error (fast-engine twin of
+    :func:`mae_loss`)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred.data - target.data
+    out = np.abs(diff).mean()
+
+    def backward(grad):
+        g = grad * np.sign(diff) / diff.size
+        return g, -g
+
+    return Tensor._make(np.asarray(out), (pred, target), backward)
+
+
+def euclidean_loss_fused(a: Tensor, b: Tensor) -> Tensor:
+    """Single-node batch-mean Euclidean distance (twin of
+    :func:`euclidean_loss`, same epsilon)."""
+    diff = a.data - b.data
+    dist = np.sqrt((diff * diff).sum(axis=-1) + 1e-12)
+    out = dist.mean()
+
+    def backward(grad):
+        g = grad * diff / (dist[..., None] * dist.size)
+        return g, -g
+
+    return Tensor._make(np.asarray(out), (a, b), backward)
+
+
+def smooth_l1_loss_fused(pred: Tensor, target: Tensor,
+                         beta: float = 1.0) -> Tensor:
+    """Single-node Huber-style loss (twin of :func:`smooth_l1_loss`;
+    the ``|diff| == beta`` tie takes the linear branch, as there)."""
+    target = target if isinstance(target, Tensor) else Tensor(target)
+    diff = pred.data - target.data
+    abs_diff = np.abs(diff)
+    quad = abs_diff < beta
+    out = np.where(quad, diff * diff * (0.5 / beta),
+                   abs_diff - 0.5 * beta).mean()
+
+    def backward(grad):
+        g = grad * np.where(quad, diff / beta,
+                            np.sign(diff)) / diff.size
+        return g, -g
+
+    return Tensor._make(np.asarray(out), (pred, target), backward)
+
+
 # ----------------------------------------------------------------------
 # Padding / pooling helpers used by the CNN encoders
 # ----------------------------------------------------------------------
@@ -122,6 +183,23 @@ def pad2d(x: Tensor, pad: Tuple[int, int, int, int]) -> Tensor:
 def avg_pool_over_axis(x: Tensor, axis: int) -> Tensor:
     """Average-pool away one axis (Eq. 10: column means of Z4)."""
     return x.mean(axis=axis)
+
+
+def masked_mean_pool(x: Tensor, mask: np.ndarray) -> Tensor:
+    """Masked average pool over the time axis as a single node.
+
+    ``x`` is (B, T, D), ``mask`` a (B, T) 0/1 array; returns the
+    (B, D) mean of each row's unmasked steps.  The fast-engine twin of
+    the ``(x * mask).sum(1) / counts`` chain used by the Time Interval
+    Encoder (Eq. 10) and the mean-pooling sequence ablation.
+    """
+    weights = mask / mask.sum(axis=1, keepdims=True)    # (B, T)
+    out = np.einsum("btd,bt->bd", x.data, weights)
+
+    def backward(grad):
+        return (grad[:, None, :] * weights[:, :, None],)
+
+    return Tensor._make(out, (x,), backward)
 
 
 def global_avg_pool2d(x: Tensor) -> Tensor:

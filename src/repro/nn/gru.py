@@ -5,6 +5,10 @@ Section 4.4 of the paper says "we use an RNN model (e.g., LSTM)" — LSTM is
 the instantiated choice, not the only admissible one.  The GRU here powers
 the sequence-encoder ablation bench (LSTM vs GRU vs mean pooling) listed
 in DESIGN.md Section 6.
+
+Like :class:`repro.nn.LSTM`, the unroll has a fused ``"fast"`` engine
+(:func:`~repro.nn.engine.gru_sequence_fused`) and a per-timestep
+``"reference"`` oracle.
 """
 
 from __future__ import annotations
@@ -14,8 +18,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.contracts import shaped
+from .engine import gru_sequence_fused, resolve_nn_engine, sequence_mask
 from .init import ensure_generator
 from .modules import Module, Parameter
+from .rnn import _check_lengths, _check_state_dtype
 from .tensor import Tensor, concat, stack
 
 
@@ -58,33 +64,47 @@ class GRU(Module):
     """Unrolled GRU over padded variable-length batches.
 
     Interface-compatible with :class:`repro.nn.LSTM`: returns (outputs,
-    final hidden state), with padded steps frozen.
+    final hidden state), with padded steps frozen.  ``engine`` selects
+    the fused batched kernel (``"fast"``, default) or the per-timestep
+    reference unroll.
     """
 
     def __init__(self, input_size: int, hidden_size: int, *,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 engine: Optional[str] = None):
         super().__init__()
         self.cell = GRUCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
         self.input_size = input_size
+        self.engine = resolve_nn_engine(engine)
 
     @shaped("(B, T, input_size) -> (B, T, hidden_size), (B, hidden_size)")
     def forward(self, x: Tensor, lengths: Optional[Sequence[int]] = None
                 ) -> Tuple[Tensor, Tensor]:
         batch, steps, _ = x.shape
-        if lengths is None:
-            lengths = [steps] * batch
-        lengths = np.asarray(lengths, dtype=np.int64)
-        if len(lengths) != batch:
-            raise ValueError("lengths must have one entry per batch row")
-        if np.any(lengths < 1) or np.any(lengths > steps):
-            raise ValueError("sequence lengths must be in [1, time]")
+        lengths = _check_lengths(lengths, batch, steps)
+        if self.engine == "fast":
+            cell = self.cell
+            _check_state_dtype(x, cell.weight_gates, "GRU")
+            mask = sequence_mask(lengths, steps)
+            stacked = gru_sequence_fused(
+                x, cell.weight_gates, cell.bias_gates, cell.weight_cand,
+                cell.bias_cand, self.hidden_size, mask)
+            return stacked, stacked[:, steps - 1, :]
+        return self._forward_reference(x, lengths)
 
-        h = Tensor(np.zeros((batch, self.hidden_size)))
+    def _forward_reference(self, x: Tensor, lengths: np.ndarray
+                           ) -> Tuple[Tensor, Tensor]:
+        """Oracle path: one :class:`GRUCell` call per timestep."""
+        batch, steps, _ = x.shape
+        dtype = self.cell.weight_gates.dtype
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=dtype))
         outputs: List[Tensor] = []
         for t in range(steps):
             h_new = self.cell(x[:, t, :], h)
-            mask = Tensor((t < lengths).astype(np.float64)[:, None])
+            mask = Tensor((t < lengths).astype(dtype)[:, None])
             h = h_new * mask + h * (1.0 - mask)
             outputs.append(h)
-        return stack(outputs, axis=1), h
+        stacked = stack(outputs, axis=1)
+        _check_state_dtype(stacked, self.cell.weight_gates, "GRU")
+        return stacked, h

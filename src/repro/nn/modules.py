@@ -16,8 +16,9 @@ import numpy as np
 
 from ..analysis.contracts import shaped
 from . import init as init_schemes
+from .engine import mlp2_fused, resolve_nn_engine
 from .init import ensure_generator
-from .tensor import Tensor
+from .tensor import Tensor, concat
 
 
 class Parameter(Tensor):
@@ -202,8 +203,10 @@ class TwoLayerMLP(Module):
     """
 
     def __init__(self, in_features: int, hidden: int, out_features: int,
-                 *, rng: np.random.Generator):
+                 *, rng: np.random.Generator,
+                 engine: Optional[str] = None):
         super().__init__()
+        self.engine = resolve_nn_engine(engine)
         self.in_features = in_features
         self.out_features = out_features
         self.fc1 = Linear(in_features, hidden, rng=rng)
@@ -211,7 +214,38 @@ class TwoLayerMLP(Module):
 
     @shaped("(..., in_features) -> (..., out_features)")
     def forward(self, x: Tensor) -> Tensor:
+        if self.engine == "fast":
+            return mlp2_fused(x, self.fc1.weight, self.fc1.bias,
+                              self.fc2.weight, self.fc2.bias)
         return self.fc2(self.fc1(x).relu())
+
+    @shaped("(..., *), (..., *) -> (..., out_features)")
+    def forward_with_tail(self, x: Tensor, tail: np.ndarray) -> Tensor:
+        """``forward(concat([x, tail], axis=-1))`` for a constant tail.
+
+        The paper repeatedly appends hand-computed features (position
+        ratios in Eq. 17, interval remainders in Eq. 11) to a learned
+        code before an MLP.  The tail carries no gradient, so the fast
+        engine feeds it straight into the fused kernel — no concat
+        node, no backward split, no throwaway gradient buffer.  The
+        reference engine keeps the literal concat as the oracle.
+        """
+        if x.shape[:-1] != tail.shape[:-1]:
+            raise ValueError(
+                f"tail leading dims {tail.shape[:-1]} do not match "
+                f"input leading dims {x.shape[:-1]}")
+        if x.shape[-1] + tail.shape[-1] != self.in_features:
+            raise ValueError(
+                f"input ({x.shape[-1]}) + tail ({tail.shape[-1]}) "
+                f"features must total in_features ({self.in_features})")
+        if self.engine == "fast":
+            tail = np.asarray(tail, dtype=x.dtype)
+            return mlp2_fused(x, self.fc1.weight, self.fc1.bias,
+                              self.fc2.weight, self.fc2.bias,
+                              const_tail=tail)
+        joined = concat([x, Tensor(np.asarray(tail, dtype=x.dtype))],
+                        axis=-1)
+        return self.fc2(self.fc1(joined).relu())
 
 
 class Sequential(Module):

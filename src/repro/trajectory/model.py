@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class GPSPoint:
@@ -105,6 +107,30 @@ class MatchedTrajectory:
     @property
     def edge_ids(self) -> List[int]:
         return [el.edge_id for el in self.path]
+
+    def encoder_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Contiguous ``(edge_ids, intervals)`` arrays for the encoders.
+
+        Returns an int64 ``(n,)`` array of edge ids and a float64
+        ``(n, 2)`` array of (enter, exit) times.  Computed once and
+        cached on the instance, so repeated epochs over the same batch
+        skip the per-element Python loop.  The cache is invalidated
+        when ``self.path`` is rebound or resized; :class:`PathElement`
+        is frozen, so in-place element mutation cannot occur.
+        """
+        cached = self.__dict__.get("_encoder_arrays")
+        if (cached is not None and cached[0] is self.path
+                and cached[1] == len(self.path)):
+            return cached[2], cached[3]
+        n = len(self.path)
+        edges = np.fromiter((el.edge_id for el in self.path),
+                            dtype=np.int64, count=n)
+        intervals = np.empty((n, 2), dtype=np.float64)
+        for i, el in enumerate(self.path):
+            intervals[i, 0] = el.enter_time
+            intervals[i, 1] = el.exit_time
+        self.__dict__["_encoder_arrays"] = (self.path, n, edges, intervals)
+        return edges, intervals
 
     @property
     def depart_time(self) -> float:
