@@ -22,7 +22,7 @@ from repro.baselines import (
     MURATEstimator, STNNEstimator, TEMPEstimator,
 )
 from repro.core import DeepODConfig, variant_config
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.eval import run_comparison
 
 
@@ -97,20 +97,20 @@ def small_deepod_config(params: BenchParams, **overrides) -> DeepODConfig:
 
 @pytest.fixture(scope="session")
 def chengdu(params):
-    return load_city("mini-chengdu", num_trips=params.trips_chengdu,
-                     num_days=params.num_days)
+    return build(DatasetSpec("mini-chengdu", num_trips=params.trips_chengdu,
+                     num_days=params.num_days))
 
 
 @pytest.fixture(scope="session")
 def xian(params):
-    return load_city("mini-xian", num_trips=params.trips_xian,
-                     num_days=params.num_days)
+    return build(DatasetSpec("mini-xian", num_trips=params.trips_xian,
+                     num_days=params.num_days))
 
 
 @pytest.fixture(scope="session")
 def beijing(params):
-    return load_city("mini-beijing", num_trips=params.trips_beijing,
-                     num_days=params.num_days)
+    return build(DatasetSpec("mini-beijing", num_trips=params.trips_beijing,
+                     num_days=params.num_days))
 
 
 def build_main_estimators(params: BenchParams):

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.analysis import contracts_enabled, enable_contracts, shaped
 from repro.core import DeepODTrainer, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 
 from .conftest import print_header, small_deepod_config
 
@@ -110,9 +110,9 @@ def _counted_fit(dataset, config):
 
 
 def test_disabled_contracts_overhead(benchmark, params):
-    dataset = load_city("mini-chengdu",
+    dataset = build(DatasetSpec("mini-chengdu",
                         num_trips=int(2000 * max(params.scale, 1.0)),
-                        num_days=params.num_days)
+                        num_days=params.num_days))
     config = small_deepod_config(params, epochs=3)
 
     previous = enable_contracts(False)

@@ -9,7 +9,7 @@ and clear day/week structure.
 import numpy as np
 
 from repro.baselines import DeepODEstimator
-from repro.datagen import load_city, strip_trajectories
+from repro.datagen import strip_trajectories
 from repro.eval import mape, slot_heatmap, tsne, weekday_weekend_contrast
 
 from .conftest import print_header, small_deepod_config
@@ -24,13 +24,14 @@ def test_fig14a_slot_size_sweep(benchmark, params):
     def sweep():
         out = {}
         for minutes in SLOT_MINUTES:
-            from repro.datagen.cities import PRESETS, build_city
+            from repro.datagen.cities import PRESETS
+            from repro.datagen.pipeline import build_from_preset
             preset = PRESETS["mini-chengdu"]
             import dataclasses
             preset = dataclasses.replace(preset,
                                          slot_seconds=minutes * 60.0)
-            ds = build_city(preset, num_trips=params.trips_chengdu,
-                            num_days=params.num_days)
+            ds = build_from_preset(preset, num_trips=params.trips_chengdu,
+                                   num_days=params.num_days)
             test = strip_trajectories(ds.split.test)
             actual = np.array([t.travel_time for t in test])
             est = DeepODEstimator(

@@ -19,7 +19,7 @@ import time
 from pathlib import Path
 
 from repro.core import DeepODConfig, DeepODTrainer, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.nn import validate_bench_fit
 from repro.obs import Tracer
 
@@ -86,7 +86,7 @@ def test_fit_engine_speedup():
     # reflects steady-state step cost.
     epochs = 4
     floor = 3.0 if scale >= 1.0 else 2.0
-    dataset = load_city("mini-chengdu", num_trips=trips, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=trips, num_days=14))
     steps = epochs * -(-len(dataset.split.train) // 64)
 
     ref = _bench_engine(dataset, "reference", epochs)

@@ -9,7 +9,7 @@ of an untraced fit on the same dataset and config.
 """
 
 from repro.core import DeepODTrainer, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.obs import MetricsRegistry, Tracer
 from repro.obs.tracing import NULL_TRACER
 
@@ -27,9 +27,9 @@ def _fit_seconds(dataset, config, tracer) -> float:
 
 
 def test_obs_tracing_overhead(benchmark, params):
-    dataset = load_city("mini-chengdu",
+    dataset = build(DatasetSpec("mini-chengdu",
                         num_trips=int(2000 * max(params.scale, 1.0)),
-                        num_days=params.num_days)
+                        num_days=params.num_days))
     config = small_deepod_config(params, epochs=4)
 
     def measure():

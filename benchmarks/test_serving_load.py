@@ -25,7 +25,7 @@ from pathlib import Path
 import pytest
 
 from repro.core import DeepODTrainer, TravelTimePredictor, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.obs import MetricsRegistry, validate_metrics_snapshot
 from repro.serving import save_artifact
 from repro.serving.cluster import run_load_test, validate_bench_file, write_bench
@@ -45,9 +45,9 @@ def load_artifact_dir(tmp_path_factory):
     """A small trained serving artifact (plus its dataset, to skip
     regeneration in the harness)."""
     params = BenchParams.from_env()
-    dataset = load_city("mini-chengdu",
+    dataset = build(DatasetSpec("mini-chengdu",
                         num_trips=max(int(800 * params.scale), 200),
-                        num_days=7)
+                        num_days=7))
     config = small_deepod_config(params, epochs=1)
     model = build_deepod(dataset, config)
     trainer = DeepODTrainer(model, dataset, eval_every=0)

@@ -13,7 +13,7 @@ import time
 import numpy as np
 
 from repro.core import DeepODTrainer, TravelTimePredictor, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.serving import ServiceConfig, TravelTimeService
 
 from .conftest import BenchParams, print_header, small_deepod_config
@@ -23,9 +23,9 @@ NUM_QUERIES = 1000
 
 def _build_service() -> TravelTimeService:
     params = BenchParams.from_env()
-    dataset = load_city("mini-chengdu",
+    dataset = build(DatasetSpec("mini-chengdu",
                         num_trips=max(int(800 * params.scale), 200),
-                        num_days=7)
+                        num_days=7))
     config = small_deepod_config(params, epochs=1)
     model = build_deepod(dataset, config)
     trainer = DeepODTrainer(model, dataset, eval_every=0)

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.baselines import DeepODEstimator
 from repro.core import DeepODConfig, variant_config
-from repro.datagen import load_city, strip_trajectories
+from repro.datagen import DatasetSpec, build, strip_trajectories
 from repro.eval import mape
 
 
@@ -25,7 +25,7 @@ EMBED_VARIANTS = ("T-one", "T-day", "T-stamp", "R-one")
 def main() -> None:
     num_trips = int(sys.argv[1]) if len(sys.argv) > 1 else 2500
     print(f"Building mini-chengdu with {num_trips} trips...")
-    dataset = load_city("mini-chengdu", num_trips=num_trips, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=num_trips, num_days=14))
     test = strip_trajectories(dataset.split.test)
     actual = np.array([t.travel_time for t in test])
 

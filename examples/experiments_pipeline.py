@@ -24,7 +24,7 @@ import tempfile
 import numpy as np
 
 from repro.core import DeepODConfig, DeepODTrainer, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.experiments import (
     RunRegistry, SweepSpec, latest_checkpoint, load_checkpoint, promote,
     run_sweep,
@@ -101,7 +101,7 @@ def demo_sweep_and_promote(dataset, workdir) -> None:
 
 def main() -> None:
     print(f"Building mini-chengdu ({TRIPS} trips, {DAYS} days)...")
-    dataset = load_city("mini-chengdu", num_trips=TRIPS, num_days=DAYS)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=TRIPS, num_days=DAYS))
     if len(sys.argv) > 1:
         os.makedirs(sys.argv[1], exist_ok=True)
         run_in = lambda fn: fn(sys.argv[1])

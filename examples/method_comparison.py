@@ -15,14 +15,14 @@ from repro.baselines import (
     MURATEstimator, STNNEstimator, TEMPEstimator,
 )
 from repro.core import DeepODConfig
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.eval import format_table, run_comparison
 
 
 def main() -> None:
     num_trips = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
     print(f"Building mini-chengdu with {num_trips} trips...")
-    dataset = load_city("mini-chengdu", num_trips=num_trips, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=num_trips, num_days=14))
 
     deepod_config = DeepODConfig(
         d_s=32, d_t=16, d1_m=32, d2_m=16, d3_m=32, d4_m=16,

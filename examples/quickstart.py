@@ -13,14 +13,14 @@ Run:  python examples/quickstart.py
 import numpy as np
 
 from repro.core import DeepODConfig, DeepODTrainer, build_deepod
-from repro.datagen import load_city, strip_trajectories
+from repro.datagen import DatasetSpec, build, strip_trajectories
 from repro.eval import all_metrics
 
 
 def main() -> None:
     print("Building the mini-chengdu synthetic city "
           "(road network, traffic, taxi orders)...")
-    dataset = load_city("mini-chengdu", num_trips=1500, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=1500, num_days=14))
     stats = dataset.statistics()
     print(f"  {stats['num_orders']:.0f} orders over a road network with "
           f"{stats['num_edges']:.0f} segments")

@@ -13,13 +13,13 @@ import numpy as np
 from repro.core import (
     DeepODConfig, DeepODTrainer, TravelTimePredictor, build_deepod,
 )
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.temporal import SECONDS_PER_DAY
 
 
 def main() -> None:
     print("Building mini-chengdu and training DeepOD...")
-    dataset = load_city("mini-chengdu", num_trips=1500, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=1500, num_days=14))
     config = DeepODConfig(
         d_s=32, d_t=16, d1_m=32, d2_m=16, d3_m=32, d4_m=16,
         d5_m=32, d6_m=16, d7_m=32, d9_m=32, d_h=32, d_traf=16,

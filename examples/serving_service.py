@@ -15,7 +15,7 @@ import tempfile
 
 from repro.core import DeepODConfig, DeepODTrainer, TravelTimePredictor, \
     build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.serving import (
     ServiceConfig, TravelTimeService, load_artifact, save_artifact,
 )
@@ -24,7 +24,7 @@ from repro.temporal import SECONDS_PER_DAY
 
 def main() -> None:
     print("Training a small DeepOD on mini-chengdu...")
-    dataset = load_city("mini-chengdu", num_trips=800, num_days=7)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=800, num_days=7))
     config = DeepODConfig(
         d_s=16, d_t=16, d1_m=32, d2_m=16, d3_m=32, d4_m=16,
         d5_m=32, d6_m=16, d7_m=32, d9_m=32, d_h=32, d_traf=16,

@@ -12,7 +12,7 @@ Run:  python examples/temporal_analysis.py
 import numpy as np
 
 from repro.core import DeepODConfig, DeepODTrainer, build_deepod
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.eval import slot_heatmap, tsne, weekday_weekend_contrast
 from repro.temporal import SECONDS_PER_DAY
 
@@ -25,7 +25,7 @@ def ascii_heat(value, lo, hi):
 
 def main() -> None:
     print("Building mini-chengdu...")
-    dataset = load_city("mini-chengdu", num_trips=2000, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=2000, num_days=14))
 
     print("\n(1) Weekly traffic periodicity (edge 10 speed, m/s):")
     print("    hour:   3     8    12    18    23")

@@ -76,7 +76,13 @@ class LintConfig:
         "repro.obs.tracing", "repro.experiments.registry")
     eventclock_zones: Tuple[str, ...] = ("repro.streaming",)
     deprecated_modules: Tuple[Tuple[str, str], ...] = (
-        ("repro.serving.metrics", "repro.obs.metrics"),)
+        ("repro.serving.metrics", "repro.obs.metrics"),
+        ("repro.datagen.cities.build_city",
+         "repro.datagen.pipeline.build_from_preset"),
+        ("repro.datagen.cities.load_city", "repro.datagen.pipeline.build"),
+        ("repro.datagen.build_city", "repro.datagen.build_from_preset"),
+        ("repro.datagen.load_city", "repro.datagen.build"),
+    )
     dtype_zones: Tuple[Tuple[str, str], ...] = (
         ("repro.embedding.skipgram", "float32"),
         ("repro.embedding.walks", "float32"),

@@ -7,13 +7,22 @@ from .weather import (
 )
 from .trips import TripConfig, TripGenerator, sample_departure_time
 from .speed_matrix import (
-    LiveSpeedStore, SpeedGridConfig, SpeedMatrixStore, edge_cell_indices,
+    LiveSpeedStore, SpeedGridConfig, SpeedMatrixAccumulator,
+    SpeedMatrixStore, edge_cell_indices,
 )
 from .dataset import (
-    DatasetSplit, TaxiDataset, chronological_split, dataset_fingerprint,
-    strip_trajectories, subsample_training,
+    BuildInfo, DatasetSplit, TaxiDataset, chronological_split,
+    dataset_fingerprint, split_indices, strip_trajectories,
+    subsample_training,
 )
-from .cities import PRESETS, CityPreset, build_city, load_city
+from .cities import PRESETS, CityPreset, preset_network
+# repro: allow[H001] deprecated shims re-exported for one release
+from .cities import build_city, load_city
+from .pipeline import (
+    BENCH_DATAGEN_SCHEMA, DatasetSpec, build, build_from_preset,
+    validate_bench_datagen, validate_bench_datagen_file,
+)
+from .storage import open_dataset_dir
 from .incidents import (
     Incident, IncidentConfig, IncidentProcess, IncidentTraffic,
 )
@@ -22,10 +31,15 @@ __all__ = [
     "TrafficConfig", "TrafficModel",
     "N_WEATHER_TYPES", "WEATHER_TYPES", "WeatherConfig", "WeatherProcess",
     "TripConfig", "TripGenerator", "sample_departure_time",
-    "LiveSpeedStore", "SpeedGridConfig", "SpeedMatrixStore",
-    "edge_cell_indices",
-    "DatasetSplit", "TaxiDataset", "chronological_split",
-    "dataset_fingerprint", "strip_trajectories", "subsample_training",
-    "PRESETS", "CityPreset", "build_city", "load_city",
+    "LiveSpeedStore", "SpeedGridConfig", "SpeedMatrixAccumulator",
+    "SpeedMatrixStore", "edge_cell_indices",
+    "BuildInfo", "DatasetSplit", "TaxiDataset", "chronological_split",
+    "dataset_fingerprint", "split_indices", "strip_trajectories",
+    "subsample_training",
+    "PRESETS", "CityPreset", "preset_network",
+    "build_city", "load_city",
+    "BENCH_DATAGEN_SCHEMA", "DatasetSpec", "build", "build_from_preset",
+    "validate_bench_datagen", "validate_bench_datagen_file",
+    "open_dataset_dir",
     "Incident", "IncidentConfig", "IncidentProcess", "IncidentTraffic",
 ]

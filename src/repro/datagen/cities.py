@@ -14,21 +14,27 @@ trip count     most (of CN)  fewer       most overall
 GPS period     3 s           3 s         60 s
 trip length    shortest      medium      longest
 =============  ============  ==========  ============
+
+The ``mega-*`` tier scales the same three cities to 10^5-10^6 trips over
+larger networks.  Mega cities are meant to be built out of core — via
+``repro.datagen.pipeline.build`` with ``storage="disk"`` — because the
+materialised trip objects of a full mega build do not comfortably fit in
+laptop RAM.
+
+``build_city`` / ``load_city`` are deprecated shims kept for one release;
+the typed entry point is ``repro.datagen.pipeline.build(DatasetSpec(...))``.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from ..obs.tracing import NULL_TRACER, Tracer
+from ..obs.tracing import Tracer
 from ..roadnet.generators import grid_city
-from ..temporal.timeslot import SECONDS_PER_DAY, TimeSlotConfig
-from .dataset import TaxiDataset, chronological_split
-from .speed_matrix import SpeedGridConfig, SpeedMatrixStore
-from .traffic import TrafficConfig, TrafficModel
-from .trips import TripConfig, TripGenerator
-from .weather import WeatherConfig, WeatherProcess
+from ..roadnet.graph import RoadNetwork
+from .dataset import TaxiDataset
 
 
 @dataclass
@@ -73,67 +79,67 @@ PRESETS: Dict[str, CityPreset] = {
         name="mini-beijing", grid_rows=13, grid_cols=13, block_size=300.0,
         num_trips=2500, num_days=14, gps_period=60.0, min_trip_edges=8,
         river_row=6, bridge_cols=(2, 10), seed=33),
+    # Mega tier: same relative characteristics, city-scale trip counts.
+    # Tests and benches always override ``num_trips`` downward; the full
+    # counts document the intended out-of-core operating point.
+    "mega-chengdu": CityPreset(
+        name="mega-chengdu", grid_rows=22, grid_cols=22, block_size=220.0,
+        num_trips=200_000, num_days=14, gps_period=3.0, min_trip_edges=4,
+        river_row=10, bridge_cols=(3, 11, 18), seed=111),
+    "mega-xian": CityPreset(
+        name="mega-xian", grid_rows=24, grid_cols=24, block_size=260.0,
+        num_trips=120_000, num_days=14, gps_period=3.0, min_trip_edges=6,
+        river_row=12, bridge_cols=(4, 12, 19), seed=222),
+    "mega-beijing": CityPreset(
+        name="mega-beijing", grid_rows=30, grid_cols=30, block_size=300.0,
+        num_trips=500_000, num_days=14, gps_period=60.0, min_trip_edges=8,
+        river_row=14, bridge_cols=(5, 15, 24), seed=333),
 }
+
+
+def preset_network(preset: CityPreset) -> RoadNetwork:
+    """Deterministically regenerate a preset's road network.
+
+    Shared by the build pipeline and ``TaxiDataset.open`` (the network
+    is tiny relative to the trips, so disk-backed datasets regenerate
+    it from the preset seed instead of serialising it).
+    """
+    return grid_city(preset.grid_rows, preset.grid_cols,
+                     block_size=preset.block_size,
+                     river_row=preset.river_row
+                     if preset.river_row >= 0 else None,
+                     bridge_cols=preset.bridge_cols,
+                     seed=preset.seed)
 
 
 def build_city(preset: CityPreset, num_trips: Optional[int] = None,
                num_days: Optional[int] = None,
                tracer: Optional[Tracer] = None) -> TaxiDataset:
-    """Build a complete dataset from a preset.
+    """Deprecated: use ``repro.datagen.pipeline.build(DatasetSpec(...))``.
 
-    ``num_trips`` / ``num_days`` override the preset for quick tests.
-    ``tracer`` receives one span per build stage (network, trips,
-    split, speed matrices) under a ``datagen.build`` root.
+    Thin shim over the pipeline's one-shot RAM build; behaviour (and the
+    resulting dataset bytes) are unchanged.
     """
-    trips_n = num_trips if num_trips is not None else preset.num_trips
-    days = num_days if num_days is not None else preset.num_days
-    tracer = tracer or NULL_TRACER
-    with tracer.span("datagen.build", city=preset.name,
-                     num_trips=trips_n, num_days=days):
-        with tracer.span("datagen.network"):
-            net = grid_city(preset.grid_rows, preset.grid_cols,
-                            block_size=preset.block_size,
-                            river_row=preset.river_row
-                            if preset.river_row >= 0 else None,
-                            bridge_cols=preset.bridge_cols,
-                            seed=preset.seed)
-        horizon = days * SECONDS_PER_DAY
-        weather = WeatherProcess(horizon, seed=preset.seed + 1)
-        traffic = TrafficModel(net, TrafficConfig(), seed=preset.seed + 2)
-        generator = TripGenerator(
-            net, traffic, weather,
-            TripConfig(gps_period=preset.gps_period,
-                       min_trip_edges=preset.min_trip_edges),
-            seed=preset.seed + 3)
-        with tracer.span("datagen.trips", requested=trips_n):
-            trips = generator.generate(trips_n, start_day=0, num_days=days)
-        with tracer.span("datagen.split"):
-            split = chronological_split(trips)
-        # Speed matrices are an *online observable* (the current traffic
-        # feed from all vehicles on the road), so they are computed over
-        # the whole horizon — at prediction time the paper also reads the
-        # most recent matrix.  Prediction labels are never exposed: only
-        # aggregate grid speeds enter the feature.
-        with tracer.span("datagen.speed_matrix"):
-            speed_store = SpeedMatrixStore(
-                net, trips, horizon,
-                SpeedGridConfig(cell_metres=max(preset.block_size, 200.0)))
-        slot_config = TimeSlotConfig(base_timestamp=0.0,
-                                     slot_seconds=preset.slot_seconds)
-        return TaxiDataset(
-            name=preset.name, net=net, trips=trips, split=split,
-            slot_config=slot_config, weather=weather, traffic=traffic,
-            speed_store=speed_store, horizon_seconds=horizon,
-            build_params={"city": preset.name, "num_trips": trips_n,
-                          "num_days": days})
+    warnings.warn(
+        "build_city() is deprecated; use "
+        "repro.datagen.pipeline.build(DatasetSpec(...)) instead",
+        DeprecationWarning, stacklevel=2)
+    from .pipeline import build_from_preset
+    return build_from_preset(preset, num_trips=num_trips,
+                             num_days=num_days, tracer=tracer)
 
 
 def load_city(name: str, num_trips: Optional[int] = None,
               num_days: Optional[int] = None,
               tracer: Optional[Tracer] = None) -> TaxiDataset:
-    """Build a preset city by name (``mini-chengdu`` etc.)."""
+    """Deprecated: use ``repro.datagen.pipeline.build(DatasetSpec(...))``."""
+    warnings.warn(
+        "load_city() is deprecated; use "
+        "repro.datagen.pipeline.build(DatasetSpec(city)) instead",
+        DeprecationWarning, stacklevel=2)
+    from .pipeline import DatasetSpec, build
     if name not in PRESETS:
         raise KeyError(
             f"unknown city {name!r}; choose from {sorted(PRESETS)}")
-    return build_city(PRESETS[name], num_trips=num_trips,
-                      num_days=num_days, tracer=tracer)
+    spec = DatasetSpec(city=name, num_trips=num_trips, num_days=num_days)
+    return build(spec, tracer=tracer)

@@ -10,7 +10,7 @@ trajectory, average travel time, average segments, average length).
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,6 +21,67 @@ from ..trajectory.model import TripRecord
 from .speed_matrix import SpeedGridConfig, SpeedMatrixStore
 from .traffic import TrafficModel
 from .weather import WeatherProcess
+
+
+@dataclass(frozen=True)
+class BuildInfo:
+    """Typed provenance of a built dataset.
+
+    Replaces the untyped ``build_params`` dict: the city preset plus the
+    overrides that determine content (``num_trips``/``num_days``/
+    ``rematch``) and the execution knobs that do not (``chunk_size``,
+    ``matcher_jobs``, ``storage`` — chunked and parallel builds are
+    byte-identical to one-shot serial ones).  ``to_dict`` emits the
+    legacy three-key dict when every extra knob is at its default, so
+    pre-existing serving-artifact manifests round-trip unchanged.
+    """
+
+    city: str
+    num_trips: int
+    num_days: int
+    chunk_size: int = 0
+    matcher_jobs: int = 1
+    storage: str = "ram"
+    rematch: bool = False
+
+    def __post_init__(self):
+        if self.num_trips < 1 or self.num_days < 1:
+            raise ValueError("num_trips and num_days must be >= 1")
+        if self.chunk_size < 0:
+            raise ValueError("chunk_size must be >= 0 (0 = one shot)")
+        if self.matcher_jobs < 1:
+            raise ValueError("matcher_jobs must be >= 1")
+        if self.storage not in ("ram", "disk"):
+            raise ValueError("storage must be 'ram' or 'disk'")
+
+    def to_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "city": self.city,
+            "num_trips": int(self.num_trips),
+            "num_days": int(self.num_days),
+        }
+        if self.chunk_size:
+            payload["chunk_size"] = int(self.chunk_size)
+        if self.matcher_jobs != 1:
+            payload["matcher_jobs"] = int(self.matcher_jobs)
+        if self.storage != "ram":
+            payload["storage"] = self.storage
+        if self.rematch:
+            payload["rematch"] = True
+        return payload
+
+    @classmethod
+    def from_dict(cls, params: object) -> "BuildInfo":
+        if isinstance(params, BuildInfo):
+            return params
+        if not isinstance(params, dict):
+            raise TypeError(f"build params must be a mapping, "
+                            f"got {type(params).__name__}")
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise ValueError(f"unknown build params: {unknown}")
+        return cls(**params)
 
 
 @dataclass
@@ -48,17 +109,33 @@ class TaxiDataset:
 
     name: str
     net: RoadNetwork
-    trips: List[TripRecord]
+    trips: Sequence[TripRecord]
     split: DatasetSplit
     slot_config: TimeSlotConfig
     weather: WeatherProcess
     traffic: TrafficModel
     speed_store: SpeedMatrixStore
     horizon_seconds: float
-    # Generation provenance (city preset + overrides) recorded by
-    # ``build_city`` so a serving artifact can regenerate the exact same
-    # dataset later; ``None`` for hand-assembled datasets.
-    build_params: Optional[Dict[str, object]] = None
+    # Generation provenance (city preset + overrides) recorded by the
+    # build pipeline so a serving artifact can regenerate the exact same
+    # dataset later; ``None`` for hand-assembled datasets.  Legacy dict
+    # payloads are coerced to :class:`BuildInfo` on construction.
+    build_params: Optional[BuildInfo] = None
+
+    def __post_init__(self):
+        if isinstance(self.build_params, dict):
+            self.build_params = BuildInfo.from_dict(self.build_params)
+
+    @classmethod
+    def open(cls, directory: str) -> "TaxiDataset":
+        """Memory-map a dataset directory written by a disk-backed build.
+
+        Trips, split views and speed matrices stay on disk
+        (``np.memmap``); the network and external processes are
+        regenerated from the preset's seeds.
+        """
+        from .storage import open_dataset_dir
+        return open_dataset_dir(directory)
 
     def statistics(self) -> Dict[str, float]:
         """Table 2-style statistics."""
@@ -96,22 +173,35 @@ def dataset_fingerprint(dataset: "TaxiDataset") -> str:
                   f"|n{len(dataset.trips)}"
                   f"|s{dataset.split.sizes}"
                   f"|h{dataset.horizon_seconds:.6f}".encode())
-    for trip in dataset.trips[:64]:
-        digest.update(f"{trip.od.depart_time:.6f},"
-                      f"{trip.travel_time:.6f};".encode())
-    total = sum(t.travel_time for t in dataset.trips)
+    # Disk-backed trip stores expose depart/travel-time columns; hashing
+    # them avoids materialising trip records.  ``%.6f`` of the same
+    # float64 and the same left-to-right sum give identical bytes, so
+    # both paths produce the same fingerprint.
+    depart = getattr(dataset.trips, "depart_times", None)
+    travel = getattr(dataset.trips, "travel_times", None)
+    if depart is not None and travel is not None:
+        for d, tt in zip(depart[:64], travel[:64]):
+            digest.update(f"{d:.6f},{tt:.6f};".encode())
+        total = sum(float(tt) for tt in travel)
+    else:
+        for trip in dataset.trips[:64]:
+            digest.update(f"{trip.od.depart_time:.6f},"
+                          f"{trip.travel_time:.6f};".encode())
+        total = sum(t.travel_time for t in dataset.trips)
     digest.update(f"|T{total:.6f}".encode())
     return digest.hexdigest()
 
 
-def chronological_split(trips: Sequence[TripRecord],
-                        ratios: Tuple[int, int, int] = (42, 7, 12)
-                        ) -> DatasetSplit:
-    """Split trips by departure time with the paper's 42:7:12 day ratio."""
+def split_indices(n: int, ratios: Tuple[int, int, int] = (42, 7, 12)
+                  ) -> Tuple[int, int]:
+    """Boundary indices of the chronological split over ``n`` trips.
+
+    Shared by :func:`chronological_split` and the disk-backed trip
+    store, which slices a sorted memmap instead of a sorted list — both
+    must cut at the same positions for fingerprints to agree.
+    """
     if any(r <= 0 for r in ratios):
         raise ValueError("split ratios must be positive")
-    ordered = sorted(trips, key=lambda t: t.od.depart_time)
-    n = len(ordered)
     if n < 3:
         raise ValueError("need at least three trips to split")
     total = sum(ratios)
@@ -120,6 +210,15 @@ def chronological_split(trips: Sequence[TripRecord],
     train_end = max(train_end, 1)
     val_end = max(val_end, train_end + 1)
     val_end = min(val_end, n - 1)
+    return train_end, val_end
+
+
+def chronological_split(trips: Sequence[TripRecord],
+                        ratios: Tuple[int, int, int] = (42, 7, 12)
+                        ) -> DatasetSplit:
+    """Split trips by departure time with the paper's 42:7:12 day ratio."""
+    ordered = sorted(trips, key=lambda t: t.od.depart_time)
+    train_end, val_end = split_indices(len(ordered), ratios)
     return DatasetSplit(
         train=ordered[:train_end],
         validation=ordered[train_end:val_end],

@@ -40,43 +40,9 @@ class SpeedMatrixStore:
     def __init__(self, net: RoadNetwork, trips: Sequence[TripRecord],
                  horizon_seconds: float,
                  config: Optional[SpeedGridConfig] = None):
-        self.config = config or SpeedGridConfig()
-        cfg = self.config
-        min_x, min_y, max_x, max_y = net.bounding_box()
-        self.min_x, self.min_y = min_x, min_y
-        self.rows = max(int(np.ceil((max_y - min_y) / cfg.cell_metres)), 1)
-        self.cols = max(int(np.ceil((max_x - min_x) / cfg.cell_metres)), 1)
-        self.periods = max(int(np.ceil(horizon_seconds
-                                       / cfg.period_seconds)), 1)
-        sums = np.zeros((self.periods, self.rows, self.cols))
-        counts = np.zeros_like(sums)
-
-        for trip in trips:
-            traj = trip.trajectory
-            if traj is None:
-                continue
-            for element in traj.path:
-                edge = net.edge(element.edge_id)
-                if element.duration <= 0:
-                    continue
-                speed = edge.length / element.duration
-                mid = (np.asarray(net.edge_vector(element.edge_id)[0])
-                       + np.asarray(net.edge_vector(element.edge_id)[1])) / 2
-                r, c = self._cell(mid[0], mid[1])
-                p = min(int(element.enter_time // cfg.period_seconds),
-                        self.periods - 1)
-                sums[p, r, c] += speed
-                counts[p, r, c] += 1.0
-
-        # Mean speed; empty cells fall back to the global mean so the CNN
-        # sees a dense matrix (the paper does not specify; any constant
-        # imputation preserves the signal in observed cells).
-        global_mean = sums.sum() / max(counts.sum(), 1.0)
-        with np.errstate(invalid="ignore", divide="ignore"):
-            mean = np.where(counts > 0, sums / np.maximum(counts, 1.0),
-                            global_mean)
-        self._matrices = mean
-        self.global_mean_speed = float(global_mean)
+        accumulator = SpeedMatrixAccumulator(net, horizon_seconds, config)
+        accumulator.add_trips(trips)
+        accumulator.finalize_into(self)
 
     # ------------------------------------------------------------------
     def _cell(self, x: float, y: float) -> Tuple[int, int]:
@@ -186,6 +152,87 @@ def edge_cell_indices(net: RoadNetwork, store) -> Tuple[np.ndarray,
     rows = np.clip(((mids[:, 1] - store.min_y) // cell).astype(int),
                    0, store.rows - 1)
     return rows, cols
+
+
+class SpeedMatrixAccumulator:
+    """Incremental builder behind :class:`SpeedMatrixStore`.
+
+    The one-shot constructor and the chunked out-of-core pipeline both
+    funnel their observations through ``add``, so a chunked build is
+    bitwise identical to a one-shot build by construction: per-edge
+    speeds, grid cells and period indices are computed with the same
+    expressions, and ``np.add.at`` applies duplicate cell hits
+    sequentially — the exact float addition order of the original
+    per-element loop.
+    """
+
+    def __init__(self, net: RoadNetwork, horizon_seconds: float,
+                 config: Optional[SpeedGridConfig] = None):
+        self.config = config or SpeedGridConfig()
+        cfg = self.config
+        min_x, min_y, max_x, max_y = net.bounding_box()
+        self.min_x, self.min_y = min_x, min_y
+        self.rows = max(int(np.ceil((max_y - min_y) / cfg.cell_metres)), 1)
+        self.cols = max(int(np.ceil((max_x - min_x) / cfg.cell_metres)), 1)
+        self.periods = max(int(np.ceil(horizon_seconds
+                                       / cfg.period_seconds)), 1)
+        self._sums = np.zeros((self.periods, self.rows, self.cols))
+        self._counts = np.zeros_like(self._sums)
+        self._edge_lengths = np.array(
+            [net.edge(eid).length for eid in range(net.num_edges)])
+        self._edge_rows, self._edge_cols = edge_cell_indices(net, self)
+
+    def add(self, edge_ids: np.ndarray, intervals: np.ndarray) -> None:
+        """Fold one trajectory's (edge_id, [enter, exit]) rows in."""
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        intervals = np.asarray(intervals, dtype=float)
+        if len(edge_ids) == 0:
+            return
+        durations = intervals[:, 1] - intervals[:, 0]
+        keep = durations > 0
+        if not keep.all():
+            edge_ids = edge_ids[keep]
+            intervals = intervals[keep]
+            durations = durations[keep]
+        if len(edge_ids) == 0:
+            return
+        speeds = self._edge_lengths[edge_ids] / durations
+        p = np.minimum(
+            (intervals[:, 0] // self.config.period_seconds).astype(np.int64),
+            self.periods - 1)
+        r = self._edge_rows[edge_ids]
+        c = self._edge_cols[edge_ids]
+        np.add.at(self._sums, (p, r, c), speeds)
+        np.add.at(self._counts, (p, r, c), 1.0)
+
+    def add_trips(self, trips: Sequence[TripRecord]) -> None:
+        for trip in trips:
+            traj = trip.trajectory
+            if traj is None:
+                continue
+            edges, intervals = traj.encoder_arrays()
+            self.add(edges, intervals)
+
+    def finalize_into(self, store: SpeedMatrixStore) -> SpeedMatrixStore:
+        """Write the finished matrices into ``store`` (empty cells fall
+        back to the global mean so the CNN sees a dense matrix; the
+        paper does not specify, any constant imputation preserves the
+        signal in observed cells)."""
+        sums, counts = self._sums, self._counts
+        global_mean = sums.sum() / max(counts.sum(), 1.0)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = np.where(counts > 0, sums / np.maximum(counts, 1.0),
+                            global_mean)
+        store.config = self.config
+        store.min_x, store.min_y = self.min_x, self.min_y
+        store.rows, store.cols = self.rows, self.cols
+        store.periods = self.periods
+        store._matrices = mean
+        store.global_mean_speed = float(global_mean)
+        return store
+
+    def finalize(self) -> SpeedMatrixStore:
+        return self.finalize_into(SpeedMatrixStore.__new__(SpeedMatrixStore))
 
 
 class LiveSpeedStore:

@@ -17,7 +17,7 @@ Key realism properties:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -95,23 +95,50 @@ class TripGenerator:
     def generate(self, num_trips: int, start_day: int = 0,
                  num_days: int = 7) -> List[TripRecord]:
         """Generate ``num_trips`` trips spread over ``num_days`` days."""
+        trips: List[TripRecord] = []
+        for chunk in self.generate_chunks(num_trips, start_day=start_day,
+                                          num_days=num_days,
+                                          chunk_size=num_trips):
+            trips.extend(chunk)
+        trips.sort(key=lambda tr: tr.od.depart_time)
+        return trips
+
+    def generate_chunks(self, num_trips: int, start_day: int = 0,
+                        num_days: int = 7, chunk_size: int = 1024
+                        ) -> Iterator[List[TripRecord]]:
+        """Yield trips in *generation* order, ``chunk_size`` at a time.
+
+        This is the out-of-core entry point: the chunked pipeline writes
+        each chunk to disk and drops it before requesting the next one.
+        :meth:`generate` is implemented on top of it, so both consume
+        the RNG stream identically — concatenating the chunks gives
+        exactly the one-shot trip list, up to the final
+        departure-time sort.
+        """
         if num_trips < 1 or num_days < 1:
             raise ValueError("num_trips and num_days must be >= 1")
-        trips: List[TripRecord] = []
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        produced = 0
         attempts = 0
         max_attempts = num_trips * 20
-        while len(trips) < num_trips and attempts < max_attempts:
+        chunk: List[TripRecord] = []
+        while produced < num_trips and attempts < max_attempts:
             attempts += 1
             day = start_day + int(self.rng.integers(num_days))
             depart = sample_departure_time(self.rng, day * SECONDS_PER_DAY)
             trip = self._one_trip(depart)
             if trip is not None:
-                trips.append(trip)
-        if len(trips) < num_trips:
+                chunk.append(trip)
+                produced += 1
+                if len(chunk) >= chunk_size:
+                    yield chunk
+                    chunk = []
+        if produced < num_trips:
             raise RuntimeError(
-                f"could only generate {len(trips)}/{num_trips} trips")
-        trips.sort(key=lambda tr: tr.od.depart_time)
-        return trips
+                f"could only generate {produced}/{num_trips} trips")
+        if chunk:
+            yield chunk
 
     # ------------------------------------------------------------------
     def _sample_od_vertices(self) -> Tuple[int, int]:

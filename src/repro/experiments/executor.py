@@ -32,8 +32,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.config import DeepODConfig
-from ..datagen.cities import load_city
 from ..datagen.dataset import TaxiDataset
+from ..datagen.pipeline import DatasetSpec, build
 from ..obs.metrics import global_registry
 from .runner import RunSpec, execute_run
 
@@ -46,8 +46,8 @@ _DATASET_CACHE: Dict[Tuple[str, int, int], TaxiDataset] = {}
 def _cached_dataset(city: str, trips: int, days: int) -> TaxiDataset:
     key = (city, trips, days)
     if key not in _DATASET_CACHE:
-        _DATASET_CACHE[key] = load_city(city, num_trips=trips,
-                                        num_days=days)
+        _DATASET_CACHE[key] = build(DatasetSpec(
+            city, num_trips=trips, num_days=days))
     return _DATASET_CACHE[key]
 
 

@@ -19,10 +19,10 @@ import numpy as np
 from ..core.config import DeepODConfig
 from ..core.predictor import TravelTimePredictor
 from ..core.trainer import DeepODTrainer, build_deepod
-from ..datagen.cities import load_city
 from ..datagen.dataset import (
     TaxiDataset, dataset_fingerprint, strip_trajectories,
 )
+from ..datagen.pipeline import DatasetSpec, build
 from ..eval.metrics import mae, mape
 from ..obs.tracing import NULL_TRACER, Tracer
 from .checkpoint import latest_checkpoint, load_checkpoint
@@ -91,8 +91,8 @@ class RunResult:
 
 def build_run_dataset(spec: RunSpec,
                       tracer: Optional[Tracer] = None) -> TaxiDataset:
-    return load_city(spec.city, num_trips=spec.trips, num_days=spec.days,
-                     tracer=tracer)
+    return build(DatasetSpec(spec.city, num_trips=spec.trips,
+                             num_days=spec.days), tracer=tracer)
 
 
 def execute_run(spec: RunSpec,

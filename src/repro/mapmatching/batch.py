@@ -1,0 +1,141 @@
+"""Batch map matching: dedup, per-trip error capture, fork-pool fan-out.
+
+Per-trip Newson-Krumm is embarrassingly parallel, so ``match_many``
+forks worker processes that inherit the matcher (and its warm caches)
+copy-on-write, mirroring the sweep executor's pool pattern.  Before any
+matching, trips with byte-identical GPS geometry are deduplicated and
+the single result fanned back to every duplicate — real taxi feeds
+repeat popular OD pairs constantly, and matching is pure in the
+trajectory.
+
+Failures are data, not control flow: a trajectory the HMM rejects
+yields a :class:`MatchResult` carrying the error string instead of
+aborting a 10^5-trip batch.  Results always come back in input order,
+regardless of worker scheduling.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..trajectory.model import MatchedTrajectory, RawTrajectory
+from .hmm import HMMMapMatcher, MatchingError
+
+
+@dataclass(frozen=True)
+class MatchRequest:
+    """One unit of batch matching work: a trajectory and its position
+    in the batch."""
+
+    index: int
+    trajectory: RawTrajectory
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching one request.
+
+    Exactly one of ``trajectory`` (success) or ``error`` (the captured
+    :class:`MatchingError` message) is meaningful.  ``duplicate_of``
+    names the batch index whose identical geometry supplied this
+    result, or ``None`` if this trip was matched directly.
+    """
+
+    index: int
+    trajectory: Optional[MatchedTrajectory] = None
+    error: str = ""
+    duplicate_of: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.trajectory is not None
+
+
+def _geometry_key(traj: RawTrajectory) -> bytes:
+    """Byte-exact dedup key over the raw (x, y, t) fix sequence."""
+    return np.array([(p.x, p.y, p.timestamp) for p in traj.points],
+                    dtype=np.float64).tobytes()
+
+
+# Fork workers inherit the batch through this module-level slot
+# (copy-on-write; nothing is pickled per task except the indices).
+_WORK: Optional[Tuple[HMMMapMatcher, Sequence[RawTrajectory]]] = None
+
+
+def _match_indexed(index: int) -> Tuple[int, str, object]:
+    matcher, trajs = _WORK
+    try:
+        return (index, "ok", matcher.match(trajs[index]))
+    except MatchingError as exc:
+        return (index, "error", str(exc))
+
+
+def match_many(matcher: HMMMapMatcher, trajs: Sequence[RawTrajectory],
+               jobs: int = 1) -> List[MatchResult]:
+    """Match a batch of raw trajectories.
+
+    Returns one :class:`MatchResult` per input, in input order.
+    ``jobs > 1`` forks a worker pool when the platform supports it;
+    results are identical to ``jobs=1`` (matching is deterministic and
+    workers share no mutable state), so parallelism is purely a
+    throughput knob.
+    """
+    if jobs < 1:
+        raise ValueError("jobs must be >= 1")
+    first_index: Dict[bytes, int] = {}
+    duplicate_of: List[Optional[int]] = [None] * len(trajs)
+    unique: List[int] = []
+    for i, traj in enumerate(trajs):
+        first = first_index.setdefault(_geometry_key(traj), i)
+        if first == i:
+            unique.append(i)
+        else:
+            duplicate_of[i] = first
+
+    outcomes: Dict[int, Tuple[str, object]] = {}
+    use_pool = (jobs > 1 and len(unique) > 1
+                and "fork" in multiprocessing.get_all_start_methods())
+    if use_pool:
+        global _WORK
+        _WORK = (matcher, trajs)
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(max_workers=jobs,
+                                     mp_context=context) as pool:
+                chunksize = max(1, len(unique) // (jobs * 4))
+                for index, tag, payload in pool.map(_match_indexed, unique,
+                                                    chunksize=chunksize):
+                    outcomes[index] = (tag, payload)
+        except BrokenProcessPool:
+            # A worker died (OOM, signal); fall through and finish the
+            # unreported remainder serially rather than losing the batch.
+            pass
+        finally:
+            _WORK = None
+
+    for i in unique:
+        if i in outcomes:
+            continue
+        try:
+            outcomes[i] = ("ok", matcher.match(trajs[i]))
+        except MatchingError as exc:
+            outcomes[i] = ("error", str(exc))
+
+    results: List[MatchResult] = []
+    for i in range(len(trajs)):
+        source = duplicate_of[i] if duplicate_of[i] is not None else i
+        tag, payload = outcomes[source]
+        if tag == "ok":
+            results.append(MatchResult(index=i, trajectory=payload,
+                                       duplicate_of=duplicate_of[i]))
+        else:
+            results.append(MatchResult(index=i, trajectory=None,
+                                       error=str(payload),
+                                       duplicate_of=duplicate_of[i]))
+    return results

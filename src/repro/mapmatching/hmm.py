@@ -12,13 +12,15 @@ connected path via shortest-path gap filling.
 from __future__ import annotations
 
 import heapq
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs.metrics import MetricsRegistry
 from ..roadnet.graph import RoadNetwork
-from ..roadnet.shortest_path import NoPathError, dijkstra
+from ..roadnet.shortest_path import NoPathError, dijkstra, dijkstra_sssp
 from ..roadnet.spatial_index import SpatialIndex
 from ..trajectory.interpolation import intervals_from_gps_times
 from ..trajectory.model import GPSPoint, MatchedTrajectory, RawTrajectory
@@ -29,6 +31,60 @@ class MatchingError(Exception):
     """Raised when a trajectory cannot be matched to the network."""
 
 
+class LRUCache:
+    """Bounded LRU mapping with hit/miss/eviction accounting.
+
+    No locking: a matcher is used from one thread, and fork-pool workers
+    each own a copy-on-write copy.  ``get`` counts a hit or miss;
+    ``peek``-style access is deliberately absent so the exported hit
+    rate reflects every lookup.
+    """
+
+    _MISSING = object()
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self.capacity = int(capacity)
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._data: "OrderedDict" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key, default=None):
+        value = self._data.get(key, self._MISSING)
+        if value is self._MISSING:
+            self.misses += 1
+            return default
+        self._data.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key, value) -> None:
+        data = self._data
+        if key in data:
+            data.move_to_end(key)
+        data[key] = value
+        if len(data) > self.capacity:
+            data.popitem(last=False)
+            self.evictions += 1
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, float]:
+        return {"size": float(len(self._data)),
+                "capacity": float(self.capacity),
+                "hits": float(self.hits), "misses": float(self.misses),
+                "evictions": float(self.evictions),
+                "hit_rate": self.hit_rate}
+
+
 @dataclass
 class HMMConfig:
     """Tuning parameters of the matcher.
@@ -36,6 +92,13 @@ class HMMConfig:
     ``sigma`` is the GPS noise standard deviation (metres) of the Gaussian
     emission model; ``beta`` scales the transition penalty on route-vs-
     displacement discrepancy; ``radius`` bounds the candidate search.
+
+    ``engine`` selects the Viterbi implementation: ``"vectorized"``
+    (numpy emission/transition matrices over each fix's candidate
+    column, route distances from cached per-vertex SSSP rows) or
+    ``"reference"`` (the retained per-candidate scalar oracle).  Both
+    produce the same matched paths; the benchmark suite asserts the
+    speedup and the parity tests assert the agreement.
     """
 
     sigma: float = 25.0
@@ -43,10 +106,17 @@ class HMMConfig:
     radius: float = 80.0
     max_candidates: int = 8
     max_route_factor: float = 8.0    # prune absurd detours
+    engine: str = "vectorized"
+    route_cache_size: int = 32768    # scalar-engine pairwise route cache
+    sssp_cache_size: int = 4096      # vectorized-engine per-vertex rows
 
     def __post_init__(self):
         if self.sigma <= 0 or self.beta <= 0 or self.radius <= 0:
             raise ValueError("sigma, beta and radius must be positive")
+        if self.engine not in ("vectorized", "reference"):
+            raise ValueError("engine must be 'vectorized' or 'reference'")
+        if self.route_cache_size < 1 or self.sssp_cache_size < 1:
+            raise ValueError("cache sizes must be >= 1")
 
 
 class HMMMapMatcher:
@@ -57,7 +127,10 @@ class HMMMapMatcher:
         self.net = net
         self.index = index or SpatialIndex(net)
         self.config = config or HMMConfig()
-        self._route_cache: Dict[Tuple[int, float, int, float], float] = {}
+        self._route_cache = LRUCache(self.config.route_cache_size)
+        self._sssp_cache = LRUCache(self.config.sssp_cache_size)
+        self._edge_arrays: Optional[Tuple[np.ndarray, np.ndarray,
+                                          np.ndarray]] = None
 
     # ------------------------------------------------------------------
     def match(self, traj: RawTrajectory) -> MatchedTrajectory:
@@ -87,11 +160,58 @@ class HMMMapMatcher:
         edge_id, _, ratio = self.index.nearest_edge(x, y)
         return edge_id, ratio
 
+    def match_request(self, request: "MatchRequest") -> "MatchResult":
+        """Match one request, capturing :class:`MatchingError` in the
+        result instead of raising — the unit of work of
+        :func:`repro.mapmatching.batch.match_many`."""
+        from .batch import MatchResult
+        try:
+            matched = self.match(request.trajectory)
+        except MatchingError as exc:
+            return MatchResult(index=request.index, trajectory=None,
+                               error=str(exc))
+        return MatchResult(index=request.index, trajectory=matched)
+
+    def match_many(self, trajs: Sequence[RawTrajectory],
+                   jobs: int = 1) -> List["MatchResult"]:
+        """Match a batch of trajectories; see
+        :func:`repro.mapmatching.batch.match_many`."""
+        from .batch import match_many
+        return match_many(self, trajs, jobs=jobs)
+
+    # ------------------------------------------------------------------
+    # Caches / observability
+    # ------------------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss statistics of the route and SSSP LRU caches."""
+        return {"route": self._route_cache.stats(),
+                "sssp": self._sssp_cache.stats()}
+
+    def register_cache_gauges(self, registry: MetricsRegistry,
+                              prefix: str = "match.cache") -> None:
+        """Export cache hit rates as gauges, mirroring ``serve.cache.*``."""
+        registry.register_gauge(f"{prefix}.route.hit_rate",
+                                lambda: self._route_cache.hit_rate)
+        registry.register_gauge(f"{prefix}.route.size",
+                                lambda: len(self._route_cache))
+        registry.register_gauge(f"{prefix}.sssp.hit_rate",
+                                lambda: self._sssp_cache.hit_rate)
+        registry.register_gauge(f"{prefix}.sssp.size",
+                                lambda: len(self._sssp_cache))
+
     # ------------------------------------------------------------------
     # Viterbi
     # ------------------------------------------------------------------
     def _viterbi(self, points: Sequence[GPSPoint],
                  columns: List[List[Candidate]]) -> List[int]:
+        if self.config.engine == "vectorized":
+            return self._viterbi_vectorized(points, columns)
+        return self._viterbi_reference(points, columns)
+
+    def _viterbi_reference(self, points: Sequence[GPSPoint],
+                           columns: List[List[Candidate]]) -> List[int]:
+        """Per-candidate scalar Viterbi — the oracle the vectorised
+        engine is benchmarked and parity-tested against."""
         cfg = self.config
         n = len(points)
         # Log-probability tables.
@@ -130,6 +250,109 @@ class HMMMapMatcher:
         states.reverse()
         return states
 
+    def _viterbi_vectorized(self, points: Sequence[GPSPoint],
+                            columns: List[List[Candidate]]) -> List[int]:
+        """Column-vectorised Viterbi.
+
+        Each DP step evaluates the whole (prev x cur) candidate block as
+        numpy matrices.  Route distances come from cached single-source
+        shortest-path rows keyed by edge-end vertex, so a step costs a
+        handful of array ops instead of up to
+        ``max_candidates**2`` point-to-point Dijkstra runs.  Expression
+        trees mirror the scalar reference exactly (same operand order),
+        so both engines produce identical log-probabilities.
+        """
+        n = len(points)
+        cols = [self._column_arrays(col) for col in columns]
+        prev_scores = self._emission_vector(cols[0])
+        back: List[np.ndarray] = []
+        for t in range(1, n):
+            displacement = float(np.hypot(
+                points[t].x - points[t - 1].x,
+                points[t].y - points[t - 1].y))
+            trans = self._transition_matrix(cols[t - 1], cols[t],
+                                            displacement)
+            total = prev_scores[:, None] + trans
+            # np.argmax keeps the first maximum, like the reference's
+            # strict-improvement scan.
+            pointers = np.argmax(total, axis=0)
+            scores = total[pointers, np.arange(total.shape[1])] \
+                + self._emission_vector(cols[t])
+            if not np.any(np.isfinite(scores)):
+                raise MatchingError(
+                    f"no feasible transition into GPS fix {t}")
+            prev_scores = scores
+            back.append(pointers.astype(np.int64))
+
+        states = [int(np.argmax(prev_scores))]
+        for pointers in reversed(back):
+            states.append(int(pointers[states[-1]]))
+        states.reverse()
+        return states
+
+    def _column_arrays(self, col: List[Candidate]
+                       ) -> Tuple[np.ndarray, ...]:
+        """(edge_ids, ratios, distances, lengths, ends, starts) of one
+        candidate column."""
+        if self._edge_arrays is None:
+            net = self.net
+            num = net.num_edges
+            lengths = np.empty(num)
+            starts = np.empty(num, dtype=np.int64)
+            ends = np.empty(num, dtype=np.int64)
+            for eid in range(num):
+                edge = net.edge(eid)
+                lengths[eid] = edge.length
+                starts[eid] = edge.start
+                ends[eid] = edge.end
+            self._edge_arrays = (lengths, starts, ends)
+        lengths, starts, ends = self._edge_arrays
+        k = len(col)
+        eids = np.fromiter((c.edge_id for c in col), np.int64, count=k)
+        ratios = np.fromiter((c.ratio for c in col), np.float64, count=k)
+        dists = np.fromiter((c.distance for c in col), np.float64, count=k)
+        return (eids, ratios, dists, lengths[eids], ends[eids],
+                starts[eids])
+
+    def _emission_vector(self, col_arrays: Tuple[np.ndarray, ...]
+                         ) -> np.ndarray:
+        sigma = self.config.sigma
+        return (-0.5 * (col_arrays[2] / sigma) ** 2
+                - np.log(sigma * np.sqrt(2 * np.pi)))
+
+    def _sssp_row(self, vertex: int) -> np.ndarray:
+        row = self._sssp_cache.get(vertex)
+        if row is None:
+            row = dijkstra_sssp(self.net, vertex)
+            self._sssp_cache.put(vertex, row)
+        return row
+
+    def _transition_matrix(self, prev_arrays, cur_arrays,
+                           displacement: float) -> np.ndarray:
+        """(m, k) transition log-probabilities between two columns."""
+        cfg = self.config
+        eid_a, ratio_a, _, len_a, end_a, _ = prev_arrays
+        eid_b, ratio_b, _, len_b, _, start_b = cur_arrays
+        uniq_ends, inverse = np.unique(end_a, return_inverse=True)
+        rows = np.stack([self._sssp_row(int(v))[start_b]
+                         for v in uniq_ends])
+        between = rows[inverse]                       # (m, k)
+        tail = (1.0 - ratio_a) * len_a                # (m,)
+        head = ratio_b * len_b                        # (k,)
+        # Same operand order as the scalar `tail + between + head`.
+        route = (tail[:, None] + between) + head[None, :]
+        same = (eid_a[:, None] == eid_b[None, :]) \
+            & (ratio_b[None, :] >= ratio_a[:, None])
+        if same.any():
+            direct = (ratio_b[None, :] - ratio_a[:, None]) * len_a[:, None]
+            route = np.where(same, direct, route)
+        diff = np.abs(route - displacement)
+        penalty = -diff / cfg.beta
+        # Unreachable pairs have route == inf, hence penalty == -inf,
+        # matching the reference's `route is None -> -inf`.
+        prune = route > cfg.max_route_factor * displacement + 200.0
+        return np.where(prune, penalty - 50.0, penalty)
+
     def _emission(self, cand: Candidate) -> float:
         sigma = self.config.sigma
         return float(-0.5 * (cand.distance / sigma) ** 2
@@ -157,10 +380,12 @@ class HMMMapMatcher:
         start of b's edge, plus b's partial edge.
         """
         key = (a.edge_id, round(a.ratio, 4), b.edge_id, round(b.ratio, 4))
-        if key in self._route_cache:
-            return self._route_cache[key]
-        result = self._route_distance_uncached(a, b)
-        self._route_cache[key] = result
+        # None (unreachable) is a legitimate cached value, so distinguish
+        # a miss with the cache's own sentinel default.
+        result = self._route_cache.get(key, LRUCache._MISSING)
+        if result is LRUCache._MISSING:
+            result = self._route_distance_uncached(a, b)
+            self._route_cache.put(key, result)
         return result
 
     def _route_distance_uncached(self, a: Candidate,

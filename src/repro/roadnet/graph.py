@@ -159,13 +159,21 @@ class RoadNetwork:
         ``ratio`` is the normalised position of the closest point along the
         segment — exactly the r[1] / r[-1] ratios of Definition 1.
         """
-        a, b = self.edge_vector(edge_id)
-        direction = b - a
-        seg_len_sq = float(direction @ direction)
-        p = np.array([x, y])
-        t = float(np.clip((p - a) @ direction / seg_len_sq, 0.0, 1.0))
-        closest = a + t * direction
-        return (float(np.hypot(*(p - closest))), t)
+        edge = self._edges[edge_id]
+        va = self._vertices[edge.start]
+        vb = self._vertices[edge.end]
+        dx, dy = vb.x - va.x, vb.y - va.y
+        # Expanded scalar arithmetic (no 2-vector dots): keeps this
+        # allocation-free and bit-identical to the vectorised
+        # ``SpatialIndex.project_batch``, whose expressions mirror these.
+        seg_len_sq = dx * dx + dy * dy
+        t = ((x - va.x) * dx + (y - va.y) * dy) / seg_len_sq
+        if t < 0.0:
+            t = 0.0
+        elif t > 1.0:
+            t = 1.0
+        return (float(np.hypot(x - (va.x + t * dx), y - (va.y + t * dy))),
+                float(t))
 
     def bounding_box(self) -> Tuple[float, float, float, float]:
         """(min_x, min_y, max_x, max_y) over all vertices."""

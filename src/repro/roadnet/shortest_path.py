@@ -62,6 +62,39 @@ def dijkstra(net: RoadNetwork, source: int, target: int,
     raise NoPathError(f"no path from {source} to {target}")
 
 
+def dijkstra_sssp(net: RoadNetwork, source: int,
+                  edge_cost: Optional[Callable[[int], float]] = None
+                  ) -> np.ndarray:
+    """Single-source shortest-path distances to *every* vertex.
+
+    Returns a ``(num_vertices,)`` float array with ``np.inf`` for
+    unreachable vertices.  Distances agree exactly with point-to-point
+    :func:`dijkstra` (same relaxation arithmetic, no early exit), which
+    is what lets the vectorised map matcher cache one row per source
+    vertex instead of one entry per vertex pair.
+    """
+    if edge_cost is None:
+        edge_cost = lambda eid: net.edge(eid).length  # noqa: E731
+    dist = np.full(net.num_vertices, np.inf)
+    dist[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    visited = np.zeros(net.num_vertices, dtype=bool)
+    while heap:
+        d, v = heapq.heappop(heap)
+        if visited[v]:
+            continue
+        visited[v] = True
+        for edge in net.out_edges(v):
+            cost = edge_cost(edge.edge_id)
+            if cost < 0:
+                raise ValueError("negative edge cost")
+            nd = d + cost
+            if nd < dist[edge.end]:
+                dist[edge.end] = nd
+                heapq.heappush(heap, (nd, edge.end))
+    return dist
+
+
 def astar(net: RoadNetwork, source: int, target: int,
           max_speed: Optional[float] = None) -> Tuple[List[int], float]:
     """A* over edge lengths with a Euclidean admissible heuristic.

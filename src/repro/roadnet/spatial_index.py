@@ -41,6 +41,9 @@ class SpatialIndex:
         for edge in net.edges():
             for cell in self._edge_cells(edge.edge_id):
                 self._cells[cell].append(edge.edge_id)
+        # Per-edge segment geometry for batch projection; built lazily on
+        # the first radius query (point queries stay allocation-free).
+        self._geom: Optional[Tuple[np.ndarray, ...]] = None
 
     def _cell_of(self, x: float, y: float) -> Tuple[int, int]:
         return (int((x - self.min_x) // self.cell_size),
@@ -102,6 +105,33 @@ class SpatialIndex:
         best.sort()
         return [(eid, dist, ratio) for dist, eid, ratio in best[:k]]
 
+    def project_batch(self, edge_ids: np.ndarray, x: float, y: float
+                      ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`RoadNetwork.project_point` over many edges.
+
+        Returns (distances, ratios) arrays aligned with ``edge_ids``,
+        bit-identical to per-edge scalar projection (same expression
+        order; two-term dots expand to the same ``x*x + y*y``).
+        """
+        if self._geom is None:
+            num = self.net.num_edges
+            ax = np.empty(num)
+            ay = np.empty(num)
+            dx = np.empty(num)
+            dy = np.empty(num)
+            for eid in range(num):
+                a, b = self.net.edge_vector(eid)
+                ax[eid], ay[eid] = a
+                dx[eid], dy[eid] = b[0] - a[0], b[1] - a[1]
+            self._geom = (ax, ay, dx, dy, dx * dx + dy * dy)
+        ax, ay, dx, dy, seg_len_sq = self._geom
+        e = np.asarray(edge_ids, dtype=np.int64)
+        eax, eay, edx, edy = ax[e], ay[e], dx[e], dy[e]
+        t = np.clip(((x - eax) * edx + (y - eay) * edy) / seg_len_sq[e],
+                    0.0, 1.0)
+        dist = np.hypot(x - (eax + t * edx), y - (eay + t * edy))
+        return dist, t
+
     def edges_within(self, x: float, y: float, radius: float
                      ) -> List[Tuple[int, float, float]]:
         """All edges whose distance to (x, y) is at most ``radius``."""
@@ -109,17 +139,21 @@ class SpatialIndex:
             raise ValueError("radius must be non-negative")
         cx, cy = self._query_cell(x, y)
         rings = int(np.ceil(radius / self.cell_size)) + 1
-        results = []
         seen: set[int] = set()
+        eids: List[int] = []
         for ring in range(rings + 1):
             for cell in self._ring_cells(cx, cy, ring):
                 for eid in self._cells.get(cell, ()):
                     if eid in seen:
                         continue
                     seen.add(eid)
-                    dist, ratio = self.net.project_point(eid, x, y)
-                    if dist <= radius:
-                        results.append((eid, dist, ratio))
+                    eids.append(eid)
+        if not eids:
+            return []
+        dists, ratios = self.project_batch(np.asarray(eids), x, y)
+        results = [(eid, float(d), float(r))
+                   for eid, d, r in zip(eids, dists, ratios)
+                   if d <= radius]
         results.sort(key=lambda t: t[1])
         return results
 

@@ -38,8 +38,8 @@ import numpy as np
 from ..core.config import DeepODConfig
 from ..core.predictor import TravelTimePredictor
 from ..core.trainer import DeepODTrainer, build_deepod
-from ..datagen.cities import load_city
-from ..datagen.dataset import TaxiDataset, dataset_fingerprint
+from ..datagen.dataset import BuildInfo, TaxiDataset, dataset_fingerprint
+from ..datagen.pipeline import DatasetSpec, build
 
 SCHEMA_VERSION = 1
 
@@ -115,7 +115,8 @@ def save_artifact(directory: str, predictor: TravelTimePredictor,
         "dataset": {
             "name": dataset.name,
             "fingerprint": dataset_fingerprint(dataset),
-            "build_params": dataset.build_params,
+            "build_params": dataset.build_params.to_dict()
+            if dataset.build_params is not None else None,
         },
     }
     if extra_manifest:
@@ -184,9 +185,9 @@ def _rebuild_dataset(manifest: Dict) -> TaxiDataset:
             "artifact records no dataset build parameters; pass the "
             "training dataset to load_artifact(dataset=...)")
     try:
-        return load_city(params["city"], num_trips=params["num_trips"],
-                         num_days=params["num_days"])
-    except (KeyError, TypeError) as exc:
+        spec = DatasetSpec.from_build_info(BuildInfo.from_dict(params))
+        return build(spec)
+    except (KeyError, TypeError, ValueError) as exc:
         raise ArtifactError(f"cannot regenerate dataset: {exc}")
 
 

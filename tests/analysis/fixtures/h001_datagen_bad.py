@@ -1,0 +1,5 @@
+# repro: module repro.fixturepkg.h001_datagen_bad
+"""Fixture: import of the deprecated load_city shim (violates H001)."""
+from repro.datagen import load_city
+
+__all__ = ["load_city"]

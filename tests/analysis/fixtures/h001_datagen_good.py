@@ -1,0 +1,5 @@
+# repro: module repro.fixturepkg.h001_datagen_good
+"""Fixture: the typed build API replacing load_city (clean for H001)."""
+from repro.datagen import DatasetSpec, build
+
+__all__ = ["DatasetSpec", "build"]

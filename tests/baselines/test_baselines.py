@@ -9,12 +9,12 @@ from repro.baselines import (
     target_vector,
 )
 from repro.core import DeepODConfig
-from repro.datagen import load_city, strip_trajectories
+from repro.datagen import DatasetSpec, build, strip_trajectories
 
 
 @pytest.fixture(scope="module")
 def dataset():
-    return load_city("mini-chengdu", num_trips=200, num_days=14)
+    return build(DatasetSpec("mini-chengdu", num_trips=200, num_days=14))
 
 
 @pytest.fixture(scope="module")
@@ -90,7 +90,7 @@ class TestLR:
     def test_constant_model_size(self, dataset):
         est = LinearRegressionEstimator().fit(dataset)
         size_a = est.model_size_bytes()
-        small = load_city("mini-chengdu", num_trips=60, num_days=7)
+        small = build(DatasetSpec("mini-chengdu", num_trips=60, num_days=7))
         size_b = LinearRegressionEstimator().fit(small).model_size_bytes()
         assert size_a == size_b
 
@@ -149,7 +149,7 @@ class TestSTNN:
 
     def test_constant_model_size(self, dataset):
         est = STNNEstimator(epochs=1).fit(dataset)
-        small = load_city("mini-chengdu", num_trips=60, num_days=7)
+        small = build(DatasetSpec("mini-chengdu", num_trips=60, num_days=7))
         est2 = STNNEstimator(epochs=1).fit(small)
         assert est.model_size_bytes() == est2.model_size_bytes()
 

@@ -4,12 +4,12 @@ import numpy as np
 import pytest
 
 from repro.baselines import MURATEstimator, STNNEstimator
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 
 
 @pytest.fixture(scope="module")
 def dataset():
-    return load_city("mini-chengdu", num_trips=100, num_days=14)
+    return build(DatasetSpec("mini-chengdu", num_trips=100, num_days=14))
 
 
 class TestSTNNFeatures:
@@ -24,7 +24,7 @@ class TestSTNNFeatures:
             assert d == pytest.approx(route_len)
 
     def test_distance_fallback_euclidean(self, dataset):
-        from repro.datagen import strip_trajectories
+        from repro.datagen import DatasetSpec, build, strip_trajectories
         est = STNNEstimator(epochs=1)
         est._dataset = dataset
         stripped = strip_trajectories(dataset.split.train[:3])

@@ -4,14 +4,14 @@ import numpy as np
 import pytest
 
 from repro.baselines.temp import TEMPEstimator
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.temporal import SECONDS_PER_WEEK
 from repro.trajectory import ODInput, TripRecord
 
 
 @pytest.fixture(scope="module")
 def fitted():
-    dataset = load_city("mini-chengdu", num_trips=150, num_days=14)
+    dataset = build(DatasetSpec("mini-chengdu", num_trips=150, num_days=14))
     return TEMPEstimator(slot_minutes=30.0).fit(dataset), dataset
 
 

@@ -2,10 +2,10 @@
 
 import pytest
 
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 
 
 @pytest.fixture(scope="session")
 def tiny_dataset():
     """A very small mini-chengdu instance shared across core tests."""
-    return load_city("mini-chengdu", num_trips=120, num_days=7)
+    return build(DatasetSpec("mini-chengdu", num_trips=120, num_days=7))

@@ -4,10 +4,10 @@ import numpy as np
 import pytest
 
 from repro.datagen import (
-    LiveSpeedStore, SpeedGridConfig, SpeedMatrixStore, TaxiDataset,
-    TrafficModel, TripConfig, TripGenerator, WeatherProcess,
-    chronological_split, edge_cell_indices, load_city,
-    sample_departure_time, strip_trajectories, subsample_training,
+    DatasetSpec, LiveSpeedStore, SpeedGridConfig, SpeedMatrixStore,
+    TaxiDataset, TrafficModel, TripConfig, TripGenerator, WeatherProcess,
+    build, chronological_split, edge_cell_indices, sample_departure_time,
+    strip_trajectories, subsample_training,
 )
 from repro.roadnet import grid_city, is_connected_path
 from repro.temporal import SECONDS_PER_DAY
@@ -16,7 +16,7 @@ from repro.temporal import SECONDS_PER_DAY
 @pytest.fixture(scope="module")
 def small_dataset():
     """A tiny city with few trips — shared across tests for speed."""
-    return load_city("mini-chengdu", num_trips=60, num_days=7)
+    return build(DatasetSpec("mini-chengdu", num_trips=60, num_days=7))
 
 
 class TestTripGenerator:
@@ -246,7 +246,7 @@ class TestSplits:
         assert last_train <= first_val <= first_test
 
     def test_ratio_roughly_42_7_12(self):
-        ds = load_city("mini-chengdu", num_trips=61, num_days=7)
+        ds = build(DatasetSpec("mini-chengdu", num_trips=61, num_days=7))
         n_train, n_val, n_test = ds.split.sizes
         total = n_train + n_val + n_test
         assert n_train / total == pytest.approx(42 / 61, abs=0.05)
@@ -279,7 +279,7 @@ class TestSplits:
 class TestCityPresets:
     def test_unknown_city(self):
         with pytest.raises(KeyError):
-            load_city("mini-shanghai")
+            build(DatasetSpec("mini-shanghai"))
 
     def test_statistics_structure(self, small_dataset):
         stats = small_dataset.statistics()
@@ -291,8 +291,8 @@ class TestCityPresets:
     def test_beijing_sparser_gps(self):
         """mini-beijing uses 60s sampling: far fewer points per trip
         relative to trip duration (Table 2's Avg # of points contrast)."""
-        chengdu = load_city("mini-chengdu", num_trips=25, num_days=7)
-        beijing = load_city("mini-beijing", num_trips=25, num_days=7)
+        chengdu = build(DatasetSpec("mini-chengdu", num_trips=25, num_days=7))
+        beijing = build(DatasetSpec("mini-beijing", num_trips=25, num_days=7))
         cd = chengdu.statistics()
         bj = beijing.statistics()
         cd_rate = cd["avg_points"] / cd["avg_travel_time_s"]
@@ -300,7 +300,7 @@ class TestCityPresets:
         assert cd_rate > 5 * bj_rate
 
     def test_beijing_longer_trips(self):
-        chengdu = load_city("mini-chengdu", num_trips=25, num_days=7)
-        beijing = load_city("mini-beijing", num_trips=25, num_days=7)
+        chengdu = build(DatasetSpec("mini-chengdu", num_trips=25, num_days=7))
+        beijing = build(DatasetSpec("mini-beijing", num_trips=25, num_days=7))
         assert (beijing.statistics()["avg_length_m"]
                 > chengdu.statistics()["avg_length_m"])

@@ -11,7 +11,7 @@ import numpy as np
 import pytest
 
 from repro.core import DeepODConfig, DeepODTrainer, build_deepod
-from repro.datagen import load_city, strip_trajectories
+from repro.datagen import DatasetSpec, build, strip_trajectories
 from repro.embedding import EmbeddingConfig, embed_graph
 from repro.roadnet import WeightedDigraph
 
@@ -58,7 +58,7 @@ class TestDownstreamDeepOD:
 
     @pytest.fixture(scope="class")
     def dataset(self):
-        return load_city("mini-chengdu", num_trips=120, num_days=14)
+        return build(DatasetSpec("mini-chengdu", num_trips=120, num_days=14))
 
     def _test_mae(self, dataset, engine: str) -> float:
         config = DeepODConfig(

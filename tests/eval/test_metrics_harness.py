@@ -99,8 +99,8 @@ class TestHarnessUtilities:
 
     def test_evaluate_method_end_to_end(self):
         from repro.baselines import LinearRegressionEstimator
-        from repro.datagen import load_city
-        ds = load_city("mini-chengdu", num_trips=80, num_days=14)
+        from repro.datagen import DatasetSpec, build
+        ds = build(DatasetSpec("mini-chengdu", num_trips=80, num_days=14))
         result = evaluate_method(LinearRegressionEstimator(), ds)
         assert result.metrics["mae"] > 0
         assert result.train_seconds > 0

@@ -8,7 +8,7 @@ entire runs several times and must stay fast.
 import pytest
 
 from repro.core import DeepODConfig
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 
 TINY_TRIPS = 60
 TINY_DAYS = 7
@@ -26,5 +26,5 @@ def tiny_config():
 
 @pytest.fixture(scope="session")
 def tiny_dataset():
-    return load_city("mini-chengdu", num_trips=TINY_TRIPS,
-                     num_days=TINY_DAYS)
+    return build(DatasetSpec("mini-chengdu", num_trips=TINY_TRIPS,
+                     num_days=TINY_DAYS))

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.eval import mape
 from repro.pathtte import (
     EdgeTimeProfile, PerEdgePathEstimator, ProfileConfig, SubPathConfig,
@@ -13,7 +13,7 @@ from repro.pathtte import (
 
 @pytest.fixture(scope="module")
 def dataset():
-    return load_city("mini-chengdu", num_trips=400, num_days=14)
+    return build(DatasetSpec("mini-chengdu", num_trips=400, num_days=14))
 
 
 class TestEdgeTimeProfile:
@@ -110,7 +110,7 @@ class TestPathEstimators:
                 < 0.7 * np.abs(mean_pred - actual).mean())
 
     def test_requires_route(self, dataset):
-        from repro.datagen import strip_trajectories
+        from repro.datagen import DatasetSpec, build, strip_trajectories
         est = PerEdgePathEstimator().fit(dataset)
         with pytest.raises(ValueError):
             est.predict(strip_trajectories(dataset.split.test[:1]))

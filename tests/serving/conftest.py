@@ -5,7 +5,7 @@ import pytest
 from repro.core import (
     DeepODConfig, DeepODTrainer, TravelTimePredictor, build_deepod,
 )
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 
 TINY_TRIPS = 60
 TINY_DAYS = 7
@@ -19,8 +19,8 @@ TINY_CFG = DeepODConfig(
 @pytest.fixture(scope="session")
 def serving_dataset():
     """A preset-built dataset, so artifacts can regenerate it by params."""
-    return load_city("mini-chengdu", num_trips=TINY_TRIPS,
-                     num_days=TINY_DAYS)
+    return build(DatasetSpec("mini-chengdu", num_trips=TINY_TRIPS,
+                     num_days=TINY_DAYS))
 
 
 @pytest.fixture(scope="session")

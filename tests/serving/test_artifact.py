@@ -7,7 +7,7 @@ import numpy as np
 import pytest
 
 from repro.core import DeepODTrainer, build_deepod
-from repro.datagen import load_city, strip_trajectories
+from repro.datagen import DatasetSpec, build, strip_trajectories
 from repro.nn import load_state, save_state
 from repro.serving import (
     ArtifactError, load_artifact, save_artifact, validate_artifact,
@@ -91,8 +91,8 @@ class TestValidation:
             load_artifact(directory)
 
     def test_dataset_fingerprint_mismatch(self, artifact_dir):
-        other = load_city("mini-chengdu", num_trips=TINY_TRIPS + 10,
-                          num_days=TINY_DAYS)
+        other = build(DatasetSpec("mini-chengdu", num_trips=TINY_TRIPS + 10,
+                          num_days=TINY_DAYS))
         with pytest.raises(ArtifactError, match="fingerprint"):
             load_artifact(artifact_dir, dataset=other)
 

@@ -11,7 +11,7 @@ import pytest
 from repro.core import (
     DeepODConfig, DeepODTrainer, TravelTimePredictor, build_deepod,
 )
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.experiments import promote
 from repro.streaming import shift_travel_times
 
@@ -26,8 +26,8 @@ TINY_CFG = DeepODConfig(
 
 @pytest.fixture(scope="session")
 def stream_dataset():
-    return load_city("mini-chengdu", num_trips=STREAM_TRIPS,
-                     num_days=STREAM_DAYS)
+    return build(DatasetSpec("mini-chengdu", num_trips=STREAM_TRIPS,
+                     num_days=STREAM_DAYS))
 
 
 @pytest.fixture(scope="session")

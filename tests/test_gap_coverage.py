@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 
 from repro.core.embeddings import rescale_pretrained
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.nn import Tensor
 from repro.roadnet import NoPathError, dijkstra, grid_city
 
@@ -119,7 +119,7 @@ class TestTensorCorners:
 
 class TestSpeedMatrixImputation:
     def test_unobserved_cells_take_global_mean(self):
-        ds = load_city("mini-chengdu", num_trips=30, num_days=7)
+        ds = build(DatasetSpec("mini-chengdu", num_trips=30, num_days=7))
         store = ds.speed_store
         mat = store.matrix_before(3600.0)
         # With 30 trips most cells are empty: they must equal the global

@@ -12,13 +12,13 @@ enough to flag a changed traffic model, demand curve or river layout.
 import numpy as np
 import pytest
 
-from repro.datagen import load_city
+from repro.datagen import DatasetSpec, build
 from repro.roadnet import NoPathError, dijkstra
 
 
 @pytest.fixture(scope="module")
 def chengdu():
-    return load_city("mini-chengdu", num_trips=300, num_days=14)
+    return build(DatasetSpec("mini-chengdu", num_trips=300, num_days=14))
 
 
 class TestCitySignature:
@@ -85,8 +85,8 @@ class TestCitySignature:
         assert any(d >= 5 for d in dows)
 
     def test_dataset_fully_deterministic(self):
-        a = load_city("mini-chengdu", num_trips=50, num_days=7)
-        b = load_city("mini-chengdu", num_trips=50, num_days=7)
+        a = build(DatasetSpec("mini-chengdu", num_trips=50, num_days=7))
+        b = build(DatasetSpec("mini-chengdu", num_trips=50, num_days=7))
         for ta, tb in zip(a.trips, b.trips):
             assert ta.od.depart_time == tb.od.depart_time
             assert ta.travel_time == tb.travel_time
@@ -100,8 +100,8 @@ class TestTrainingSignature:
         (At only a few hundred trips the correlation is weak — DeepOD's
         data hunger, documented in EXPERIMENTS.md.)"""
         from repro.core import DeepODConfig, DeepODTrainer, build_deepod
-        from repro.datagen import strip_trajectories
-        ds = load_city("mini-chengdu", num_trips=900, num_days=14)
+        from repro.datagen import DatasetSpec, build, strip_trajectories
+        ds = build(DatasetSpec("mini-chengdu", num_trips=900, num_days=14))
         cfg = DeepODConfig(
             d_s=16, d_t=8, d1_m=16, d2_m=8, d3_m=16, d4_m=8, d5_m=16,
             d6_m=8, d7_m=16, d9_m=16, d_h=16, d_traf=8, batch_size=32,

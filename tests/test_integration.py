@@ -13,8 +13,8 @@ from repro.core import (
     DeepODConfig, DeepODTrainer, build_deepod,
 )
 from repro.datagen import (
-    TrafficModel, TripConfig, TripGenerator, WeatherProcess, load_city,
-    strip_trajectories,
+    DatasetSpec, TrafficModel, TripConfig, TripGenerator, WeatherProcess,
+    build, strip_trajectories,
 )
 from repro.mapmatching import HMMMapMatcher
 from repro.nn import load_state, save_state
@@ -31,7 +31,7 @@ SMALL_CFG = DeepODConfig(
 
 @pytest.fixture(scope="module")
 def dataset():
-    return load_city("mini-chengdu", num_trips=100, num_days=14)
+    return build(DatasetSpec("mini-chengdu", num_trips=100, num_days=14))
 
 
 class TestGPSMatchTrainPipeline:
