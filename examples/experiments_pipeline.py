@@ -27,7 +27,7 @@ from repro.core import DeepODConfig, DeepODTrainer, build_deepod
 from repro.datagen import DatasetSpec, build
 from repro.experiments import (
     RunRegistry, SweepSpec, latest_checkpoint, load_checkpoint, promote,
-    run_sweep,
+    run_sweep, save_checkpoint,
 )
 
 TRIPS, DAYS = 200, 7
@@ -48,7 +48,8 @@ def demo_checkpoint_resume(dataset, workdir) -> None:
     victim = DeepODTrainer(build_deepod(dataset, CONFIG), dataset,
                            eval_every=0)
     victim.fit(max_steps=3, track_validation=False,
-               checkpoint_every=2, checkpoint_dir=ckdir)
+               checkpoint_every=2, checkpoint_dir=ckdir,
+               checkpoint_fn=save_checkpoint)
     print(f"   killed at step {victim._step}; latest snapshot: "
           f"{os.path.basename(latest_checkpoint(ckdir))}")
 

@@ -1,0 +1,61 @@
+"""``BENCH_lint.json`` schema for the incremental-lint benchmark.
+
+Mirrors the repo's other bench validators (``repro.nn.validate_bench_fit``
+et al.): the benchmark writes the payload through the validator, and CI
+can re-validate the file without re-running the bench.  Fail-closed —
+any missing or malformed field raises :class:`ValueError`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+BENCH_LINT_SCHEMA = "repro.bench.lint/v1"
+
+__all__ = ["BENCH_LINT_SCHEMA", "validate_bench_lint",
+           "validate_bench_lint_file"]
+
+
+def validate_bench_lint(payload: Dict) -> Dict:
+    """Validate a ``BENCH_lint.json`` document; returns it unchanged."""
+    if not isinstance(payload, dict):
+        raise ValueError("bench payload must be a JSON object")
+    if payload.get("bench") != "lint_cache_speedup":
+        raise ValueError("bench must be 'lint_cache_speedup' "
+                         f"(got {payload.get('bench')!r})")
+    if payload.get("schema") != BENCH_LINT_SCHEMA:
+        raise ValueError(f"schema must be {BENCH_LINT_SCHEMA!r}")
+    files = payload.get("files")
+    if not isinstance(files, int) or files <= 0:
+        raise ValueError("files must be a positive integer")
+    for key in ("cold_s", "warm_s", "speedup", "floor"):
+        value = payload.get(key)
+        if not isinstance(value, (int, float)) or value < 0:
+            raise ValueError(f"{key} must be a non-negative number")
+    for phase, want_hits in (("cold", 0), ("warm", files)):
+        stats = payload.get(phase)
+        if not isinstance(stats, dict):
+            raise ValueError(f"{phase} must be an object")
+        for key in ("cache_hits", "cache_misses"):
+            if not isinstance(stats.get(key), int) or stats[key] < 0:
+                raise ValueError(
+                    f"{phase}.{key} must be a non-negative integer")
+        if stats["cache_hits"] != want_hits:
+            raise ValueError(
+                f"{phase}.cache_hits must be {want_hits} "
+                f"(got {stats['cache_hits']})")
+    if not isinstance(payload.get("findings"), int) \
+            or payload["findings"] < 0:
+        raise ValueError("findings must be a non-negative integer")
+    if payload["speedup"] < payload["floor"]:
+        raise ValueError(
+            f"recorded speedup {payload['speedup']:.2f}x below the "
+            f"{payload['floor']:.2f}x floor")
+    return payload
+
+
+def validate_bench_lint_file(path: str) -> Dict:
+    """Load and validate a ``BENCH_lint.json`` file (CI entry point)."""
+    with open(path) as handle:
+        return validate_bench_lint(json.load(handle))

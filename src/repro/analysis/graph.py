@@ -1,0 +1,380 @@
+"""Whole-program view for reprolint: import graph + def/use tables.
+
+PR 5's rule engine saw one file at a time, which is blind to exactly
+the bug classes this codebase grew into — layering inversions between
+subsystems, fork-unsafe module state, resource handles leaking across
+process boundaries.  This module builds the project-wide context the
+A/F/R rule families (``rules_arch``) analyse:
+
+* a :class:`ModuleRecord` per file — resolved internal imports (with
+  line numbers and whether they execute at module scope), top-level
+  defs, and the module-level names bound to resource handles — all
+  collected from the *same* ``ast`` tree the per-file rules visit, so
+  whole-program analysis costs no second parse;
+* a :class:`ProjectIndex` over all records — the module import graph,
+  its aggregation to top-level *subsystem* edges (``repro.datagen`` →
+  ``repro.roadnet``), strongly-connected components (import cycles),
+  and DOT/JSON dumps for ``cli lint --graph``.
+
+Records are plain data and round-trip through dicts, which is what lets
+the incremental lint cache persist them: a warm re-lint rebuilds the
+whole project graph from cached records without parsing a single file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "ImportEdge", "ModuleRecord", "ProjectIndex", "collect_record",
+    "resolve_import_from", "layer_drift",
+]
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved import: ``target`` is the dotted name imported,
+    ``toplevel`` whether the statement executes at module scope (only
+    those participate in import-cycle detection — a lazy function-level
+    import breaks the cycle at runtime, though not architecturally)."""
+
+    target: str
+    lineno: int
+    col: int
+    toplevel: bool
+
+    def to_dict(self) -> dict:
+        return {"target": self.target, "lineno": self.lineno,
+                "col": self.col, "toplevel": self.toplevel}
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ImportEdge":
+        return cls(target=d["target"], lineno=int(d["lineno"]),
+                   col=int(d["col"]), toplevel=bool(d["toplevel"]))
+
+
+@dataclass
+class ModuleRecord:
+    """Everything the project rules need to know about one module."""
+
+    module: str
+    path: str
+    imports: List[ImportEdge] = field(default_factory=list)
+    # Top-level def/class names -> lineno (the light def/use table).
+    toplevel_defs: Dict[str, int] = field(default_factory=dict)
+    # Module-level names bound to resource handles (open()/np.memmap()).
+    resource_globals: Dict[str, int] = field(default_factory=dict)
+    # True when the file is the package's __init__.py.
+    is_package_init: bool = False
+
+    def to_dict(self) -> dict:
+        return {
+            "module": self.module, "path": self.path,
+            "imports": [e.to_dict() for e in self.imports],
+            "toplevel_defs": dict(self.toplevel_defs),
+            "resource_globals": dict(self.resource_globals),
+            "is_package_init": self.is_package_init,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "ModuleRecord":
+        return cls(
+            module=d["module"], path=d["path"],
+            imports=[ImportEdge.from_dict(e) for e in d["imports"]],
+            toplevel_defs={k: int(v)
+                           for k, v in d["toplevel_defs"].items()},
+            resource_globals={k: int(v)
+                              for k, v in d["resource_globals"].items()},
+            is_package_init=bool(d["is_package_init"]),
+        )
+
+
+def resolve_import_from(module: str, path: str,
+                        node: ast.ImportFrom) -> str:
+    """Resolve a (possibly relative) ``from X import Y`` to a dotted
+    name, against the importing module's own package."""
+    if not node.level:
+        return node.module or ""
+    package_parts = module.split(".")
+    if not path.endswith("__init__.py"):
+        package_parts = package_parts[:-1]
+    drop = node.level - 1
+    if drop:
+        package_parts = (package_parts[:-drop]
+                         if drop <= len(package_parts) else [])
+    base = ".".join(package_parts)
+    if node.module:
+        return f"{base}.{node.module}" if base else node.module
+    return base
+
+
+_RESOURCE_TAILS = {"memmap"}
+
+
+def _is_resource_call(node: ast.AST) -> bool:
+    """``open(...)`` / ``np.memmap(...)`` / ``*.open(...)`` calls."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id == "open"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "open" or func.attr in _RESOURCE_TAILS
+    return False
+
+
+def collect_record(tree: ast.Module, module: str, path: str,
+                   internal_prefixes: Sequence[str] = ("repro",)
+                   ) -> ModuleRecord:
+    """Build the :class:`ModuleRecord` for one parsed file.
+
+    Only imports targeting ``internal_prefixes`` are recorded — the
+    graph describes the project's own layering, not its numpy/stdlib
+    footprint.
+    """
+    record = ModuleRecord(module=module, path=path,
+                          is_package_init=path.endswith("__init__.py"))
+
+    def is_internal(target: str) -> bool:
+        return any(target == p or target.startswith(p + ".")
+                   for p in internal_prefixes)
+
+    def walk(node: ast.AST, depth: int) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Import):
+                for alias in child.names:
+                    if is_internal(alias.name):
+                        record.imports.append(ImportEdge(
+                            alias.name, child.lineno, child.col_offset,
+                            depth == 0))
+            elif isinstance(child, ast.ImportFrom):
+                target = resolve_import_from(module, path, child)
+                # One edge per imported name, at full dotted precision:
+                # ``from . import init`` inside repro.nn must point at
+                # repro.nn.init, not at the package facade — otherwise
+                # every re-exporting __init__ shows up as a cycle.  The
+                # index later resolves each target to its longest
+                # indexed prefix, so attribute imports still land on
+                # the defining module.
+                for alias in child.names:
+                    full = (f"{target}.{alias.name}" if target
+                            else alias.name)
+                    if alias.name == "*":
+                        full = target
+                    if is_internal(full):
+                        record.imports.append(ImportEdge(
+                            full, child.lineno, child.col_offset,
+                            depth == 0))
+            elif isinstance(child, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                if depth == 0:
+                    record.toplevel_defs[child.name] = child.lineno
+                walk(child, depth + 1)
+                continue
+            elif isinstance(child, ast.ClassDef):
+                if depth == 0:
+                    record.toplevel_defs[child.name] = child.lineno
+                # Class bodies execute at import time: imports inside
+                # them still count as top-level edges.
+                walk(child, depth)
+                continue
+            elif depth == 0 and isinstance(child, ast.Assign):
+                if _is_resource_call(child.value):
+                    for target_node in child.targets:
+                        if isinstance(target_node, ast.Name):
+                            record.resource_globals[target_node.id] = \
+                                child.lineno
+            walk(child, depth)
+
+    walk(tree, 0)
+    return record
+
+
+class ProjectIndex:
+    """All module records of one lint run, indexed for graph queries."""
+
+    def __init__(self, records: Sequence[ModuleRecord],
+                 root: str = "repro"):
+        self.root = root
+        self.records: Dict[str, ModuleRecord] = {
+            r.module: r for r in records}
+        self._modules: Set[str] = set(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[ModuleRecord]:
+        return iter(self.records.values())
+
+    # -- name resolution ------------------------------------------------
+    def package_of(self, module: str) -> Optional[str]:
+        """Top-level subsystem of a module under the root package.
+
+        ``repro.nn.gru`` -> ``nn``; ``repro.cli`` -> ``cli``;
+        ``repro`` itself and anything outside the root -> ``None``.
+        """
+        parts = module.split(".")
+        if len(parts) < 2 or parts[0] != self.root:
+            return None
+        return parts[1]
+
+    def resolve_module(self, target: str) -> Optional[str]:
+        """Longest prefix of ``target`` that names an indexed module
+        (``repro.obs.metrics.global_registry`` -> ``repro.obs.metrics``)."""
+        parts = target.split(".")
+        for stop in range(len(parts), 0, -1):
+            candidate = ".".join(parts[:stop])
+            if candidate in self._modules:
+                return candidate
+        return None
+
+    # -- graphs ---------------------------------------------------------
+    def module_graph(self, toplevel_only: bool = True
+                     ) -> Dict[str, List[Tuple[str, ImportEdge]]]:
+        """Adjacency over indexed modules (edges into unindexed targets
+        are dropped; self-edges from intra-module references too)."""
+        graph: Dict[str, List[Tuple[str, ImportEdge]]] = {
+            m: [] for m in self._modules}
+        for record in self:
+            for edge in record.imports:
+                if toplevel_only and not edge.toplevel:
+                    continue
+                resolved = self.resolve_module(edge.target)
+                if resolved and resolved != record.module:
+                    graph[record.module].append((resolved, edge))
+        return graph
+
+    def package_edges(self) -> Dict[Tuple[str, str],
+                                    Tuple[str, ImportEdge]]:
+        """Aggregated subsystem-level edges with one witness each:
+        ``(from_pkg, to_pkg) -> (witness module, witness edge)``."""
+        edges: Dict[Tuple[str, str], Tuple[str, ImportEdge]] = {}
+        for record in self:
+            source = self.package_of(record.module)
+            if source is None:
+                continue
+            for edge in record.imports:
+                target = self.package_of(edge.target)
+                if target is None or target == source:
+                    continue
+                edges.setdefault((source, target),
+                                 (record.module, edge))
+        return edges
+
+    def cycles(self) -> List[List[str]]:
+        """Module-level import cycles: every SCC of size > 1 over the
+        top-level import graph, each cycle's members sorted, cycles
+        sorted — deterministic output for tests and CI diffs."""
+        graph = {m: [t for t, _ in targets]
+                 for m, targets in self.module_graph().items()}
+        # Iterative Tarjan (no recursion limit surprises on deep trees).
+        index_of: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        sccs: List[List[str]] = []
+        counter = [0]
+
+        for start in sorted(graph):
+            if start in index_of:
+                continue
+            work: List[Tuple[str, int]] = [(start, 0)]
+            while work:
+                node, child_i = work[-1]
+                if child_i == 0:
+                    index_of[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                recurse = False
+                children = graph[node]
+                while child_i < len(children):
+                    child = children[child_i]
+                    child_i += 1
+                    if child not in index_of:
+                        work[-1] = (node, child_i)
+                        work.append((child, 0))
+                        recurse = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index_of[child])
+                if recurse:
+                    continue
+                work.pop()
+                if low[node] == index_of[node]:
+                    scc: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(sorted(scc))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return sorted(sccs)
+
+    # -- dumps ----------------------------------------------------------
+    def to_json(self, layers: Sequence[Tuple[str, Sequence[str]]] = ()
+                ) -> dict:
+        declared = {name: sorted(allowed) for name, allowed in layers}
+        packages = sorted({p for p in (self.package_of(m)
+                                       for m in self._modules) if p})
+        edges = sorted((src, dst) for src, dst in self.package_edges())
+        return {
+            "schema": "repro.analysis.graph/v1",
+            "root": self.root,
+            "modules": len(self.records),
+            "packages": packages,
+            "edges": [{"from": src, "to": dst} for src, dst in edges],
+            "declared_layers": declared,
+            "cycles": self.cycles(),
+        }
+
+    def to_dot(self, layers: Sequence[Tuple[str, Sequence[str]]] = ()
+               ) -> str:
+        """Graphviz DOT of the subsystem graph; edges not covered by the
+        declared layering contract are highlighted."""
+        allowed = {name: set(targets) for name, targets in layers}
+        lines = ["digraph repro_layers {",
+                 "  rankdir=BT;",
+                 '  node [shape=box, fontname="Helvetica"];']
+        packages = sorted({p for p in (self.package_of(m)
+                                       for m in self._modules) if p})
+        for pkg in packages:
+            lines.append(f'  "{pkg}";')
+        for (src, dst), (module, edge) in sorted(
+                self.package_edges().items()):
+            ok = (src not in allowed or "*" in allowed[src]
+                  or dst in allowed[src])
+            style = "" if ok else \
+                ' [color=red, penwidth=2, label="A001"]'
+            lines.append(f'  "{src}" -> "{dst}"{style};')
+        lines.append("}")
+        return "\n".join(lines) + "\n"
+
+
+def layer_drift(layers: Sequence[Tuple[str, Sequence[str]]],
+                src_root) -> Tuple[List[str], List[str]]:
+    """Compare the declared layering DAG against the actual package
+    list under ``src_root`` (the ``repro`` package directory).
+
+    Returns ``(undeclared, stale)``: real top-level subsystems missing
+    from the declaration, and declared layers with no package behind
+    them.  CI fails on either, so the DAG cannot silently drift.
+    """
+    from pathlib import Path
+    root = Path(src_root)
+    actual: Set[str] = set()
+    for entry in root.iterdir():
+        if entry.is_dir() and (entry / "__init__.py").exists():
+            actual.add(entry.name)
+        elif (entry.suffix == ".py" and entry.name != "__init__.py"
+                and not entry.name.startswith("_")):
+            actual.add(entry.stem)
+    declared = {name for name, _ in layers}
+    return sorted(actual - declared), sorted(declared - actual)

@@ -301,8 +301,11 @@ ALL_RULES: Tuple[type, ...] = (
 
 
 def rule_by_id(rule_id: str) -> type:
-    for rule in ALL_RULES:
+    # Lazy import: rules_arch imports this module for _dotted_name.
+    from .rules_arch import ALL_ARCH_FILE_RULES, ALL_PROJECT_RULES
+    catalogue = ALL_RULES + ALL_ARCH_FILE_RULES + ALL_PROJECT_RULES
+    for rule in catalogue:
         if rule.id == rule_id:
             return rule
     raise KeyError(f"unknown lint rule {rule_id!r}; known: "
-                   f"{', '.join(r.id for r in ALL_RULES)}")
+                   f"{', '.join(r.id for r in catalogue)}")

@@ -1,0 +1,455 @@
+"""Whole-program rule families: architecture, fork-safety, lifecycle.
+
+These are the rules PR 5's per-file engine could not express — they
+need the project import graph (:mod:`repro.analysis.graph`) or at least
+the module's own record, and they target the bug classes this codebase
+actually grew into once it went concurrent (fork+COW sweep executor,
+sharded serving over duplex pipes, fork-pool batch matching, memmapped
+dataset dirs):
+
+A-series — layering contracts over the declared subsystem DAG
+(``LintConfig.layers``):
+
+* ``A001`` — import edge between subsystems the DAG does not allow
+  (``serving`` reaching into ``experiments``, ``core`` into anything
+  above it).  Counts function-level imports too: a lazy import dodges
+  the cycle at runtime but is still an architectural dependency.
+* ``A002`` — module-level import cycle (any SCC of size > 1 over the
+  top-level import graph).
+* ``A003`` — a top-level package exists under the root but is missing
+  from the declared DAG, so new subsystems must state their layer.
+
+F-series — fork-safety.  The executors fork; whatever module state
+exists at fork time is silently duplicated into children:
+
+* ``F001`` — module-scope creation of locks/pools/executors or thread
+  starts in library code.  A lock held during ``fork()`` deadlocks the
+  child; a module-level pool forks from import state.
+* ``F002`` — a lambda or nested function crossing a process boundary
+  (``submit``/``apply_async``/``imap*``/``Pipe.send``/``Queue.put``):
+  pickle cannot serialise it, and the failure surfaces in the worker.
+* ``F003`` — a fork-dispatched function reading a module-level open
+  resource handle (``open()``/``np.memmap``): the child inherits the
+  handle's fd and file position, so reads race the parent.
+
+R-series — resource lifecycle:
+
+* ``R001`` — local ``open()``/``np.memmap``/``*.open()``/executor
+  created without ``with`` and never ``close()``d on the paths that
+  keep ownership (returning/yielding/storing the handle escapes it).
+* ``R002`` — ``tracer.span(...)`` opened without a context manager;
+  a span that never exits corrupts the phase accounting.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set, Tuple
+
+from .engine import Finding, LintContext, ProjectRule, Rule
+from .rules import _dotted_name
+
+__all__ = [
+    "ALL_ARCH_FILE_RULES", "ALL_PROJECT_RULES",
+    "A001CrossLayerImport", "A002ImportCycle", "A003UndeclaredPackage",
+    "F001ModuleLevelConcurrency", "F002UnpicklableCrossing",
+    "F003ForkCapturedHandle", "R001ResourceNotClosed",
+    "R002SpanWithoutContext",
+]
+
+
+# ---------------------------------------------------------------------------
+# A-series: layering contracts (project rules).
+
+class A001CrossLayerImport(ProjectRule):
+    """Import edge between subsystems the declared DAG does not allow."""
+
+    id = "A001"
+    title = "cross-layer import outside the declared DAG"
+
+    def run(self) -> List[Finding]:
+        seen: Set[Tuple[str, int, str, str]] = set()
+        for record in self.index:
+            source = self.index.package_of(record.module)
+            if source is None:
+                continue
+            for edge in record.imports:
+                target = self.index.package_of(edge.target)
+                if target is None or target == source:
+                    continue
+                key = (record.path, edge.lineno, source, target)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if not self.config.layer_allows(source, target):
+                    self.report(
+                        record.path, edge.lineno, edge.col,
+                        f"layer '{source}' may not import layer "
+                        f"'{target}' ({record.module} -> {edge.target}); "
+                        "the declared DAG (LintConfig.layers) allows "
+                        f"{sorted(dict(self.config.layers).get(source, ()))}")
+        return self.findings
+
+
+class A002ImportCycle(ProjectRule):
+    """Module-level import cycle across the project."""
+
+    id = "A002"
+    title = "module-level import cycle"
+
+    def run(self) -> List[Finding]:
+        graph = self.index.module_graph(toplevel_only=True)
+        for cycle in self.index.cycles():
+            members = set(cycle)
+            # Report once, at the first member's first edge into the
+            # cycle — deterministic and enough to locate the knot.
+            head = cycle[0]
+            record = self.index.records[head]
+            witness = None
+            for target, edge in graph[head]:
+                if target in members:
+                    witness = edge
+                    break
+            lineno = witness.lineno if witness else 1
+            col = witness.col if witness else 0
+            self.report(record.path, lineno, col,
+                        "module-level import cycle: "
+                        + " -> ".join(cycle + [cycle[0]])
+                        + "; break it with an interface module or a "
+                          "function-level import")
+        return self.findings
+
+
+class A003UndeclaredPackage(ProjectRule):
+    """Top-level package missing from the declared layering DAG."""
+
+    id = "A003"
+    title = "subsystem missing from the layering DAG"
+
+    def run(self) -> List[Finding]:
+        declared = {name for name, _ in self.config.layers}
+        seen: Dict[str, Tuple[str, str]] = {}
+        for record in self.index:
+            package = self.index.package_of(record.module)
+            if package is None or package in declared:
+                continue
+            # Report at the package's own __init__ when indexed, else
+            # at the first module observed inside it.
+            key = f"{self.index.root}.{package}"
+            current = seen.get(package)
+            if current is None or record.module == key:
+                seen[package] = (record.module, record.path)
+        for package in sorted(seen):
+            _, path = seen[package]
+            self.report(path, 1, 0,
+                        f"package '{package}' is not declared in the "
+                        "layering DAG (LintConfig.layers); new "
+                        "subsystems must state which layers they may "
+                        "import")
+        return self.findings
+
+
+# ---------------------------------------------------------------------------
+# F-series: fork-safety (per-file rules, library code only).
+
+_POOL_TAILS = {
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Barrier", "Pool", "ThreadPool", "ProcessPoolExecutor",
+    "ThreadPoolExecutor", "Manager",
+}
+
+_DISPATCH_ATTRS = {
+    "submit", "apply_async", "apply", "map_async", "imap",
+    "imap_unordered", "starmap", "starmap_async",
+}
+
+_SEND_ATTRS = {"send", "put", "put_nowait"}
+
+
+class F001ModuleLevelConcurrency(Rule):
+    """No module-scope lock/pool/executor creation or thread starts in
+    library code — fork() inherits them in undefined states."""
+
+    id = "F001"
+    title = "module-level concurrency primitive in library code"
+
+    def __init__(self, ctx: LintContext) -> None:
+        super().__init__(ctx)
+        self._depth = 0
+
+    @classmethod
+    def applies_to(cls, ctx: LintContext) -> bool:
+        return ctx.config.is_library(ctx.module)
+
+    def _enter_scope(self, node: ast.AST) -> None:
+        self._depth += 1
+        self.generic_visit(node)
+        self._depth -= 1
+
+    visit_FunctionDef = _enter_scope
+    visit_AsyncFunctionDef = _enter_scope
+    visit_Lambda = _enter_scope
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._depth == 0:
+            dotted = _dotted_name(node.func)
+            tail = dotted.split(".")[-1] if dotted else ""
+            if tail in _POOL_TAILS:
+                self.report(node, f"module-level {dotted}() is inherited "
+                                  "by forked children in an undefined "
+                                  "state (a held lock deadlocks the "
+                                  "child); create it lazily inside the "
+                                  "owning function or class")
+            elif (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "start"):
+                self.report(node, "module-level .start() launches a "
+                                  "thread at import time; forked "
+                                  "children lose the thread but keep "
+                                  "its state")
+        self.generic_visit(node)
+
+
+class F002UnpicklableCrossing(Rule):
+    """No lambdas or nested functions across process boundaries."""
+
+    id = "F002"
+    title = "unpicklable callable crossing a process boundary"
+
+    @classmethod
+    def applies_to(cls, ctx: LintContext) -> bool:
+        return ctx.config.is_library(ctx.module)
+
+    def run(self, tree: ast.AST) -> List[Finding]:
+        nested: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for inner in ast.walk(node):
+                    if inner is not node and isinstance(
+                            inner, (ast.FunctionDef,
+                                    ast.AsyncFunctionDef)):
+                        nested.add(inner.name)
+        self._nested = nested
+        self.visit(tree)
+        return self.findings
+
+    def _flag_arg(self, node: ast.AST, where: str) -> None:
+        if isinstance(node, ast.Lambda):
+            self.report(node, f"lambda passed to {where} cannot be "
+                              "pickled into the worker process; use a "
+                              "module-level function")
+        elif isinstance(node, ast.Name) and node.id in self._nested:
+            self.report(node, f"nested function '{node.id}' passed to "
+                              f"{where} cannot be pickled into the "
+                              "worker process; hoist it to module level")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _DISPATCH_ATTRS and node.args:
+                self._flag_arg(node.args[0], f".{func.attr}()")
+            elif func.attr in _SEND_ATTRS:
+                for arg in node.args:
+                    self._flag_arg(arg, f".{func.attr}()")
+        self.generic_visit(node)
+
+
+class F003ForkCapturedHandle(Rule):
+    """Fork-dispatched function must not read a module-level open
+    resource handle — the child inherits the fd and its file position,
+    so reads race the parent."""
+
+    id = "F003"
+    title = "open handle captured by a fork-dispatched function"
+
+    @classmethod
+    def applies_to(cls, ctx: LintContext) -> bool:
+        return (ctx.config.is_library(ctx.module)
+                and ctx.record is not None
+                and bool(ctx.record.resource_globals))
+
+    def run(self, tree: ast.AST) -> List[Finding]:
+        handles = set(self.ctx.record.resource_globals)
+        toplevel_fns: Dict[str, ast.AST] = {}
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                toplevel_fns[node.name] = node
+        captures: Dict[str, Set[str]] = {}
+        for name, fn in toplevel_fns.items():
+            used = {n.id for n in ast.walk(fn)
+                    if isinstance(n, ast.Name)
+                    and isinstance(n.ctx, ast.Load)}
+            captures[name] = used & handles
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in _DISPATCH_ATTRS
+                    and node.args):
+                continue
+            fn_arg = node.args[0]
+            if isinstance(fn_arg, ast.Name):
+                captured = captures.get(fn_arg.id, set())
+                for handle in sorted(captured):
+                    self.report(
+                        node,
+                        f"'{fn_arg.id}' dispatched to a worker reads "
+                        f"the module-level handle '{handle}' "
+                        f"(opened at line "
+                        f"{self.ctx.record.resource_globals[handle]}); "
+                        "forked children share its fd and file "
+                        "position — reopen inside the worker")
+        return self.findings
+
+
+# ---------------------------------------------------------------------------
+# R-series: resource lifecycle (per-file rules, library code only).
+
+_EXECUTOR_TAILS = {"ProcessPoolExecutor", "ThreadPoolExecutor", "Pool"}
+
+
+def _is_lifecycle_call(node: ast.AST) -> bool:
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in {"open"} | _EXECUTOR_TAILS
+    if isinstance(func, ast.Attribute):
+        return func.attr in {"open", "memmap"} | _EXECUTOR_TAILS
+    return False
+
+
+class R001ResourceNotClosed(Rule):
+    """Resource acquired in a function without ``with`` and without a
+    ``close()`` — unless ownership escapes (returned, yielded, stored
+    on an object)."""
+
+    id = "R001"
+    title = "resource without close on all paths"
+
+    @classmethod
+    def applies_to(cls, ctx: LintContext) -> bool:
+        return ctx.config.is_library(ctx.module)
+
+    def _check_function(self, fn: ast.AST) -> None:
+        with_exprs: Set[int] = set()
+        closed: Set[str] = set()
+        escaped: Set[str] = set()
+        acquisitions: List[Tuple[str, ast.Assign]] = []
+
+        for node in ast.walk(fn):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    with_exprs.add(id(item.context_expr))
+                    # ``with handle:`` / ``with closing(handle):`` —
+                    # any name inside the context expression has its
+                    # lifecycle managed by the with block.
+                    for name in ast.walk(item.context_expr):
+                        if isinstance(name, ast.Name):
+                            closed.add(name.id)
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and \
+                        func.attr in ("close", "shutdown", "terminate",
+                                      "close_streams"):
+                    # ``handle.close()`` but also chains like
+                    # ``arr._mmap.close()`` count for the base name.
+                    base = func.value
+                    while isinstance(base, ast.Attribute):
+                        base = base.value
+                    if isinstance(base, ast.Name):
+                        closed.add(base.id)
+            elif isinstance(node, (ast.Return, ast.Expr)) and \
+                    getattr(node, "value", None) is not None:
+                value = node.value
+                if isinstance(node, ast.Expr) and not isinstance(
+                        value, (ast.Yield, ast.YieldFrom)):
+                    continue
+                if isinstance(value, (ast.Yield, ast.YieldFrom)):
+                    value = value.value
+                # Only handing the object itself (or a tuple/list of
+                # objects) to the caller transfers ownership;
+                # ``return handle.read()`` does not.
+                candidates = [value] if value is not None else []
+                if isinstance(value, (ast.Tuple, ast.List)):
+                    candidates = list(value.elts)
+                for candidate in candidates:
+                    if isinstance(candidate, ast.Name):
+                        escaped.add(candidate.id)
+            elif isinstance(node, ast.Assign):
+                targets = node.targets
+                if _is_lifecycle_call(node.value) and \
+                        id(node.value) not in with_exprs:
+                    if len(targets) == 1 and isinstance(
+                            targets[0], ast.Name):
+                        acquisitions.append((targets[0].id, node))
+                # Storing a handle on an attribute or into a container
+                # transfers ownership (the owner's close method or the
+                # container's consumer manages the lifecycle).
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        for name in ast.walk(node.value):
+                            if isinstance(name, ast.Name):
+                                escaped.add(name.id)
+
+        # A second ast.walk to honour with-items seen after the assigns
+        # is unnecessary: with_exprs was filled in the same walk above
+        # (ast.walk is pre-order over the whole function).
+        for name, node in acquisitions:
+            if name in closed or name in escaped:
+                continue
+            call = _dotted_name(node.value.func) or "resource"
+            self.report(node, f"'{name}' = {call}(...) is neither used "
+                              "as a context manager nor closed on all "
+                              "paths; wrap it in 'with' or close it in "
+                              "a finally block")
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        # No generic_visit: _check_function already walked the whole
+        # function, nested defs included.
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+
+class R002SpanWithoutContext(Rule):
+    """Tracer spans must be opened with ``with`` (or returned intact);
+    a manually entered span that never exits corrupts phase totals."""
+
+    id = "R002"
+    title = "tracer span opened without context manager"
+
+    @classmethod
+    def applies_to(cls, ctx: LintContext) -> bool:
+        return ctx.config.is_library(ctx.module)
+
+    def run(self, tree: ast.AST) -> List[Finding]:
+        allowed: Set[int] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    allowed.add(id(item.context_expr))
+            elif isinstance(node, ast.Return) and node.value is not None:
+                # Returning the span delegates the context to the
+                # caller — the factory pattern.
+                allowed.add(id(node.value))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr == "span" and \
+                    id(node) not in allowed:
+                dotted = _dotted_name(node.func) or "tracer.span"
+                self.report(node, f"{dotted}(...) opened outside a "
+                                  "'with' block; manual __enter__/"
+                                  "__exit__ leaks the span on any "
+                                  "exception path")
+        return self.findings
+
+
+ALL_ARCH_FILE_RULES: Tuple[type, ...] = (
+    F001ModuleLevelConcurrency, F002UnpicklableCrossing,
+    F003ForkCapturedHandle, R001ResourceNotClosed,
+    R002SpanWithoutContext,
+)
+
+ALL_PROJECT_RULES: Tuple[type, ...] = (
+    A001CrossLayerImport, A002ImportCycle, A003UndeclaredPackage,
+)

@@ -1,0 +1,141 @@
+"""SARIF 2.1.0 export for reprolint findings.
+
+SARIF (Static Analysis Results Interchange Format) is what GitHub code
+scanning ingests: uploading the lint job's output annotates the PR diff
+with every finding in place.  Only the minimal required subset of the
+spec is emitted — tool driver with the rule catalogue, one ``result``
+per finding with a physical location — which is also exactly what
+:func:`validate_sarif` checks, fail-closed, so a malformed document
+never reaches the upload step silently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+__all__ = ["SARIF_VERSION", "to_sarif", "validate_sarif"]
+
+
+def _rule_catalogue() -> List[type]:
+    from .rules import ALL_RULES
+    from .rules_arch import ALL_ARCH_FILE_RULES, ALL_PROJECT_RULES
+    return list(ALL_RULES + ALL_ARCH_FILE_RULES + ALL_PROJECT_RULES)
+
+
+def to_sarif(findings: Sequence) -> dict:
+    """Render findings (plus the full rule catalogue) as a SARIF log."""
+    rules = _rule_catalogue()
+    rule_index: Dict[str, int] = {r.id: i for i, r in enumerate(rules)}
+    results = []
+    for finding in findings:
+        location = {
+            "physicalLocation": {
+                "artifactLocation": {
+                    "uri": finding.path.replace("\\", "/")},
+                "region": {"startLine": max(1, finding.line),
+                           "startColumn": finding.col + 1},
+            },
+        }
+        result = {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [location],
+        }
+        if finding.rule in rule_index:
+            result["ruleIndex"] = rule_index[finding.rule]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "reprolint",
+                "informationUri":
+                    "https://example.invalid/repro#static-analysis",
+                "rules": [{"id": r.id,
+                           "shortDescription": {"text": r.title}}
+                          for r in rules],
+            }},
+            "results": results,
+        }],
+    }
+
+
+def _require(cond: bool, message: str) -> None:
+    if not cond:
+        raise ValueError(f"invalid SARIF document: {message}")
+
+
+def validate_sarif(doc: dict) -> dict:
+    """Check the structural invariants of SARIF 2.1.0 this exporter
+    relies on; raises :class:`ValueError` on the first violation and
+    returns the document unchanged when it passes."""
+    _require(isinstance(doc, dict), "top level must be an object")
+    _require(doc.get("version") == SARIF_VERSION,
+             f"version must be {SARIF_VERSION!r}")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and runs,
+             "runs must be a non-empty array")
+    for run_i, run in enumerate(runs):
+        _require(isinstance(run, dict), f"runs[{run_i}] must be an object")
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        _require(isinstance(driver, dict),
+                 f"runs[{run_i}].tool.driver missing")
+        _require(isinstance(driver.get("name"), str) and driver["name"],
+                 f"runs[{run_i}].tool.driver.name missing")
+        rules = driver.get("rules", [])
+        _require(isinstance(rules, list),
+                 f"runs[{run_i}].tool.driver.rules must be an array")
+        ids = []
+        for rule_i, rule in enumerate(rules):
+            _require(isinstance(rule, dict)
+                     and isinstance(rule.get("id"), str) and rule["id"],
+                     f"runs[{run_i}].rules[{rule_i}].id missing")
+            ids.append(rule["id"])
+        results = run.get("results")
+        _require(isinstance(results, list),
+                 f"runs[{run_i}].results must be an array")
+        for res_i, result in enumerate(results):
+            where = f"runs[{run_i}].results[{res_i}]"
+            _require(isinstance(result, dict), f"{where} must be an object")
+            _require(isinstance(result.get("ruleId"), str)
+                     and result["ruleId"], f"{where}.ruleId missing")
+            message = result.get("message")
+            _require(isinstance(message, dict)
+                     and isinstance(message.get("text"), str),
+                     f"{where}.message.text missing")
+            if "ruleIndex" in result:
+                index = result["ruleIndex"]
+                _require(isinstance(index, int)
+                         and 0 <= index < len(ids)
+                         and ids[index] == result["ruleId"],
+                         f"{where}.ruleIndex does not point at "
+                         f"{result['ruleId']!r} in the rule catalogue")
+            locations = result.get("locations")
+            _require(isinstance(locations, list) and locations,
+                     f"{where}.locations must be a non-empty array")
+            for loc_i, location in enumerate(locations):
+                physical = location.get("physicalLocation") \
+                    if isinstance(location, dict) else None
+                _require(isinstance(physical, dict),
+                         f"{where}.locations[{loc_i}]"
+                         ".physicalLocation missing")
+                artifact = physical.get("artifactLocation")
+                _require(isinstance(artifact, dict)
+                         and isinstance(artifact.get("uri"), str),
+                         f"{where}.locations[{loc_i}]"
+                         ".physicalLocation.artifactLocation.uri missing")
+                region = physical.get("region")
+                _require(isinstance(region, dict)
+                         and isinstance(region.get("startLine"), int)
+                         and region["startLine"] >= 1,
+                         f"{where}.locations[{loc_i}]"
+                         ".physicalLocation.region.startLine must be a "
+                         "positive integer")
+    return doc

@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional, Sequence
 
@@ -159,8 +160,8 @@ def cmd_datagen(args) -> int:
         print(f"dataset dir: {args.out}")
     if args.verify:
         if args.storage == "disk":
-            reopened = TaxiDataset.open(args.out)
-            check = dataset_fingerprint(reopened)
+            with TaxiDataset.open(args.out) as reopened:
+                check = dataset_fingerprint(reopened)
             stamped = read_meta(args.out).get("fingerprint")
         else:
             # RAM builds verify against a second, independent build of
@@ -504,10 +505,11 @@ def cmd_sweep_w(args) -> int:
 def cmd_lint(args) -> int:
     """reprolint over the given paths (exit 0 clean, 1 findings, 2 usage)."""
     from .analysis import (
-        ALL_RULES, LintConfig, apply_fixes, lint_paths, rule_by_id,
+        ALL_ARCH_FILE_RULES, ALL_PROJECT_RULES, ALL_RULES, LintConfig,
+        apply_fixes, layer_drift, lint_project, rule_by_id, to_sarif,
     )
     if args.list_rules:
-        for rule in ALL_RULES:
+        for rule in ALL_RULES + ALL_ARCH_FILE_RULES + ALL_PROJECT_RULES:
             fixable = " (autofixable)" if rule.autofixable else ""
             print(f"{rule.id}  {rule.title}{fixable}")
         return 0
@@ -520,18 +522,40 @@ def cmd_lint(args) -> int:
         except KeyError as exc:
             print(str(exc.args[0]), file=sys.stderr)
             return 2
+    config = LintConfig()
     try:
-        findings = lint_paths(args.paths, config=LintConfig(), rules=rules)
+        result = lint_project(args.paths, config=config, rules=rules,
+                              cache_path=args.cache)
     except FileNotFoundError as exc:
         print(str(exc), file=sys.stderr)
         return 2
+    findings = result.findings
     if args.fix and findings:
         fixed = apply_fixes(findings)
         if fixed:
             print(f"fixed {len(fixed)} finding(s)", file=sys.stderr)
-            findings = lint_paths(args.paths, config=LintConfig(),
-                                  rules=rules)
-    if args.format == "json":
+            result = lint_project(args.paths, config=config, rules=rules,
+                                  cache_path=args.cache)
+            findings = result.findings
+    if args.graph:
+        if args.graph == "dot":
+            print(result.index.to_dot(config.layers), end="")
+        else:
+            print(json.dumps(result.index.to_json(config.layers),
+                             indent=2))
+        return 0
+    if args.check_layers:
+        undeclared, stale = layer_drift(
+            config.layers, os.path.dirname(os.path.abspath(__file__)))
+        if undeclared or stale:
+            print("layering DAG drift: "
+                  f"undeclared packages {undeclared or '[]'} / "
+                  f"stale declarations {stale or '[]'} — update "
+                  "LintConfig.layers", file=sys.stderr)
+            return 2
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2))
+    elif args.format == "json":
         print(json.dumps([f.to_dict() for f in findings], indent=2))
     else:
         for finding in findings:
@@ -952,7 +976,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_lint.add_argument("paths", nargs="*", default=["src"],
                         help="files/directories to lint (default: src)")
     p_lint.add_argument("--format", default="text",
-                        choices=["text", "json"])
+                        choices=["text", "json", "sarif"])
     p_lint.add_argument("--rules", action="append", default=[],
                         metavar="ID[,ID...]",
                         help="run only these rule ids (repeatable)")
@@ -960,6 +984,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="apply autofixes (H002), then re-lint")
     p_lint.add_argument("--list-rules", action="store_true",
                         dest="list_rules", help="print the rule catalogue")
+    p_lint.add_argument("--graph", choices=["dot", "json"], default=None,
+                        help="dump the subsystem import graph instead "
+                             "of findings")
+    p_lint.add_argument("--cache", default=None, metavar="PATH",
+                        help="incremental lint cache file "
+                             "(e.g. .reprolint-cache.json)")
+    p_lint.add_argument("--check-layers", action="store_true",
+                        dest="check_layers",
+                        help="also fail (exit 2) when the declared "
+                             "layering DAG drifts from the packages "
+                             "actually under src/repro")
     p_lint.set_defaults(func=cmd_lint)
 
     p_exp = sub.add_parser(

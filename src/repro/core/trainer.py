@@ -169,6 +169,7 @@ class DeepODTrainer(Instrumented):
             checkpoint_every: int = 0,
             checkpoint_dir: Optional[str] = None,
             keep_checkpoints: int = 3,
+            checkpoint_fn: Optional[Callable] = None,
             on_eval: Optional[Callable[[int, float, float], None]] = None
             ) -> TrainingHistory:
         """Full offline training loop (Algorithm 1 lines 6-7).
@@ -180,8 +181,11 @@ class DeepODTrainer(Instrumented):
 
         ``checkpoint_every`` > 0 writes a full training checkpoint (model,
         optimiser, scheduler, RNG, shuffle position, history) into
-        ``checkpoint_dir`` every that-many steps; ``keep_checkpoints``
-        bounds how many are retained.  ``on_eval`` is invoked after every
+        ``checkpoint_dir`` every that-many steps via ``checkpoint_fn``
+        (signature of :func:`repro.experiments.checkpoint.save_checkpoint`,
+        which callers inject — the trainer sits below the experiments
+        layer and must not import upward); ``keep_checkpoints`` bounds
+        how many are retained.  ``on_eval`` is invoked after every
         validation evaluation with ``(step, val_mae, lr)`` — the run
         registry uses it to stream metrics to disk.
         """
@@ -189,10 +193,11 @@ class DeepODTrainer(Instrumented):
         epochs = epochs if epochs is not None else cfg.epochs
         if checkpoint_every > 0 and not checkpoint_dir:
             raise ValueError("checkpoint_every > 0 requires checkpoint_dir")
-        save_checkpoint = None
-        if checkpoint_every > 0:
-            # Imported lazily: repro.experiments depends on this module.
-            from ..experiments.checkpoint import save_checkpoint
+        if checkpoint_every > 0 and checkpoint_fn is None:
+            raise ValueError(
+                "checkpoint_every > 0 requires checkpoint_fn (pass "
+                "repro.experiments.checkpoint.save_checkpoint)")
+        save_checkpoint = checkpoint_fn if checkpoint_every > 0 else None
         train = list(self.dataset.split.train)
         base_wall = self.history.wall_seconds
         start = time.perf_counter()
@@ -203,37 +208,38 @@ class DeepODTrainer(Instrumented):
                          train_size=len(train),
                          nn_engine=cfg.nn_engine):
             while self._epoch < epochs and not done:
-                epoch_ctx = tracer.span("train.epoch", epoch=self._epoch)
-                epoch_span = epoch_ctx.__enter__()
-                try:
-                    if self._order is None:
-                        self._order = self._rng.permutation(len(train))
-                        self._cursor = 0
-                    while self._cursor < len(train):
-                        idx = self._order[self._cursor:
-                                          self._cursor + cfg.batch_size]
-                        batch = [train[i] for i in idx]
-                        self._cursor += cfg.batch_size
-                        stats = self.train_step(batch)
-                        self.history.train_loss.append(stats["loss"])
-                        if track_validation and self.eval_every > 0 and \
-                                self._step % self.eval_every == 0:
-                            self._record_eval(on_eval)
-                        if save_checkpoint is not None and \
-                                self._step % checkpoint_every == 0:
-                            self.history.wall_seconds = (
-                                base_wall + time.perf_counter() - start)
-                            with tracer.span("train.checkpoint",
-                                             step=self._step):
-                                save_checkpoint(self, checkpoint_dir,
-                                                keep=keep_checkpoints)
-                        if max_steps is not None and \
-                                self._step >= max_steps:
-                            done = True
-                            break
-                finally:
-                    self._materialise_phases(epoch_span)
-                    epoch_ctx.__exit__(None, None, None)
+                with tracer.span("train.epoch",
+                                 epoch=self._epoch) as epoch_span:
+                    try:
+                        if self._order is None:
+                            self._order = self._rng.permutation(len(train))
+                            self._cursor = 0
+                        while self._cursor < len(train):
+                            idx = self._order[self._cursor:
+                                              self._cursor + cfg.batch_size]
+                            batch = [train[i] for i in idx]
+                            self._cursor += cfg.batch_size
+                            stats = self.train_step(batch)
+                            self.history.train_loss.append(stats["loss"])
+                            if track_validation and self.eval_every > 0 \
+                                    and self._step % self.eval_every == 0:
+                                self._record_eval(on_eval)
+                            if save_checkpoint is not None and \
+                                    self._step % checkpoint_every == 0:
+                                self.history.wall_seconds = (
+                                    base_wall + time.perf_counter() - start)
+                                with tracer.span("train.checkpoint",
+                                                 step=self._step):
+                                    save_checkpoint(self, checkpoint_dir,
+                                                    keep=keep_checkpoints)
+                            if max_steps is not None and \
+                                    self._step >= max_steps:
+                                done = True
+                                break
+                    finally:
+                        # Runs before the span closes, so the aggregate
+                        # phase children land inside the epoch span.
+                        self._materialise_phases(epoch_span)
                 if self._cursor >= len(train):
                     # The epoch actually completed: only then does the
                     # paper's step decay advance.  A ``max_steps``

@@ -132,10 +132,30 @@ class TaxiDataset:
 
         Trips, split views and speed matrices stay on disk
         (``np.memmap``); the network and external processes are
-        regenerated from the preset's seeds.
+        regenerated from the preset's seeds.  Disk-backed datasets hold
+        open memory maps — use the dataset as a context manager (or call
+        :meth:`close`) to release them deterministically.
         """
         from .storage import open_dataset_dir
         return open_dataset_dir(directory)
+
+    def close(self) -> None:
+        """Release memory-mapped resources of a disk-backed dataset.
+
+        RAM-built datasets hold plain lists and arrays; for those this
+        is a no-op, so callers can close unconditionally.
+        """
+        for owner in (self.trips, self.speed_store):
+            close_fn = getattr(owner, "close", None)
+            if callable(close_fn):
+                close_fn()
+
+    def __enter__(self) -> "TaxiDataset":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     def statistics(self) -> Dict[str, float]:
         """Table 2-style statistics."""

@@ -220,13 +220,17 @@ def _build_disk(preset, spec, tracer, net, weather, traffic, matcher,
     from . import storage
 
     writer = storage.DatasetDirWriter(spec.out_dir)
-    with tracer.span("datagen.trips", requested=trips_n):
-        for chunk_trips in chunks:
-            if matcher is not None:
-                chunk_trips = _rematch_chunk(matcher, chunk_trips,
-                                             spec.matcher_jobs, tracer)
-            writer.write_chunk(chunk_trips)
-    writer.close_streams()
+    try:
+        with tracer.span("datagen.trips", requested=trips_n):
+            for chunk_trips in chunks:
+                if matcher is not None:
+                    chunk_trips = _rematch_chunk(matcher, chunk_trips,
+                                                 spec.matcher_jobs, tracer)
+                writer.write_chunk(chunk_trips)
+    finally:
+        # A failed build must not leak the six open column streams
+        # (file.close() is idempotent, so the happy path is unchanged).
+        writer.close_streams()
     n = writer.num_trips
     with tracer.span("datagen.split"):
         # Stable argsort == the stable list.sort of the RAM path, so

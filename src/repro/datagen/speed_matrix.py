@@ -80,6 +80,21 @@ class SpeedMatrixStore:
     def shape(self) -> Tuple[int, int]:
         return (self.rows, self.cols)
 
+    def close(self) -> None:
+        """Release the matrix stack's memory map when the store was
+        opened from a dataset directory; a no-op for in-memory stores.
+
+        ``from_arrays`` wraps its input in ``np.asarray``, which turns a
+        ``np.memmap`` into a base-class view — the map itself then hangs
+        off ``.base``, so both levels are checked.
+        """
+        mm = getattr(self._matrices, "_mmap", None)
+        if mm is None:
+            mm = getattr(getattr(self._matrices, "base", None),
+                         "_mmap", None)
+        if mm is not None and not mm.closed:
+            mm.close()
+
     # -- persistence ----------------------------------------------------
     def save(self, path: str) -> str:
         """Write the full store (matrices + grid geometry) to one npz."""

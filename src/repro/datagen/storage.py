@@ -154,11 +154,19 @@ class DatasetDirWriter:
         offsets = np.concatenate(([0], np.cumsum(path_len)))
         edges = np.memmap(self._path("path_edges"), dtype=np.int64,
                           mode="r")
-        times = np.memmap(self._path("path_times"), dtype=np.float64,
-                          mode="r").reshape(-1, 2)
-        for j in order:
-            lo, hi = offsets[j], offsets[j + 1]
-            yield edges[lo:hi], times[lo:hi]
+        times_map = np.memmap(self._path("path_times"), dtype=np.float64,
+                              mode="r")
+        times = times_map.reshape(-1, 2)
+        try:
+            for j in order:
+                lo, hi = offsets[j], offsets[j + 1]
+                yield edges[lo:hi], times[lo:hi]
+        finally:
+            # The yielded slices are consumed within each iteration
+            # (the speed accumulator copies what it keeps), so the maps
+            # close as soon as the generator is exhausted or dropped.
+            edges._mmap.close()
+            times_map._mmap.close()
 
     def finish(self, order: np.ndarray, preset: CityPreset,
                info: BuildInfo, horizon_seconds: float, train_end: int,
@@ -328,6 +336,19 @@ class TripStore(Sequence):
     def travel_times(self) -> np.ndarray:
         return np.asarray(self._trip_f8[:, 1])[self._order]
 
+    def close(self) -> None:
+        """Release the store's memory maps (R001 lifecycle).
+
+        Any access after ``close()`` is invalid; cached records built
+        before the close stay usable (they hold materialised copies).
+        """
+        self._cache.clear()
+        for name in ("_trip_f8", "_trip_i8", "_path_edges",
+                     "_path_times", "_gps_xyt", "_order"):
+            mm = getattr(getattr(self, name, None), "_mmap", None)
+            if mm is not None and not mm.closed:
+                mm.close()
+
 
 class TripSlice(Sequence):
     """A contiguous view of a :class:`TripStore` (one split partition)."""
@@ -370,6 +391,9 @@ def open_dataset_dir(directory: str, cache_trips: int = 4096
     traffic = TrafficModel(net, TrafficConfig(), seed=preset.seed + 2)
     store = TripStore(directory, meta, cache_trips=cache_trips)
     sp = meta["speed"]
+    # Ownership of this map transfers to the SpeedMatrixStore built
+    # below: TaxiDataset.close() -> speed_store.close() releases it.
+    # repro: allow[R001] ownership transfers to SpeedMatrixStore
     matrices = np.memmap(
         os.path.join(directory, _FILES["speed"]), dtype=np.float64,
         mode="r",

@@ -25,7 +25,8 @@ from ..datagen.dataset import (
 from ..datagen.pipeline import DatasetSpec, build
 from ..eval.metrics import mae, mape
 from ..obs.tracing import NULL_TRACER, Tracer
-from .checkpoint import latest_checkpoint, load_checkpoint
+from .checkpoint import (latest_checkpoint, load_checkpoint,
+                         save_checkpoint)
 from .registry import Run, RunRegistry
 
 
@@ -152,6 +153,7 @@ def execute_run(spec: RunSpec,
                 epochs=spec.epochs,
                 checkpoint_every=spec.checkpoint_every if run else 0,
                 checkpoint_dir=checkpoint_dir,
+                checkpoint_fn=save_checkpoint,
                 on_eval=on_eval)
 
             with tracer.span("run.evaluate"):

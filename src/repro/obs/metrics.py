@@ -147,6 +147,9 @@ class MetricsRegistry:
 
 # ---------------------------------------------------------------------------
 _GLOBAL_REGISTRY = MetricsRegistry()
+# Created at import, before any thread or fork exists, and only ever
+# held for the microseconds of a registry swap — never across a fork.
+# repro: allow[F001] import-time lock, never held across a fork point
 _GLOBAL_LOCK = threading.Lock()
 
 

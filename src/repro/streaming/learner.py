@@ -27,7 +27,8 @@ from typing import Optional, Sequence
 from ..core.predictor import TravelTimePredictor
 from ..core.trainer import DeepODTrainer
 from ..datagen.dataset import DatasetSplit, TaxiDataset
-from ..experiments.checkpoint import latest_checkpoint, load_checkpoint
+from ..experiments.checkpoint import (latest_checkpoint,
+                                      load_checkpoint, save_checkpoint)
 from ..experiments.promote import (
     PromotionDecision, deployed_artifact_path, promote,
 )
@@ -134,7 +135,8 @@ class ContinuousLearner(Instrumented):
             trainer.fit(epochs=self.fine_tune_epochs,
                         track_validation=False,
                         checkpoint_every=self.checkpoint_every,
-                        checkpoint_dir=ckpt_dir)
+                        checkpoint_dir=ckpt_dir,
+                        checkpoint_fn=save_checkpoint)
 
             # Calibrate bands on the recent holdout (the view's
             # validation split), then rebind the artifact trainer to the

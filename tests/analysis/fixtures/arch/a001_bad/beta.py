@@ -1,0 +1,8 @@
+# repro: module repro.appb.beta
+"""A001 violating fixture: appb is a leaf but imports appa."""
+
+import repro.appa.alpha
+
+
+def beta():
+    return repro.appa.alpha.alpha() + 1

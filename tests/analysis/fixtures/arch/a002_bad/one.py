@@ -1,0 +1,8 @@
+# repro: module repro.appc.one
+"""A002 violating fixture: one half of a module-level import cycle."""
+
+import repro.appd.two
+
+
+def one():
+    return repro.appd.two.two() + 1

@@ -1,0 +1,8 @@
+# repro: module repro.appd.two
+"""A002 violating fixture: the other half of the cycle."""
+
+import repro.appc.one
+
+
+def two():
+    return repro.appc.one.one() + 1

@@ -1,0 +1,6 @@
+# repro: module repro.appz.thing
+"""A003 violating fixture: package appz is missing from the DAG."""
+
+
+def thing():
+    return 42

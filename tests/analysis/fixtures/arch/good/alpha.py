@@ -1,0 +1,8 @@
+# repro: module repro.appa.alpha
+"""Arch clean fixture: appa may import appb per the declared DAG."""
+
+import repro.appb.beta
+
+
+def alpha():
+    return repro.appb.beta.beta() + 1

@@ -1,0 +1,6 @@
+# repro: module repro.appb.beta
+"""Arch clean fixture: appb is a leaf and imports nothing internal."""
+
+
+def beta():
+    return 1

@@ -1,0 +1,11 @@
+# repro: module repro.fixturepkg.forksafe
+"""F001 violating fixture: module-level concurrency primitive."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def guarded(value):
+    with _LOCK:
+        return value + 1

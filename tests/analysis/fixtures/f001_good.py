@@ -1,0 +1,15 @@
+# repro: module repro.fixturepkg.forksafe
+"""F001 clean fixture: the lock is created lazily by its owner."""
+
+import threading
+
+
+class Guarded:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def bump(self):
+        with self._lock:
+            self._value += 1
+            return self._value

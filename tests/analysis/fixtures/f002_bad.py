@@ -1,0 +1,13 @@
+# repro: module repro.fixturepkg.crossing
+"""F002 violating fixture: unpicklable callables cross the boundary."""
+
+
+def fan_out(executor, items):
+    futures = [executor.submit(lambda item: item * 2, item)
+               for item in items]
+
+    def local_work(item):
+        return item + 1
+
+    futures.append(executor.submit(local_work, items[0]))
+    return [f.result() for f in futures]

@@ -1,0 +1,11 @@
+# repro: module repro.fixturepkg.crossing
+"""F002 clean fixture: only module-level functions cross the boundary."""
+
+
+def _double(item):
+    return item * 2
+
+
+def fan_out(executor, items):
+    futures = [executor.submit(_double, item) for item in items]
+    return [f.result() for f in futures]

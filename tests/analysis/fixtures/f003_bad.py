@@ -1,0 +1,14 @@
+# repro: module repro.fixturepkg.handles
+"""F003 violating fixture: fork-dispatched worker reads a module-level
+open file handle (the child inherits the fd and its position)."""
+
+_TABLE = open("table.bin", "rb")
+
+
+def row(index):
+    _TABLE.seek(index * 8)
+    return _TABLE.read(8)
+
+
+def fan_out(executor, indices):
+    return [executor.submit(row, i).result() for i in indices]

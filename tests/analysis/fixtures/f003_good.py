@@ -1,0 +1,12 @@
+# repro: module repro.fixturepkg.handles
+"""F003 clean fixture: each worker opens the file itself."""
+
+
+def row(index):
+    with open("table.bin", "rb") as table:
+        table.seek(index * 8)
+        return table.read(8)
+
+
+def fan_out(executor, indices):
+    return [executor.submit(row, i).result() for i in indices]

@@ -1,0 +1,15 @@
+# repro: module repro.fixturepkg.lifecycle
+"""R001 violating fixture: resources acquired without with/close."""
+
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+
+def read_header(path):
+    handle = open(path, "rb")
+    return handle.read(16)
+
+
+def fan_out(work, items):
+    executor = ProcessPoolExecutor(max_workers=2)
+    return [executor.submit(work, item).result() for item in items]

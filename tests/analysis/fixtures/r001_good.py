@@ -1,0 +1,30 @@
+# repro: module repro.fixturepkg.lifecycle
+"""R001 clean fixture: context managers, explicit closes, escapes."""
+
+import numpy as np
+from concurrent.futures import ProcessPoolExecutor
+
+
+def read_header(path):
+    with open(path, "rb") as handle:
+        return handle.read(16)
+
+
+def fan_out(work, items):
+    with ProcessPoolExecutor(max_workers=2) as executor:
+        return [executor.submit(work, item).result() for item in items]
+
+
+def open_for_caller(path):
+    # Returning the handle transfers ownership to the caller.
+    handle = open(path, "rb")
+    return handle
+
+
+class Holder:
+    def __init__(self, path):
+        # Stored on the object: its close() owns the lifecycle.
+        self.matrix = np.memmap(path, dtype="float64", mode="r")
+
+    def close(self):
+        self.matrix._mmap.close()

@@ -1,0 +1,11 @@
+# repro: module repro.fixturepkg.spans
+"""R002 violating fixture: manually entered tracer span."""
+
+
+def timed_epoch(tracer, work):
+    span_ctx = tracer.span("epoch", index=0)
+    span = span_ctx.__enter__()
+    try:
+        return work()
+    finally:
+        span_ctx.__exit__(None, None, None)

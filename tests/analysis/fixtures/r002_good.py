@@ -1,0 +1,12 @@
+# repro: module repro.fixturepkg.spans
+"""R002 clean fixture: spans are context managers (or delegated)."""
+
+
+def timed_epoch(tracer, work):
+    with tracer.span("epoch", index=0):
+        return work()
+
+
+def epoch_span(tracer, index):
+    # Returning the span delegates the context to the caller.
+    return tracer.span("epoch", index=index)

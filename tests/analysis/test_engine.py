@@ -56,6 +56,44 @@ class TestPragmas:
     def test_pragma_suppressed_fixture_lints_clean(self):
         assert lint_file(FIXTURES / "pragma_suppressed.py") == []
 
+    def test_pragma_above_decorator_suppresses_def_line_finding(self):
+        # The H003 finding lands on the ``def`` line, but the natural
+        # place for the pragma is above the decorator stack.
+        src = ("# repro: allow[H003] registry owns the default\n"
+               "@property\n"
+               "def f(self, acc=[]):\n"
+               "    return acc\n")
+        result = analyze_source(src, module="repro.sample")
+        assert result.findings == []
+        assert [f.rule for f in result.suppressed] == ["H003"]
+
+    def test_pragma_above_multi_decorator_stack_suppresses(self):
+        src = ("# repro: allow[H003] fixture\n"
+               "@staticmethod\n"
+               "@property\n"
+               "def f(acc=[]):\n"
+               "    return acc\n")
+        result = analyze_source(src, module="repro.sample")
+        assert result.findings == []
+
+    def test_pragma_between_decorator_and_def_still_works(self):
+        src = ("@property\n"
+               "# repro: allow[H003] fixture\n"
+               "def f(self, acc=[]):\n"
+               "    return acc\n")
+        result = analyze_source(src, module="repro.sample")
+        assert result.findings == []
+
+    def test_decorator_alias_does_not_leak_to_other_rules(self):
+        # A pragma above the decorator names the wrong rule: the
+        # def-line finding must survive.
+        src = ("# repro: allow[D001] wrong rule\n"
+               "@property\n"
+               "def f(self, acc=[]):\n"
+               "    return acc\n")
+        result = analyze_source(src, module="repro.sample")
+        assert [f.rule for f in result.findings] == ["H003"]
+
 
 # ---------------------------------------------------------------------------
 # Module identity.
@@ -204,3 +242,61 @@ class TestCliLint:
         shutil.copy(FIXTURES / "h002_bad.py", target)
         assert cli_main(["lint", "--fix", str(target)]) == 0
         assert "except Exception:" in target.read_text()
+
+    def test_fix_is_idempotent(self, tmp_path, capsys):
+        # The second --fix run is a byte-identical no-op.
+        target = tmp_path / "h002_bad.py"
+        shutil.copy(FIXTURES / "h002_bad.py", target)
+        assert cli_main(["lint", "--fix", str(target)]) == 0
+        after_first = target.read_bytes()
+        assert cli_main(["lint", "--fix", str(target)]) == 0
+        assert target.read_bytes() == after_first
+
+
+# ---------------------------------------------------------------------------
+# CLI: whole-program flags.
+
+class TestCliProjectFlags:
+    def test_graph_json_dump(self, capsys):
+        import json
+        assert cli_main(["lint", "--graph", "json",
+                         str(FIXTURES / "d001_good.py")]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro.analysis.graph/v1"
+        assert doc["cycles"] == []
+
+    def test_graph_dot_dump(self, capsys):
+        assert cli_main(["lint", "--graph", "dot",
+                         str(FIXTURES / "d001_good.py")]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph repro_layers {")
+        assert out.rstrip().endswith("}")
+
+    def test_graph_exit_zero_even_with_findings(self, capsys):
+        # --graph is a dump mode, not a gate.
+        assert cli_main(["lint", "--graph", "json",
+                         str(FIXTURES / "h002_bad.py")]) == 0
+
+    def test_cache_flag_creates_and_reuses_cache(self, tmp_path, capsys):
+        import json
+        target = tmp_path / "clean.py"
+        target.write_text("VALUE = 1\n")
+        cache = tmp_path / ".reprolint-cache.json"
+        assert cli_main(["lint", "--cache", str(cache),
+                         str(target)]) == 0
+        payload = json.loads(cache.read_text())
+        assert payload["schema"] == "repro.analysis.cache/v1"
+        assert cli_main(["lint", "--cache", str(cache),
+                         str(target)]) == 0
+
+    def test_check_layers_passes_on_this_repo(self, capsys):
+        # The declared DAG matches the actual src/repro package list.
+        assert cli_main(["lint", "--check-layers",
+                         str(FIXTURES / "d001_good.py")]) == 0
+
+    def test_list_rules_includes_new_families(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("A001", "A002", "A003", "F001", "F002",
+                        "F003", "R001", "R002"):
+            assert rule_id in out

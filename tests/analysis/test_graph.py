@@ -1,0 +1,227 @@
+"""Project import graph: record collection, index queries, drift gate."""
+
+import ast
+from pathlib import Path
+
+from repro.analysis import (
+    ImportEdge,
+    LintConfig,
+    ModuleRecord,
+    ProjectIndex,
+    collect_record,
+    layer_drift,
+)
+
+SRC_REPRO = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def record_of(source, module, path="pkg/mod.py"):
+    return collect_record(ast.parse(source), module, path)
+
+
+# ---------------------------------------------------------------------------
+# Record collection.
+
+class TestCollectRecord:
+    def test_absolute_and_relative_imports_resolve(self):
+        record = record_of(
+            "import repro.roadnet\n"
+            "from repro.obs import metrics\n"
+            "from . import gru\n"
+            "from ..trajectory import paths\n",
+            module="repro.nn.modules", path="src/repro/nn/modules.py")
+        assert [e.target for e in record.imports] == [
+            "repro.roadnet", "repro.obs.metrics",
+            "repro.nn.gru", "repro.trajectory.paths"]
+        assert all(e.toplevel for e in record.imports)
+
+    def test_per_alias_edges_keep_submodule_precision(self):
+        # ``from . import a, b`` is two edges, each at full precision —
+        # a facade __init__ re-exporting submodules must not point the
+        # graph back at the package itself (that reads as a cycle).
+        record = record_of("from . import gru, init\n",
+                           module="repro.nn",
+                           path="src/repro/nn/__init__.py")
+        assert [e.target for e in record.imports] == [
+            "repro.nn.gru", "repro.nn.init"]
+        assert record.is_package_init
+
+    def test_star_import_targets_the_package(self):
+        record = record_of("from repro.obs import *\n",
+                           module="repro.cli", path="src/repro/cli.py")
+        assert [e.target for e in record.imports] == ["repro.obs"]
+
+    def test_function_level_import_is_not_toplevel(self):
+        record = record_of(
+            "def lazy():\n"
+            "    from repro.datagen import pipeline\n"
+            "    return pipeline\n",
+            module="repro.cli", path="src/repro/cli.py")
+        assert [e.toplevel for e in record.imports] == [False]
+
+    def test_class_body_import_counts_as_toplevel(self):
+        # Class bodies execute at import time.
+        record = record_of(
+            "class Holder:\n"
+            "    import repro.roadnet\n",
+            module="repro.cli", path="src/repro/cli.py")
+        assert [e.toplevel for e in record.imports] == [True]
+
+    def test_external_imports_are_dropped(self):
+        record = record_of("import numpy\nimport os\n",
+                           module="repro.cli", path="src/repro/cli.py")
+        assert record.imports == []
+
+    def test_toplevel_defs_and_resource_globals(self):
+        record = record_of(
+            "def f():\n    pass\n"
+            "class C:\n    pass\n"
+            "_TABLE = open('x')\n"
+            "def g():\n    local = open('y')\n    local.close()\n",
+            module="repro.datagen.tables",
+            path="src/repro/datagen/tables.py")
+        assert set(record.toplevel_defs) == {"f", "C", "g"}
+        assert list(record.resource_globals) == ["_TABLE"]
+
+    def test_record_round_trips_through_dict(self):
+        record = record_of("from repro.obs import metrics\nX = open('f')\n",
+                           module="repro.cli", path="src/repro/cli.py")
+        clone = ModuleRecord.from_dict(record.to_dict())
+        assert clone == record
+
+
+# ---------------------------------------------------------------------------
+# Index queries.
+
+def make_index(*specs):
+    """specs: (module, [(target, toplevel)]) tuples."""
+    records = []
+    for module, targets in specs:
+        edges = [ImportEdge(t, lineno=1, col=0, toplevel=top)
+                 for t, top in targets]
+        records.append(ModuleRecord(
+            module=module, path=f"src/{module.replace('.', '/')}.py",
+            imports=edges))
+    return ProjectIndex(records)
+
+
+class TestProjectIndex:
+    def test_package_of(self):
+        index = make_index()
+        assert index.package_of("repro.nn.gru") == "nn"
+        assert index.package_of("repro.cli") == "cli"
+        assert index.package_of("repro") is None
+        assert index.package_of("tests.analysis.test_graph") is None
+
+    def test_resolve_module_longest_prefix(self):
+        index = make_index(("repro.obs.metrics", []), ("repro.obs", []))
+        assert (index.resolve_module("repro.obs.metrics.global_registry")
+                == "repro.obs.metrics")
+        assert index.resolve_module("repro.obs") == "repro.obs"
+        assert index.resolve_module("repro.unknown") is None
+
+    def test_module_graph_drops_unindexed_and_self_edges(self):
+        index = make_index(
+            ("repro.a.one", [("repro.b.two", True),
+                             ("repro.a.one.helper", True),
+                             ("repro.gone", True)]),
+            ("repro.b.two", []))
+        graph = index.module_graph()
+        assert [t for t, _ in graph["repro.a.one"]] == ["repro.b.two"]
+
+    def test_cycles_found_and_sorted(self):
+        index = make_index(
+            ("repro.a.one", [("repro.b.two", True)]),
+            ("repro.b.two", [("repro.a.one", True)]),
+            ("repro.c.three", []))
+        assert index.cycles() == [["repro.a.one", "repro.b.two"]]
+
+    def test_lazy_import_breaks_the_cycle(self):
+        index = make_index(
+            ("repro.a.one", [("repro.b.two", True)]),
+            ("repro.b.two", [("repro.a.one", False)]))
+        assert index.cycles() == []
+
+    def test_facade_reexport_is_not_a_cycle(self):
+        # repro.nn/__init__ imports repro.nn.gru; gru imports the
+        # sibling repro.nn.init — no package-level self-loop appears.
+        init_rec = collect_record(
+            ast.parse("from . import gru, init\n"),
+            "repro.nn", "src/repro/nn/__init__.py")
+        gru_rec = collect_record(
+            ast.parse("from .init import xavier\n"),
+            "repro.nn.gru", "src/repro/nn/gru.py")
+        other = collect_record(
+            ast.parse(""), "repro.nn.init", "src/repro/nn/init.py")
+        index = ProjectIndex([init_rec, gru_rec, other])
+        assert index.cycles() == []
+
+    def test_package_edges_have_witnesses(self):
+        index = make_index(("repro.a.one", [("repro.b.two", True)]),
+                           ("repro.b.two", []))
+        edges = index.package_edges()
+        assert set(edges) == {("a", "b")}
+        witness_module, witness_edge = edges[("a", "b")]
+        assert witness_module == "repro.a.one"
+        assert witness_edge.target == "repro.b.two"
+
+
+# ---------------------------------------------------------------------------
+# Dumps.
+
+class TestDumps:
+    def test_to_json_schema_and_contents(self):
+        index = make_index(("repro.a.one", [("repro.b.two", True)]),
+                           ("repro.b.two", [("repro.a.one", True)]))
+        doc = index.to_json(layers=(("a", ("b",)), ("b", ())))
+        assert doc["schema"] == "repro.analysis.graph/v1"
+        assert doc["packages"] == ["a", "b"]
+        assert {"from": "a", "to": "b"} in doc["edges"]
+        assert doc["declared_layers"] == {"a": ["b"], "b": []}
+        assert doc["cycles"] == [["repro.a.one", "repro.b.two"]]
+
+    def test_to_dot_highlights_undeclared_edges(self):
+        index = make_index(("repro.a.one", [("repro.b.two", True)]),
+                           ("repro.b.two", [("repro.a.one", True)]))
+        dot = index.to_dot(layers=(("a", ("b",)), ("b", ())))
+        # a -> b is declared; b -> a is the A001 violation.
+        assert '"a" -> "b";' in dot
+        assert '"b" -> "a" [color=red' in dot
+
+    def test_to_dot_wildcard_layer_allows_everything(self):
+        index = make_index(("repro.cli", [("repro.b.two", True)]),
+                           ("repro.b.two", []))
+        dot = index.to_dot(layers=(("cli", ("*",)), ("b", ())))
+        assert "color=red" not in dot
+
+
+# ---------------------------------------------------------------------------
+# Layering drift.
+
+class TestLayerDrift:
+    def test_drift_detects_both_directions(self, tmp_path):
+        (tmp_path / "real").mkdir()
+        (tmp_path / "real" / "__init__.py").write_text("")
+        (tmp_path / "plain.py").write_text("")
+        (tmp_path / "_private.py").write_text("")
+        (tmp_path / "__init__.py").write_text("")
+        (tmp_path / "notapkg").mkdir()  # no __init__: not a package
+        undeclared, stale = layer_drift(
+            (("real", ()), ("ghost", ())), tmp_path)
+        assert undeclared == ["plain"]
+        assert stale == ["ghost"]
+
+    def test_declared_layers_match_the_actual_tree(self):
+        # The drift gate itself: LintConfig.layers must describe exactly
+        # the top-level subsystems that exist under src/repro.
+        undeclared, stale = layer_drift(LintConfig().layers, SRC_REPRO)
+        assert undeclared == []
+        assert stale == []
+
+    def test_every_declared_dependency_is_a_declared_layer(self):
+        layers = dict(LintConfig().layers)
+        for name, allowed in layers.items():
+            for dep in allowed:
+                if dep == "*":
+                    continue
+                assert dep in layers, f"{name} -> {dep} undeclared"

@@ -1,0 +1,122 @@
+"""SARIF export: real findings validate; the validator fails closed."""
+
+import copy
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    SARIF_VERSION,
+    lint_file,
+    to_sarif,
+    validate_sarif,
+)
+from repro.cli import main as cli_main
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def sample_doc():
+    findings = lint_file(FIXTURES / "h002_bad.py")
+    assert findings, "fixture must produce findings"
+    return to_sarif(findings), findings
+
+
+class TestToSarif:
+    def test_real_findings_validate(self):
+        doc, findings = sample_doc()
+        assert validate_sarif(doc) is doc
+        results = doc["runs"][0]["results"]
+        assert [r["ruleId"] for r in results] == \
+            [f.rule for f in findings]
+
+    def test_result_shape(self):
+        doc, findings = sample_doc()
+        result = doc["runs"][0]["results"][0]
+        region = (result["locations"][0]["physicalLocation"]["region"])
+        assert result["level"] == "error"
+        assert result["message"]["text"] == findings[0].message
+        assert region["startLine"] == findings[0].line
+        # SARIF columns are 1-based; findings carry 0-based cols.
+        assert region["startColumn"] == findings[0].col + 1
+
+    def test_rule_index_points_at_catalogue_entry(self):
+        doc, _ = sample_doc()
+        driver = doc["runs"][0]["tool"]["driver"]
+        for result in doc["runs"][0]["results"]:
+            entry = driver["rules"][result["ruleIndex"]]
+            assert entry["id"] == result["ruleId"]
+
+    def test_catalogue_covers_every_rule_family(self):
+        doc, _ = sample_doc()
+        ids = {r["id"] for r in
+               doc["runs"][0]["tool"]["driver"]["rules"]}
+        for rule_id in ("D001", "H002", "N001",
+                        "A001", "A002", "A003",
+                        "F001", "F002", "F003", "R001", "R002"):
+            assert rule_id in ids
+
+    def test_empty_findings_still_validate(self):
+        doc = to_sarif([])
+        assert validate_sarif(doc) is doc
+        assert doc["runs"][0]["results"] == []
+        assert doc["version"] == SARIF_VERSION
+
+
+def broken(mutate):
+    doc, _ = sample_doc()
+    doc = copy.deepcopy(doc)
+    mutate(doc)
+    return doc
+
+
+class TestValidator:
+    @pytest.mark.parametrize("label,mutate", [
+        ("wrong version",
+         lambda d: d.update(version="9.9")),
+        ("empty runs",
+         lambda d: d.update(runs=[])),
+        ("driver missing",
+         lambda d: d["runs"][0]["tool"].pop("driver")),
+        ("driver name missing",
+         lambda d: d["runs"][0]["tool"]["driver"].pop("name")),
+        ("message text missing",
+         lambda d: d["runs"][0]["results"][0].pop("message")),
+        ("ruleId missing",
+         lambda d: d["runs"][0]["results"][0].pop("ruleId")),
+        ("locations empty",
+         lambda d: d["runs"][0]["results"][0].update(locations=[])),
+        ("startLine zero",
+         lambda d: d["runs"][0]["results"][0]["locations"][0]
+         ["physicalLocation"]["region"].update(startLine=0)),
+        ("ruleIndex points at wrong rule",
+         lambda d: d["runs"][0]["results"][0].update(ruleIndex=0)
+         if d["runs"][0]["results"][0]["ruleIndex"] != 0
+         else d["runs"][0]["results"][0].update(ruleIndex=1)),
+    ], ids=lambda v: v if isinstance(v, str) else "")
+    def test_rejects(self, label, mutate):
+        with pytest.raises(ValueError, match="invalid SARIF"):
+            validate_sarif(broken(mutate))
+
+    def test_rejects_non_dict(self):
+        with pytest.raises(ValueError):
+            validate_sarif([])
+
+
+class TestCliSarif:
+    def test_violations_emit_valid_sarif_and_exit_one(self, capsys):
+        code = cli_main(["lint", "--format", "sarif",
+                        str(FIXTURES / "h002_bad.py")])
+        assert code == 1
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+        assert [r["ruleId"] for r in doc["runs"][0]["results"]] == ["H002"]
+
+    def test_clean_paths_emit_empty_sarif_and_exit_zero(self, capsys):
+        code = cli_main(["lint", "--format", "sarif",
+                        str(FIXTURES / "d001_good.py")])
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_sarif(doc)
+        assert doc["runs"][0]["results"] == []

@@ -39,8 +39,8 @@ class TestBitwiseResume:
         victim = fresh_trainer(tiny_dataset, tiny_config)
         # 3 steps per epoch at this size: step 5 is mid-epoch-2, and the
         # latest snapshot (step 4) is mid-epoch as well.
-        victim.fit(epochs=epochs, max_steps=5,
-                   checkpoint_every=2, checkpoint_dir=ckdir)
+        victim.fit(epochs=epochs, max_steps=5, checkpoint_every=2,
+                   checkpoint_dir=ckdir, checkpoint_fn=save_checkpoint)
         assert latest_checkpoint(ckdir).endswith("step-0000000004")
 
         resumed = fresh_trainer(tiny_dataset, tiny_config)
@@ -60,7 +60,8 @@ class TestBitwiseResume:
             self, tiny_dataset, tiny_config, tmp_path):
         trainer = fresh_trainer(tiny_dataset, tiny_config)
         trainer.fit(epochs=3, max_steps=4, checkpoint_every=4,
-                    checkpoint_dir=str(tmp_path))
+                    checkpoint_dir=str(tmp_path),
+                    checkpoint_fn=save_checkpoint)
         restored = fresh_trainer(tiny_dataset, tiny_config)
         load_checkpoint(restored, str(tmp_path))
         for m_a, m_b in zip(trainer.optimizer._m, restored.optimizer._m):
@@ -113,7 +114,8 @@ class TestPartialEpochLRSchedule:
 
         victim = fresh_trainer(tiny_dataset, tiny_config, eval_every=0)
         victim.fit(epochs=2, max_steps=4, track_validation=False,
-                   checkpoint_every=1, checkpoint_dir=str(tmp_path))
+                   checkpoint_every=1, checkpoint_dir=str(tmp_path),
+                   checkpoint_fn=save_checkpoint)
         resumed = fresh_trainer(tiny_dataset, tiny_config, eval_every=0)
         load_checkpoint(resumed, str(tmp_path))
         resumed.fit(epochs=2, track_validation=False)
@@ -126,7 +128,7 @@ class TestCheckpointHousekeeping:
         trainer = fresh_trainer(tiny_dataset, tiny_config, eval_every=0)
         trainer.fit(epochs=2, track_validation=False,
                     checkpoint_every=1, checkpoint_dir=str(tmp_path),
-                    keep_checkpoints=2)
+                    keep_checkpoints=2, checkpoint_fn=save_checkpoint)
         snapshots = list_checkpoints(str(tmp_path))
         assert len(snapshots) == 2
         assert snapshots[-1].endswith(f"step-{trainer._step:010d}")
